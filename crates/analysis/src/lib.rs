@@ -1,0 +1,38 @@
+//! # moat-analysis — the paper's analytical models
+//!
+//! Closed-form models that the simulation results are checked against:
+//!
+//! * [`RatchetModel`] — Appendix A: the threshold MOAT safely tolerates
+//!   under delayed ALERTs (Equation 4; ATH 64 → T_RH 99, Figs. 10/15,
+//!   Table 7's Safe-TRH column).
+//! * [`FeintingModel`] — §2.5 / Table 2: the harmonic feinting bound on
+//!   purely transparent per-row-counter schemes.
+//! * [`ThroughputModel`] — §7: ALERT throughput arithmetic (0.36× under
+//!   continuous ALERTs, ~10% single-row kernel loss, benign-workload
+//!   scaling).
+//! * [`moat_budget`] and friends — §6.5: SRAM storage accounting
+//!   (7 bytes per bank for MOAT-L1).
+//! * [`EnergyModel`] — §6.5: activation and energy overhead (2.3% extra
+//!   activations → <0.5% DRAM energy at ATH 64).
+//!
+//! ```
+//! use moat_analysis::RatchetModel;
+//!
+//! let model = RatchetModel::default();
+//! assert_eq!(model.safe_trh(64, 1), 99); // the paper's headline number
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod energy;
+mod feinting;
+mod ratchet;
+mod storage;
+mod throughput;
+
+pub use energy::EnergyModel;
+pub use feinting::{harmonic, FeintingBound, FeintingModel};
+pub use ratchet::RatchetModel;
+pub use storage::{ideal_sram_budget, moat_budget, panopticon_budget, StorageBudget};
+pub use throughput::ThroughputModel;

@@ -1,0 +1,77 @@
+//! SRAM storage accounting (§6.5, Appendix D, Fig. 1a).
+
+/// Storage cost of a mitigation design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageBudget {
+    /// Design name.
+    pub design: &'static str,
+    /// SRAM bytes per bank.
+    pub bytes_per_bank: usize,
+    /// SRAM bytes per chip (32 banks).
+    pub bytes_per_chip: usize,
+}
+
+/// MOAT's budget for a given ABO level (§6.5, Appendix D): `L` tracker
+/// entries of 3 bytes, a 2-byte CMA, and two 1-byte shadow counters.
+pub fn moat_budget(level: u8) -> StorageBudget {
+    let per_bank = usize::from(level) * 3 + 2 + 2;
+    StorageBudget {
+        design: match level {
+            1 => "MOAT-L1",
+            2 => "MOAT-L2",
+            4 => "MOAT-L4",
+            _ => "MOAT-Lx",
+        },
+        bytes_per_bank: per_bank,
+        bytes_per_chip: per_bank * 32,
+    }
+}
+
+/// Panopticon's queue budget: 8 entries × 2-byte row address (counters
+/// live in the DRAM array).
+pub fn panopticon_budget() -> StorageBudget {
+    StorageBudget {
+        design: "Panopticon",
+        bytes_per_bank: 16,
+        bytes_per_chip: 16 * 32,
+    }
+}
+
+/// The idealized per-row SRAM tracker: 2 bytes per row (Fig. 1a's
+/// impractical "SRAM-optimal" corner).
+pub fn ideal_sram_budget(rows_per_bank: u32) -> StorageBudget {
+    let per_bank = rows_per_bank as usize * 2;
+    StorageBudget {
+        design: "Ideal-SRAM",
+        bytes_per_bank: per_bank,
+        bytes_per_chip: per_bank * 32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moat_budgets_match_paper() {
+        // §6.5 / Appendix D: 7/10/16 bytes per bank; 224/320/512 per chip.
+        assert_eq!(moat_budget(1).bytes_per_bank, 7);
+        assert_eq!(moat_budget(2).bytes_per_bank, 10);
+        assert_eq!(moat_budget(4).bytes_per_bank, 16);
+        assert_eq!(moat_budget(1).bytes_per_chip, 224);
+        assert_eq!(moat_budget(2).bytes_per_chip, 320);
+        assert_eq!(moat_budget(4).bytes_per_chip, 512);
+    }
+
+    #[test]
+    fn ideal_tracker_is_five_orders_heavier() {
+        let ideal = ideal_sram_budget(65_536);
+        assert_eq!(ideal.bytes_per_bank, 128 * 1024);
+        assert!(ideal.bytes_per_bank / moat_budget(1).bytes_per_bank > 18_000);
+    }
+
+    #[test]
+    fn panopticon_is_low_but_broken() {
+        assert_eq!(panopticon_budget().bytes_per_bank, 16);
+    }
+}

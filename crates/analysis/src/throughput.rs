@@ -1,0 +1,128 @@
+//! Analytical throughput models for ALERT-based performance attacks (§7).
+//!
+//! Time is measured in tRC units (52 ns — one bank activation slot).
+//! During an ALERT episode the attacker fits `3 + L` activations into
+//! `tALERT + L·tRC` of wall-clock time, so throughput collapses to ~0.36×
+//! under continuous ALERTs (level 1) — the §7.1 bound — while a single
+//! hammered row costs only ~10% (one ALERT per 65 activations, §7.2).
+
+use moat_dram::DramTiming;
+
+/// Throughput models in activations-per-tRC-unit.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputModel {
+    timing: DramTiming,
+}
+
+impl ThroughputModel {
+    /// Builds the model for the given timing.
+    pub fn new(timing: DramTiming) -> Self {
+        ThroughputModel { timing }
+    }
+
+    /// tALERT in tRC units for `level` (§7.1: ~10.2 units at level 1).
+    pub fn alert_units(&self, level: u8) -> f64 {
+        self.timing.t_alert(level).as_u64() as f64 / self.timing.t_rc.as_u64() as f64
+    }
+
+    /// Relative throughput under continuous ALERTs (§7.1: 4 ACTs per
+    /// ~11.2 units ≈ 0.36× for level 1).
+    pub fn continuous_alert_throughput(&self, level: u8) -> f64 {
+        let acts = self.timing.min_acts_between_alerts(level) as f64;
+        let units = self.alert_units(level) + f64::from(level);
+        acts / units
+    }
+
+    /// Maximum slowdown under continuous ALERTs (Appendix D: 2.8× at L1,
+    /// 3.8× at L2, 4.9× at L4).
+    pub fn max_continuous_slowdown(&self, level: u8) -> f64 {
+        1.0 / self.continuous_alert_throughput(level)
+    }
+
+    /// Relative throughput of the single-row kernel (§7.2): one ALERT per
+    /// `ath + 1` activations — 69 ACTs in 76 units ≈ 0.9× at ATH 64.
+    pub fn single_row_throughput(&self, ath: u32, level: u8) -> f64 {
+        let acts_per_episode = f64::from(ath + 1) + self.timing.min_acts_between_alerts(level) as f64;
+        let units = f64::from(ath + 1) + self.alert_units(level) + f64::from(level);
+        acts_per_episode / units
+    }
+
+    /// Throughput when a fraction `alert_time_fraction` of wall-clock time
+    /// is spent inside ALERT episodes (§7.1: 10% in ALERTs → 0.936×).
+    pub fn mixed_throughput(&self, alert_time_fraction: f64, level: u8) -> f64 {
+        assert!((0.0..=1.0).contains(&alert_time_fraction), "fraction in [0,1]");
+        (1.0 - alert_time_fraction)
+            + alert_time_fraction * self.continuous_alert_throughput(level)
+    }
+
+    /// §7.4: benign workloads see ~100× more activations per ALERT than
+    /// attacks, so their slowdown is ~100× smaller. Returns estimated
+    /// slowdown given the benign activation fraction.
+    pub fn benign_slowdown(&self, ath: u32, benign_act_fraction: f64, level: u8) -> f64 {
+        let attack_acts_per_alert = f64::from(ath + 1);
+        let acts_per_alert = attack_acts_per_alert / (1.0 - benign_act_fraction).max(1e-12);
+        let alert_overhead_units = self.alert_units(level) - 3.0; // stalled portion
+        alert_overhead_units / acts_per_alert
+    }
+}
+
+impl Default for ThroughputModel {
+    fn default() -> Self {
+        Self::new(DramTiming::ddr5_prac())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThroughputModel {
+        ThroughputModel::default()
+    }
+
+    #[test]
+    fn continuous_alert_is_0_36x_at_level1() {
+        // §7.1: "4 ACTs per 11 units ... reduces from 1 to 4/11 (0.36x)".
+        let t = model().continuous_alert_throughput(1);
+        assert!((0.33..0.40).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn max_slowdowns_match_appendix_d() {
+        // Appendix D: up to 2.8× (L1), 3.8× (L2), 4.9× (L4).
+        let m = model();
+        assert!((2.6..3.0).contains(&m.max_continuous_slowdown(1)));
+        assert!((3.6..4.1).contains(&m.max_continuous_slowdown(2)));
+        assert!((4.6..5.2).contains(&m.max_continuous_slowdown(4)));
+    }
+
+    #[test]
+    fn single_row_kernel_loses_about_ten_percent() {
+        // §7.2: 69 ACTs in 76 units = 0.9×.
+        let t = model().single_row_throughput(64, 1);
+        assert!((0.88..0.93).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn mixed_model_matches_paper_example() {
+        // §7.1: 10% of time in ALERTs → 0.936×.
+        let t = model().mixed_throughput(0.10, 1);
+        assert!((t - 0.936).abs() < 0.005, "{t}");
+    }
+
+    #[test]
+    fn benign_slowdown_is_two_orders_below_attack() {
+        // §7.4: 99.6% benign activations → ~100× smaller slowdown.
+        let m = model();
+        let attack = m.benign_slowdown(64, 0.0, 1);
+        let benign = m.benign_slowdown(64, 0.996, 1);
+        assert!(attack / benign > 100.0 && attack / benign < 500.0);
+        assert!(benign < 0.002, "benign slowdown {benign}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn mixed_rejects_bad_fraction() {
+        let _ = model().mixed_throughput(1.5, 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! A Blacksmith-style tracker-thrashing attack (§1, §2.4).
+//!
+//! Low-cost SRAM trackers (TRR, DSAC, Graphene-with-few-entries) hold only
+//! a handful of entries, so an attacker can interleave *decoy* rows between
+//! aggressor activations to evict the aggressors from the tracker before
+//! they are ever selected for mitigation — the pattern family of
+//! TRRespass and Blacksmith that broke deployed DDR4 mitigations. Against
+//! PRAC-based designs the same pattern achieves nothing: the counter lives
+//! with the row, not in a contested SRAM table.
+//!
+//! The decoy schedule is randomized (frequency-domain style) so simple
+//! pattern-matching defenses cannot lock onto it.
+
+use moat_dram::RowId;
+use moat_sim::{AttackStep, Attacker, DefenseView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The thrashing attacker: hammer `aggressors` while cycling enough decoys
+/// to keep a small tracker's table churning.
+///
+/// # Examples
+///
+/// ```
+/// use moat_attacks::BlacksmithAttacker;
+/// use moat_dram::Nanos;
+/// use moat_sim::{SecurityConfig, SecuritySim};
+/// use moat_trackers::MisraGriesTracker;
+///
+/// let mut cfg = SecurityConfig::paper_default();
+/// cfg.alerts_enabled = false; // SRAM trackers have no ALERT path
+/// let mut sim = SecuritySim::new(cfg, Box::new(MisraGriesTracker::new(4, 16)));
+/// let mut attack = BlacksmithAttacker::new(2, 12, 0xB5);
+/// let report = sim.run(&mut attack, Nanos::from_millis(2));
+/// // The 4-entry tracker loses the aggressors in the decoy churn:
+/// assert!(report.max_epoch > 1000);
+/// ```
+#[derive(Debug)]
+pub struct BlacksmithAttacker {
+    aggressors: Vec<RowId>,
+    decoys: Vec<RowId>,
+    rng: StdRng,
+    /// Emitted schedule position.
+    step: u64,
+    /// Decoys to emit before the next aggressor activation.
+    decoys_pending: u32,
+    next_decoy: usize,
+    next_aggressor: usize,
+}
+
+impl BlacksmithAttacker {
+    /// Creates the attack with `aggressors` aggressor rows and `decoys`
+    /// decoy rows (disjoint blast radii; decoys must outnumber the
+    /// victim tracker's entries to thrash it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(aggressors: u32, decoys: u32, seed: u64) -> Self {
+        assert!(aggressors > 0 && decoys > 0, "need aggressors and decoys");
+        BlacksmithAttacker {
+            aggressors: (0..aggressors).map(|i| RowId::new(30_000 + 6 * i)).collect(),
+            decoys: (0..decoys).map(|i| RowId::new(40_000 + 6 * i)).collect(),
+            rng: StdRng::seed_from_u64(seed),
+            step: 0,
+            decoys_pending: 0,
+            next_decoy: 0,
+            next_aggressor: 0,
+        }
+    }
+
+    /// The aggressor rows (for asserting on their epochs in experiments).
+    pub fn aggressors(&self) -> &[RowId] {
+        &self.aggressors
+    }
+}
+
+impl Attacker for BlacksmithAttacker {
+    fn step(&mut self, _view: &DefenseView<'_>) -> AttackStep {
+        self.step += 1;
+        if self.decoys_pending > 0 {
+            self.decoys_pending -= 1;
+            let row = self.decoys[self.next_decoy];
+            self.next_decoy = (self.next_decoy + 1) % self.decoys.len();
+            return AttackStep::Act(row);
+        }
+        // Randomized burst length between aggressor touches
+        // (frequency-domain jitter à la Blacksmith).
+        self.decoys_pending = self.rng.random_range(4..=8);
+        let row = self.aggressors[self.next_aggressor];
+        self.next_aggressor = (self.next_aggressor + 1) % self.aggressors.len();
+        AttackStep::Act(row)
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "blacksmith({}+{} decoys)",
+            self.aggressors.len(),
+            self.decoys.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_core::{MoatConfig, MoatEngine};
+    use moat_dram::{MitigationEngine, Nanos};
+    use moat_sim::{SecurityConfig, SecuritySim};
+    use moat_trackers::MisraGriesTracker;
+
+    fn run(engine: Box<dyn MitigationEngine>, alerts: bool) -> moat_sim::SecurityReport {
+        let mut cfg = SecurityConfig::paper_default();
+        cfg.alerts_enabled = alerts;
+        let mut sim = SecuritySim::new(cfg, engine);
+        let mut attack = BlacksmithAttacker::new(2, 12, 0xB5);
+        sim.run(&mut attack, Nanos::from_millis(4))
+    }
+
+    #[test]
+    fn thrashing_breaks_small_misra_gries() {
+        // A 4-entry Graphene-style table loses the aggressors in the
+        // churn: their tracked counts decay and mitigation never lands.
+        let r = run(Box::new(MisraGriesTracker::new(4, 16)), false);
+        assert!(
+            r.max_epoch > 1000,
+            "aggressor epoch should run away, got {}",
+            r.max_epoch
+        );
+    }
+
+    #[test]
+    fn larger_table_resists_the_same_pattern() {
+        // With more entries than distinct rows in the pattern, the table
+        // holds the aggressors and mitigates them.
+        let r = run(Box::new(MisraGriesTracker::new(32, 16)), false);
+        assert!(
+            r.max_epoch < 1000,
+            "32-entry table should keep up, got {}",
+            r.max_epoch
+        );
+    }
+
+    #[test]
+    fn moat_is_immune_to_thrashing() {
+        // Per-row counters cannot be evicted: MOAT holds its bound.
+        let r = run(Box::new(MoatEngine::new(MoatConfig::paper_default())), true);
+        assert!(r.max_epoch <= 99, "got {}", r.max_epoch);
+    }
+
+    #[test]
+    #[should_panic(expected = "need aggressors")]
+    fn zero_rows_rejected() {
+        let _ = BlacksmithAttacker::new(0, 4, 1);
+    }
+}

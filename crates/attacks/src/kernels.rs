@@ -1,0 +1,118 @@
+//! Basic performance-attack kernels (§7.2, Fig. 13) as request streams for
+//! the performance simulator.
+
+use moat_dram::{BankId, Nanos, RowId};
+use moat_sim::Request;
+
+/// Fig. 13(a): continuously activate a single row of a single bank,
+/// `(A)^n`. With ATH = 64, every ~65th activation triggers an ALERT,
+/// costing ~10% throughput.
+pub fn single_row_kernel(n: u32, bank: u16, row: u32) -> Vec<Request> {
+    (0..n)
+        .map(|_| Request {
+            gap: Nanos::ZERO,
+            bank: BankId::new(bank),
+            row: RowId::new(row),
+        })
+        .collect()
+}
+
+/// Fig. 13(b): cycle over `rows` of one bank, `(ABCDE...)^n` — `n` full
+/// cycles. Each row alerts independently; throughput loss matches the
+/// single-row case.
+pub fn multi_row_kernel(n: u32, bank: u16, rows: &[u32]) -> Vec<Request> {
+    assert!(!rows.is_empty(), "need at least one row");
+    (0..n)
+        .flat_map(|_| rows.iter().copied())
+        .map(|r| Request {
+            gap: Nanos::ZERO,
+            bank: BankId::new(bank),
+            row: RowId::new(r),
+        })
+        .collect()
+}
+
+/// §7.2: the synchronized multi-bank pattern — every bank hammers its own
+/// row set simultaneously (interleaved round-robin across banks). Each
+/// ALERT mitigates one row from *each* bank, so the loss stays at the
+/// single-bank level (~10%).
+pub fn synchronized_multibank(n: u32, banks: u16, rows: &[u32]) -> Vec<Request> {
+    assert!(banks > 0 && !rows.is_empty(), "need banks and rows");
+    let mut out = Vec::with_capacity(n as usize * banks as usize * rows.len());
+    for _ in 0..n {
+        for &row in rows {
+            for b in 0..banks {
+                out.push(Request {
+                    gap: Nanos::ZERO,
+                    bank: BankId::new(b),
+                    row: RowId::new(row),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_core::{MoatConfig, MoatEngine};
+    use moat_dram::{AboLevel, DramConfig, MitigationEngine};
+    use moat_sim::{PerfConfig, PerfSim, SlotBudget};
+
+    fn cfg(banks: u16, alerts: bool) -> PerfConfig {
+        PerfConfig {
+            dram: DramConfig::builder().rows_per_bank(65536).build(),
+            banks,
+            abo_level: AboLevel::L1,
+            budget: SlotBudget::paper_default(),
+            alerts_enabled: alerts,
+        }
+    }
+
+    fn moat() -> Box<dyn MitigationEngine> {
+        Box::new(MoatEngine::new(MoatConfig::paper_default()))
+    }
+
+    fn loss(stream: &[Request], banks: u16) -> f64 {
+        let with = PerfSim::new(cfg(banks, true), moat).run(stream.iter().copied());
+        let base = PerfSim::new(cfg(banks, false), moat).run(stream.iter().copied());
+        with.slowdown_vs(&base)
+    }
+
+    #[test]
+    fn single_row_kernel_loses_about_ten_percent() {
+        // Fig. 13(a): 69 ACTs per 76 units ≈ 10% loss.
+        let stream = single_row_kernel(20_000, 0, 30_000);
+        let l = loss(&stream, 1);
+        assert!((0.05..0.20).contains(&l), "loss {l}");
+    }
+
+    #[test]
+    fn multi_row_kernel_matches_single_row() {
+        let single = loss(&single_row_kernel(20_000, 0, 30_000), 1);
+        let multi = loss(
+            &multi_row_kernel(4_000, 0, &[30_000, 30_006, 30_012, 30_018, 30_024]),
+            1,
+        );
+        assert!(
+            (multi - single).abs() < 0.06,
+            "single {single} vs multi {multi}"
+        );
+    }
+
+    #[test]
+    fn synchronized_multibank_is_no_worse_than_single_bank() {
+        // §7.2: each ALERT mitigates one row per bank, so synchronized
+        // multi-bank attacks gain nothing.
+        let single = loss(&single_row_kernel(8_000, 0, 30_000), 1);
+        let multi = loss(
+            &synchronized_multibank(1_600, 4, &[30_000, 30_006, 30_012, 30_018, 30_024]),
+            4,
+        );
+        assert!(
+            multi <= single + 0.08,
+            "synchronized {multi} should not exceed single-bank {single} by much"
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! The Ratchet attack (§5): exploiting the activations JEDEC permits
+//! between consecutive ALERTs to push rows beyond ATH.
+//!
+//! The attack has two parts:
+//!
+//! 1. **Priming** — bring a pool of `N` rows to exactly ATH activations
+//!    each. Pool rows are drawn from refresh groups *behind* the refresh
+//!    pointer, so the sweep cannot reset them again for almost a full
+//!    tREFW; rows stolen by MOAT's proactive mitigation are re-primed.
+//! 2. **Ratcheting** — trigger an ALERT on one row; the `3 + L`
+//!    activations the ABO protocol permits around each ALERT (Fig. 8) are
+//!    spread over the rows with the lowest counts, lifting the whole pool.
+//!    As RFMs mitigate rows one per ALERT, the pool shrinks and the
+//!    remaining activations concentrate — the last surviving row ends up
+//!    `log_{M/3}(N) + M` activations above ATH (Appendix A).
+//!
+//! The attacker is engine-agnostic: it only reads PRAC counters, the
+//! refresh pointer, and the in-flight mitigation — all information the
+//! threat model grants (§2.1).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+use moat_dram::RowId;
+use moat_sim::{AttackStep, Attacker, DefenseView};
+
+/// Phases of the Ratchet attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Priming,
+    Ratcheting,
+    Done,
+}
+
+/// The Ratchet attacker.
+///
+/// # Examples
+///
+/// ```
+/// use moat_attacks::RatchetAttacker;
+/// use moat_core::{MoatConfig, MoatEngine};
+/// use moat_dram::Nanos;
+/// use moat_sim::{SecurityConfig, SecuritySim};
+///
+/// let mut sim = SecuritySim::new(
+///     SecurityConfig::paper_default(),
+///     Box::new(MoatEngine::new(MoatConfig::paper_default())),
+/// );
+/// let mut ratchet = RatchetAttacker::new(64, 256);
+/// let report = sim.run(&mut ratchet, Nanos::from_millis(8));
+/// // The pool lets the attacker exceed ATH by a ratcheted margin, yet
+/// // stay at or below the Appendix-A bound for this pool size (~89).
+/// assert!(report.max_pressure > 64);
+/// assert!(report.max_pressure <= 99);
+/// ```
+#[derive(Debug)]
+pub struct RatchetAttacker {
+    ath: u32,
+    pool_target: usize,
+    spacing: u32,
+    phase: Phase,
+    /// Rows already added to the pool (primed at least once).
+    pool: Vec<RowId>,
+    pool_set: HashSet<RowId>,
+    /// Index of the pool row currently being primed/repaired.
+    priming_idx: usize,
+    /// Next candidate row index for pool growth.
+    next_candidate: u32,
+    /// Min-count heap for the ratcheting phase: (count, row).
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Rows the attacker observed being mitigated (for repair).
+    last_inflight: Option<RowId>,
+    repair: Vec<RowId>,
+}
+
+impl RatchetAttacker {
+    /// Creates a Ratchet attack against ALERT threshold `ath` with a pool
+    /// of `pool_size` rows (spaced six apart so blast radii are disjoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size` is zero.
+    pub fn new(ath: u32, pool_size: usize) -> Self {
+        assert!(pool_size > 0, "pool must be non-empty");
+        RatchetAttacker {
+            ath,
+            pool_target: pool_size,
+            spacing: 6,
+            phase: Phase::Priming,
+            pool: Vec::with_capacity(pool_size),
+            pool_set: HashSet::with_capacity(pool_size),
+            priming_idx: 0,
+            next_candidate: 0,
+            heap: BinaryHeap::new(),
+            last_inflight: None,
+            repair: Vec::new(),
+        }
+    }
+
+    /// Rows currently in the pool.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether the attack reached the ratcheting phase.
+    pub fn is_ratcheting(&self) -> bool {
+        self.phase == Phase::Ratcheting
+    }
+
+    /// The row for candidate index `i`: spaced, skipping the lowest group.
+    fn candidate_row(&self, i: u32) -> u32 {
+        8 + i * self.spacing
+    }
+
+    /// Tracks proactive mitigations so stolen pool rows get re-primed.
+    fn watch_mitigations(&mut self, view: &DefenseView<'_>) {
+        let inflight = view.unit.inflight_row();
+        if let Some(prev) = self.last_inflight {
+            if inflight != Some(prev) && self.pool_set.contains(&prev) {
+                self.repair.push(prev);
+            }
+        }
+        self.last_inflight = inflight;
+    }
+}
+
+impl Attacker for RatchetAttacker {
+    fn step(&mut self, view: &DefenseView<'_>) -> AttackStep {
+        match self.phase {
+            Phase::Priming => {
+                self.watch_mitigations(view);
+
+                // Repair rows whose counters were reset by proactive
+                // mitigation while we primed the rest.
+                while let Some(&row) = self.repair.last() {
+                    if view.unit.bank().counter(row).get() < self.ath {
+                        return AttackStep::Act(row);
+                    }
+                    self.repair.pop();
+                }
+
+                // Continue priming the current pool row to exactly ATH.
+                while self.priming_idx < self.pool.len() {
+                    let row = self.pool[self.priming_idx];
+                    if view.unit.bank().counter(row).get() < self.ath {
+                        return AttackStep::Act(row);
+                    }
+                    self.priming_idx += 1;
+                }
+
+                // Grow the pool with the next candidate behind the
+                // refresh pointer.
+                if self.pool.len() < self.pool_target {
+                    let cand = self.candidate_row(self.next_candidate);
+                    if cand >= view.unit.config().rows_per_bank {
+                        // Ran out of rows; ratchet with what we have.
+                        self.begin_ratchet();
+                        return self.step(view);
+                    }
+                    let group = cand / view.unit.config().rows_per_refresh_group;
+                    if u64::from(group) < view.unit.refresh().refs_done() {
+                        self.next_candidate += 1;
+                        let row = RowId::new(cand);
+                        self.pool.push(row);
+                        self.pool_set.insert(row);
+                        return AttackStep::Act(row);
+                    }
+                    // Pointer has not reached the candidate's group yet.
+                    return AttackStep::Idle;
+                }
+
+                self.begin_ratchet();
+                self.step(view)
+            }
+            Phase::Ratcheting => {
+                // Spread activations over the live rows with the lowest
+                // counts; rows mitigated by RFMs (counter reset) drop out.
+                while let Some(&Reverse((count, row))) = self.heap.peek() {
+                    let actual = view.unit.bank().counter(RowId::new(row)).get();
+                    if actual < count.min(self.ath) {
+                        // Mitigated (reset by RFM or sweep): out of the pool.
+                        self.heap.pop();
+                        continue;
+                    }
+                    self.heap.pop();
+                    self.heap.push(Reverse((actual + 1, row)));
+                    return AttackStep::Act(RowId::new(row));
+                }
+                self.phase = Phase::Done;
+                AttackStep::Stop
+            }
+            Phase::Done => AttackStep::Stop,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ratchet(ath={}, pool={})", self.ath, self.pool_target)
+    }
+}
+
+impl RatchetAttacker {
+    fn begin_ratchet(&mut self) {
+        self.heap = self
+            .pool
+            .iter()
+            .map(|r| Reverse((self.ath, r.index())))
+            .collect();
+        self.phase = Phase::Ratcheting;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_core::{MoatConfig, MoatEngine};
+    use moat_dram::Nanos;
+    use moat_sim::{SecurityConfig, SecuritySim};
+
+    fn run_ratchet(ath: u32, pool: usize, millis: u64) -> moat_sim::SecurityReport {
+        let mut sim = SecuritySim::new(
+            SecurityConfig::paper_default(),
+            Box::new(MoatEngine::new(MoatConfig::with_ath(ath))),
+        );
+        let mut attacker = RatchetAttacker::new(ath, pool);
+        sim.run(&mut attacker, Nanos::from_millis(millis))
+    }
+
+    #[test]
+    fn ratchet_exceeds_ath() {
+        let report = run_ratchet(64, 128, 6);
+        assert!(
+            report.max_pressure > 64,
+            "ratchet must beat ATH, got {}",
+            report.max_pressure
+        );
+        assert!(report.alerts > 50, "alerts: {}", report.alerts);
+    }
+
+    #[test]
+    fn ratchet_respects_appendix_a_bound() {
+        // Appendix A: ATH + log_{4/3}(N) + 4 for level 1.
+        for pool in [32usize, 128] {
+            let report = run_ratchet(64, pool, 8);
+            let bound = 64.0 + (pool as f64).ln() / (4.0f64 / 3.0).ln() + 4.0;
+            assert!(
+                f64::from(report.max_pressure) <= bound + 2.0,
+                "pool {pool}: pressure {} exceeds model bound {bound:.1}",
+                report.max_pressure
+            );
+        }
+    }
+
+    #[test]
+    fn larger_pools_ratchet_higher() {
+        let small = run_ratchet(64, 16, 4);
+        let large = run_ratchet(64, 256, 8);
+        assert!(
+            large.max_pressure >= small.max_pressure,
+            "small {} vs large {}",
+            small.max_pressure,
+            large.max_pressure
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pool must be non-empty")]
+    fn zero_pool_rejected() {
+        let _ = RatchetAttacker::new(64, 0);
+    }
+}

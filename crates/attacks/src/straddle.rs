@@ -1,0 +1,151 @@
+//! The reset-straddling attack of Fig. 7(a): defeat unsafe
+//! counter-reset-on-refresh by splitting the hammering across the reset.
+//!
+//! The attacker hammers a row to exactly ATH (no ALERT), idles until the
+//! refresh sweep resets the row's counter, then hammers again. With an
+//! unsafe reset the counter forgets the first half, so the victims absorb
+//! ~2×ATH activations before any ALERT — "such an unsafe reset-on-refresh
+//! design can double the tolerable T_RH" (§4.3). MOAT's SRAM shadow
+//! counters close the gap: the post-reset activations continue from the
+//! preserved count and the ALERT fires on schedule.
+//!
+//! Run with the proactive-mitigation budget disabled
+//! ([`SlotBudget::disabled`](moat_sim::SlotBudget::disabled)) to isolate
+//! the reset-policy effect.
+
+use moat_dram::RowId;
+use moat_sim::{AttackStep, Attacker, DefenseView};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Prime,
+    WaitForReset,
+    Restrike { left: u32 },
+    Done,
+}
+
+/// The straddling attacker.
+///
+/// # Examples
+///
+/// ```
+/// use moat_attacks::StraddleAttacker;
+/// use moat_core::{MoatConfig, MoatEngine, ResetPolicy};
+/// use moat_dram::Nanos;
+/// use moat_sim::{SecurityConfig, SecuritySim, SlotBudget};
+///
+/// let mut cfg = SecurityConfig::paper_default();
+/// cfg.budget = SlotBudget::disabled();
+/// let mut sim = SecuritySim::new(
+///     cfg,
+///     Box::new(MoatEngine::new(
+///         MoatConfig::paper_default().reset_policy(ResetPolicy::Unsafe),
+///     )),
+/// );
+/// // Row 2055 is the trailing row of group 256, refreshed at ~1 ms.
+/// let mut straddle = StraddleAttacker::new(2055, 64);
+/// let report = sim.run(&mut straddle, Nanos::from_millis(2));
+/// assert!(report.max_pressure >= 2 * 64, "got {}", report.max_pressure);
+/// ```
+#[derive(Debug)]
+pub struct StraddleAttacker {
+    row: RowId,
+    ath: u32,
+    phase: Phase,
+    primed: bool,
+}
+
+impl StraddleAttacker {
+    /// Straddles the reset of `row` against ALERT threshold `ath`.
+    pub fn new(row: u32, ath: u32) -> Self {
+        StraddleAttacker {
+            row: RowId::new(row),
+            ath,
+            phase: Phase::Prime,
+            primed: false,
+        }
+    }
+}
+
+impl Attacker for StraddleAttacker {
+    fn step(&mut self, view: &DefenseView<'_>) -> AttackStep {
+        let counter = view.unit.bank().counter(self.row).get();
+        match self.phase {
+            Phase::Prime => {
+                if counter < self.ath {
+                    AttackStep::Act(self.row)
+                } else {
+                    self.primed = true;
+                    self.phase = Phase::WaitForReset;
+                    AttackStep::Idle
+                }
+            }
+            Phase::WaitForReset => {
+                if counter == 0 {
+                    self.phase = Phase::Restrike {
+                        left: self.ath + 4,
+                    };
+                    self.step(view)
+                } else {
+                    AttackStep::Idle
+                }
+            }
+            Phase::Restrike { left } => {
+                if left == 0 {
+                    self.phase = Phase::Done;
+                    return AttackStep::Stop;
+                }
+                self.phase = Phase::Restrike { left: left - 1 };
+                AttackStep::Act(self.row)
+            }
+            Phase::Done => AttackStep::Stop,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("straddle(ath={})", self.ath)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_core::{MoatConfig, MoatEngine, ResetPolicy};
+    use moat_dram::Nanos;
+    use moat_sim::{SecurityConfig, SecuritySim, SlotBudget};
+
+    fn straddle(policy: ResetPolicy) -> u32 {
+        let mut cfg = SecurityConfig::paper_default();
+        cfg.budget = SlotBudget::disabled();
+        let mut sim = SecuritySim::new(
+            cfg,
+            Box::new(MoatEngine::new(MoatConfig::paper_default().reset_policy(policy))),
+        );
+        let mut attacker = StraddleAttacker::new(2055, 64);
+        sim.run(&mut attacker, Nanos::from_millis(2)).max_pressure
+    }
+
+    #[test]
+    fn unsafe_reset_doubles_exposure() {
+        // Fig. 7(a): T before + T after the reset → 2T ≈ 128+.
+        let p = straddle(ResetPolicy::Unsafe);
+        assert!((125..=135).contains(&p), "unsafe exposure {p}");
+    }
+
+    #[test]
+    fn safe_reset_caps_exposure_near_ath() {
+        // §4.3: the shadow counter carries the count across the reset, so
+        // the ALERT fires right after the restrike begins.
+        let p = straddle(ResetPolicy::Safe);
+        assert!(p <= 64 + 6, "safe exposure {p}");
+    }
+
+    #[test]
+    fn free_running_counters_also_resist_straddling() {
+        // Panopticon-style free-running counters never reset, so the
+        // straddle gains nothing either (the attacker waits forever for a
+        // reset that only mitigation provides).
+        let p = straddle(ResetPolicy::None);
+        assert!(p <= 64 + 6, "free-running exposure {p}");
+    }
+}

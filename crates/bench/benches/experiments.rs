@@ -1,0 +1,38 @@
+//! The reproduction harness: regenerates every table and figure of the
+//! paper's evaluation and prints the same rows/series.
+//!
+//! Run everything:      `cargo bench --bench experiments`
+//! One experiment:      `cargo bench --bench experiments -- fig11`
+//! Paper-size scale:    `MOAT_REPRO_FULL=1 cargo bench --bench experiments`
+
+use std::time::Instant;
+
+use moat_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let selected: Vec<&str> = if args.is_empty() {
+        let mut all = ALL_EXPERIMENTS.to_vec();
+        all.push("fig13");
+        all.push("storage");
+        all
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    println!(
+        "MOAT reproduction harness — scale: {} banks, {} tREFW window(s)\n",
+        scale.banks, scale.windows
+    );
+    for name in selected {
+        let start = Instant::now();
+        match run_experiment(name, scale) {
+            Some(output) => {
+                println!("{output}");
+                println!("  [{name} took {:.1}s]\n", start.elapsed().as_secs_f64());
+            }
+            None => eprintln!("unknown experiment: {name}\n"),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the hot paths: engine precharge hooks,
+//! bank activation, and simulator throughput. These establish that the
+//! per-activation bookkeeping MOAT requires is trivially cheap — the
+//! design's whole point (7 bytes of SRAM, one comparison per precharge).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use moat_core::{MoatConfig, MoatEngine};
+use moat_dram::{ActCount, Bank, DramConfig, MitigationEngine, Nanos, RowId};
+use moat_sim::{hammer_attacker, SecurityConfig, SecuritySim};
+use moat_trackers::{PanopticonConfig, PanopticonEngine};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("precharge_hook");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("moat_l1", |b| {
+        let mut e = MoatEngine::new(MoatConfig::paper_default());
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            e.on_precharge_update(RowId::new(i % 4096), ActCount::new(i % 63));
+            black_box(e.alert_pending())
+        });
+    });
+
+    g.bench_function("panopticon", |b| {
+        let mut e = PanopticonEngine::new(PanopticonConfig::paper_default());
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            e.on_precharge_update(RowId::new(i % 4096), ActCount::new(i));
+            if e.queue_len() == 8 {
+                let _ = e.select_ref_mitigation();
+            }
+            black_box(e.alert_pending())
+        });
+    });
+    g.finish();
+}
+
+fn bench_bank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bank");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("activate", |b| {
+        let cfg = DramConfig::paper_baseline();
+        b.iter_batched(
+            || Bank::new(&cfg),
+            |mut bank| {
+                let mut now = Nanos::ZERO;
+                for i in 0..64u32 {
+                    bank.activate(RowId::new(i * 17 % 65536), now).unwrap();
+                    now += cfg.timing.t_rc;
+                }
+                bank
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_security_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("security_sim");
+    g.sample_size(20);
+    g.bench_function("hammer_100us", |b| {
+        b.iter(|| {
+            let mut sim = SecuritySim::new(
+                SecurityConfig::paper_default(),
+                Box::new(MoatEngine::new(MoatConfig::paper_default())),
+            );
+            sim.run(&mut hammer_attacker(30_000), Nanos::from_micros(100))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_bank, bench_security_sim);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Command-line reproduction runner (same experiments as the bench
+//! target, invocable via `cargo run -p moat-bench --bin repro`).
+//!
+//! Usage:
+//!   repro list                  list experiment names
+//!   repro all [--full]          run everything
+//!   repro `<name>`... [--full]  run selected experiments
+
+use moat_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    args.retain(|a| a != "--full");
+    let scale = if full { Scale::full() } else { Scale::scaled() };
+
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro <list|all|experiment...> [--full]");
+        std::process::exit(2);
+    }
+    if args[0] == "list" {
+        for name in ALL_EXPERIMENTS {
+            println!("{name}");
+        }
+        println!("fig13\nstorage");
+        return;
+    }
+    let selected: Vec<String> = if args[0] == "all" {
+        let mut v: Vec<String> = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+        v.push("fig13".into());
+        v.push("storage".into());
+        v
+    } else {
+        args
+    };
+    let mut failed = false;
+    for name in &selected {
+        match run_experiment(name, scale) {
+            Some(out) => println!("{out}"),
+            None => {
+                eprintln!("unknown experiment: {name}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,371 @@
+//! Performance-experiment reproductions: Table 4 (generator calibration),
+//! Fig. 11, Tables 5–7, Fig. 17, and the performance attacks of Figs. 12
+//! and 13.
+//!
+//! Every experiment runs each workload stream twice — ALERTs enabled and
+//! disabled — and reports the completion-time ratio, the paper's
+//! "normalized to a system that does not incur any ALERTs". The ALERT-free
+//! baseline is engine-independent (REF timing only), so it is computed
+//! once per workload and reused across configuration sweeps.
+
+use std::collections::HashMap;
+
+use moat_analysis::RatchetModel;
+use moat_attacks::{multi_row_kernel, single_row_kernel, tsa_stream};
+use moat_core::{MoatConfig, MoatEngine};
+use moat_dram::{AboLevel, DramConfig, MitigationEngine, Nanos};
+use moat_sim::{PerfConfig, PerfReport, PerfSim, Request, SlotBudget};
+use moat_workloads::{HistogramCheck, WorkloadProfile, WorkloadStream, PROFILES};
+
+use crate::scale::Scale;
+
+/// Shared context for the performance sweeps: caches the per-workload
+/// ALERT-free baseline completion times.
+#[derive(Debug)]
+pub struct PerfLab {
+    scale: Scale,
+    dram: DramConfig,
+    baselines: HashMap<&'static str, Nanos>,
+}
+
+impl PerfLab {
+    /// Creates a lab at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        PerfLab {
+            scale,
+            dram: DramConfig::paper_baseline(),
+            baselines: HashMap::new(),
+        }
+    }
+
+    fn perf_config(&self, level: AboLevel, budget: SlotBudget, alerts: bool) -> PerfConfig {
+        PerfConfig {
+            dram: self.dram,
+            banks: self.scale.banks,
+            abo_level: level,
+            budget,
+            alerts_enabled: alerts,
+        }
+    }
+
+    fn stream(&self, profile: &WorkloadProfile) -> WorkloadStream {
+        WorkloadStream::new(profile, &self.dram, self.scale.generator(0xA0A7))
+    }
+
+    /// The ALERT-free baseline completion time for `profile` (cached; it
+    /// is identical for every engine configuration).
+    fn baseline(&mut self, profile: &'static WorkloadProfile) -> Nanos {
+        if let Some(&t) = self.baselines.get(profile.name) {
+            return t;
+        }
+        let cfg = self.perf_config(AboLevel::L1, SlotBudget::paper_default(), false);
+        let mut sim = PerfSim::new(cfg, moat_factory(MoatConfig::paper_default()));
+        let report = sim.run(self.stream(profile));
+        self.baselines.insert(profile.name, report.completion_time);
+        report.completion_time
+    }
+
+    /// Runs `profile` under a MOAT configuration and returns
+    /// (slowdown, report).
+    pub fn run_moat(
+        &mut self,
+        profile: &'static WorkloadProfile,
+        moat: MoatConfig,
+        budget: SlotBudget,
+    ) -> (f64, PerfReport) {
+        let base = self.baseline(profile);
+        let cfg = self.perf_config(moat.level, budget, true);
+        let mut sim = PerfSim::new(cfg, moat_factory(moat));
+        let report = sim.run(self.stream(profile));
+        let slowdown = report.completion_time.as_u64() as f64 / base.as_u64() as f64 - 1.0;
+        (slowdown.max(0.0), report)
+    }
+}
+
+fn moat_factory(cfg: MoatConfig) -> impl FnMut() -> Box<dyn MitigationEngine> {
+    move || Box::new(MoatEngine::new(cfg))
+}
+
+/// Table 4: the generator's per-bank-per-tREFW histogram next to the
+/// paper's numbers.
+pub fn table4(scale: Scale) -> String {
+    let dram = DramConfig::paper_baseline();
+    let mut out = String::from(
+        "Table 4: workload characteristics (generated vs paper, rows per bank per tREFW)\n\
+         workload    | ACT-PKI | 32+ gen/paper | 64+ gen/paper | 128+ gen/paper\n",
+    );
+    for p in &PROFILES {
+        let stream = WorkloadStream::new(p, &dram, scale.generator(0xA0A7));
+        let h = HistogramCheck::measure(stream, &dram, scale.banks, scale.windows);
+        out.push_str(&format!(
+            "  {:<10} | {:>7.1} | {:>6.0}/{:<5} | {:>6.0}/{:<5} | {:>6.0}/{:<4}\n",
+            p.name, p.act_pki, h.act32, p.act32, h.act64, p.act64, h.act128, p.act128
+        ));
+    }
+    out
+}
+
+/// Fig. 11: per-workload normalized performance and ALERTs-per-tREFI for
+/// MOAT at ATH 64 and ATH 128 (ETH = ATH/2).
+pub fn fig11(scale: Scale) -> String {
+    let mut lab = PerfLab::new(scale);
+    let mut out = String::from(
+        "Fig. 11: MOAT performance (normalized) and ALERT rate per tREFI\n\
+         workload    | perf@ATH64 | alerts/tREFI | perf@ATH128 | alerts/tREFI\n",
+    );
+    let mut slow64 = Vec::new();
+    let mut slow128 = Vec::new();
+    for p in &PROFILES {
+        let (s64, r64) = lab.run_moat(p, MoatConfig::with_ath(64), SlotBudget::paper_default());
+        let (s128, r128) = lab.run_moat(p, MoatConfig::with_ath(128), SlotBudget::paper_default());
+        slow64.push(s64);
+        slow128.push(s128);
+        out.push_str(&format!(
+            "  {:<10} |     {:.4} |       {:.4} |      {:.4} |       {:.4}\n",
+            p.name,
+            1.0 / (1.0 + s64),
+            r64.alerts_per_trefi,
+            1.0 / (1.0 + s128),
+            r128.alerts_per_trefi
+        ));
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    out.push_str(&format!(
+        "  average slowdown: ATH64 {:.2}% (paper 0.28%), ATH128 {:.2}% (paper ~0%)\n",
+        avg(&slow64) * 100.0,
+        avg(&slow128) * 100.0
+    ));
+    out
+}
+
+/// Table 5: the ETH sweep at ATH 64 — mitigations+ALERTs per tREFW per
+/// bank, and slowdown.
+pub fn table5(scale: Scale) -> String {
+    let mut lab = PerfLab::new(scale);
+    let mut out = String::from(
+        "Table 5: impact of ETH (ATH 64)\n\
+         ETH | mitig.+ALERT per tREFW per bank | avg slowdown (paper)\n",
+    );
+    let paper = [(0u32, 1729u32, 0.21), (16, 1329, 0.21), (32, 835, 0.28), (48, 505, 0.69)];
+    for (eth, paper_mit, paper_slow) in paper {
+        let mut mitigations = 0.0;
+        let mut slowdowns = Vec::new();
+        for p in &PROFILES {
+            let (s, r) = lab.run_moat(
+                p,
+                MoatConfig::with_ath(64).eth(eth),
+                SlotBudget::paper_default(),
+            );
+            mitigations += r.mitigations_per_bank_per_trefw;
+            slowdowns.push(s);
+        }
+        let avg_mit = mitigations / PROFILES.len() as f64;
+        let avg_slow = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64 * 100.0;
+        out.push_str(&format!(
+            "  {eth:>2} | {avg_mit:>8.0} (paper {paper_mit:>4}) | {avg_slow:.2}% (paper {paper_slow}%)\n"
+        ));
+    }
+    out
+}
+
+/// Table 6: mitigation-rate sweep at ATH 64.
+pub fn table6(scale: Scale) -> String {
+    let mut lab = PerfLab::new(scale);
+    let mut out = String::from(
+        "Table 6: impact of mitigation rate (ATH 64)\n\
+         rate                     | avg slowdown (paper)\n",
+    );
+    let rows: [(&str, SlotBudget, f64); 5] = [
+        ("1 aggressor per 1 tREFI", SlotBudget::per_aggressor(5, 1), 0.0),
+        ("1 aggressor per 3 tREFI", SlotBudget::per_aggressor(5, 3), 0.12),
+        ("1 aggressor per 5 tREFI", SlotBudget::per_aggressor(5, 5), 0.28),
+        ("1 aggressor per 10 tREFI", SlotBudget::per_aggressor(5, 10), 0.51),
+        ("none (ALERT only)", SlotBudget::disabled(), 0.91),
+    ];
+    for (label, budget, paper) in rows {
+        let mut slowdowns = Vec::new();
+        for p in &PROFILES {
+            let (s, _) = lab.run_moat(p, MoatConfig::with_ath(64), budget);
+            slowdowns.push(s);
+        }
+        let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64 * 100.0;
+        out.push_str(&format!("  {label:<24} | {avg:.2}% (paper {paper}%)\n"));
+    }
+    out
+}
+
+/// Table 7: ATH × ABO-level sweep — slowdown plus the Appendix-A safe
+/// threshold.
+pub fn table7(scale: Scale) -> String {
+    let mut lab = PerfLab::new(scale);
+    let model = RatchetModel::default();
+    let mut out = String::from(
+        "Table 7: impact of ATH and level on slowdown and safe TRH\n\
+         ATH | design  | avg slowdown (paper) | safe-TRH model (paper)\n",
+    );
+    let paper: [(u32, u8, f64, u32); 9] = [
+        (32, 1, 3.90, 69),
+        (32, 2, 5.60, 56),
+        (32, 4, 9.50, 50),
+        (64, 1, 0.28, 99),
+        (64, 2, 0.34, 87),
+        (64, 4, 0.45, 82),
+        (128, 1, 0.0, 161),
+        (128, 2, 0.0, 150),
+        (128, 4, 0.0, 145),
+    ];
+    for (ath, level, paper_slow, paper_trh) in paper {
+        let abo = AboLevel::from_u8(level).expect("legal level");
+        let mut slowdowns = Vec::new();
+        for p in &PROFILES {
+            let (s, _) = lab.run_moat(
+                p,
+                MoatConfig::with_ath(ath).level(abo),
+                SlotBudget::paper_default(),
+            );
+            slowdowns.push(s);
+        }
+        let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64 * 100.0;
+        out.push_str(&format!(
+            "  {ath:>3} | MOAT-L{level} | {avg:>5.2}% (paper {paper_slow:>4.2}%) | {} (paper {paper_trh})\n",
+            model.safe_trh(ath, level)
+        ));
+    }
+    out
+}
+
+/// Fig. 17: MOAT-L1/L2/L4 normalized performance and ALERT rates at
+/// ATH 64.
+pub fn fig17(scale: Scale) -> String {
+    let mut lab = PerfLab::new(scale);
+    let mut out = String::from(
+        "Fig. 17: MOAT generalized to ABO levels (ATH 64, ETH 32)\n\
+         workload    | L1 perf/alerts | L2 perf/alerts | L4 perf/alerts\n",
+    );
+    let mut sums = [0.0f64; 3];
+    let mut alert_sums = [0.0f64; 3];
+    for p in &PROFILES {
+        let mut cells = Vec::new();
+        for (i, level) in AboLevel::ALL.iter().enumerate() {
+            let (s, r) = lab.run_moat(
+                p,
+                MoatConfig::with_ath(64).level(*level),
+                SlotBudget::paper_default(),
+            );
+            sums[i] += s;
+            alert_sums[i] += r.alerts_per_trefi;
+            cells.push(format!("{:.4}/{:.4}", 1.0 / (1.0 + s), r.alerts_per_trefi));
+        }
+        out.push_str(&format!(
+            "  {:<10} | {} | {} | {}\n",
+            p.name, cells[0], cells[1], cells[2]
+        ));
+    }
+    let n = PROFILES.len() as f64;
+    out.push_str(&format!(
+        "  avg slowdown: L1 {:.2}% (paper 0.28%), L2 {:.2}% (paper 0.34%), L4 {:.2}% (paper 0.44%)\n",
+        sums[0] / n * 100.0,
+        sums[1] / n * 100.0,
+        sums[2] / n * 100.0
+    ));
+    if alert_sums[0] > 0.0 {
+        out.push_str(&format!(
+            "  ALERT ratio vs L1: L2 {:.2}x (paper 0.52x), L4 {:.2}x (paper 0.27x)\n",
+            alert_sums[1] / alert_sums[0],
+            alert_sums[2] / alert_sums[0]
+        ));
+    }
+    out
+}
+
+fn attack_loss(stream: &[Request], banks: u16) -> (f64, u64) {
+    let dram = DramConfig::paper_baseline();
+    let mk = |alerts| PerfConfig {
+        dram,
+        banks,
+        abo_level: AboLevel::L1,
+        budget: SlotBudget::paper_default(),
+        alerts_enabled: alerts,
+    };
+    let with = PerfSim::new(mk(true), moat_factory(MoatConfig::paper_default()))
+        .run(stream.iter().copied());
+    let base = PerfSim::new(mk(false), moat_factory(MoatConfig::paper_default()))
+        .run(stream.iter().copied());
+    (with.slowdown_vs(&base).max(0.0), with.alerts)
+}
+
+/// Fig. 13: the basic performance-attack kernels.
+pub fn fig13() -> String {
+    let mut out = String::from("Fig. 13: basic performance-attack kernels (ATH 64)\n");
+    let (single, _) = attack_loss(&single_row_kernel(30_000, 0, 30_000), 1);
+    let (multi, _) = attack_loss(
+        &multi_row_kernel(6_000, 0, &[30_000, 30_006, 30_012, 30_018, 30_024]),
+        1,
+    );
+    out.push_str(&format!(
+        "  single-row (A)^N:      throughput loss {:.1}% (paper ~10%)\n",
+        single * 100.0
+    ));
+    out.push_str(&format!(
+        "  multi-row (ABCDE)^N:   throughput loss {:.1}% (paper ~10%)\n",
+        multi * 100.0
+    ));
+    out
+}
+
+/// Fig. 12: the Torrent-of-Staggered-ALERT attack.
+pub fn fig12() -> String {
+    let mut out = String::from("Fig. 12: Torrent-of-Staggered-ALERT (TSA)\n");
+    for (banks, paper) in [(4u16, 24.0), (17, 52.0)] {
+        let (loss, alerts) = attack_loss(&tsa_stream(banks, 64, 30_000), banks);
+        out.push_str(&format!(
+            "  {banks:>2} banks: throughput loss {:.1}% (paper ~{paper}%), {alerts} alerts\n",
+            loss * 100.0
+        ));
+    }
+    let model = moat_analysis::ThroughputModel::default();
+    out.push_str(&format!(
+        "  theoretical ceiling under continuous ALERTs: {:.0}% loss (§7.3: 64%)\n",
+        (1.0 - model.continuous_alert_throughput(1)) * 100.0
+    ));
+    out
+}
+
+/// Dispatches a performance experiment by name.
+pub fn run_perf(name: &str, scale: Scale) -> Option<String> {
+    Some(match name {
+        "table4" => table4(scale),
+        "fig11" => fig11(scale),
+        "table5" => table5(scale),
+        "table6" => table6(scale),
+        "table7" => table7(scale),
+        "fig17" => fig17(scale),
+        "fig12" => fig12(),
+        "fig13" => fig13(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_reuses_baselines() {
+        let mut lab = PerfLab::new(Scale { banks: 1, windows: 1 });
+        let p = WorkloadProfile::by_name("x264").unwrap();
+        let t1 = lab.baseline(p);
+        let t2 = lab.baseline(p);
+        assert_eq!(t1, t2);
+        assert_eq!(lab.baselines.len(), 1);
+    }
+
+    #[test]
+    fn light_workload_has_negligible_slowdown() {
+        let mut lab = PerfLab::new(Scale { banks: 1, windows: 1 });
+        let p = WorkloadProfile::by_name("tc").unwrap(); // no 64+ rows
+        let (s, r) = lab.run_moat(p, MoatConfig::with_ath(64), SlotBudget::paper_default());
+        assert!(s < 0.01, "tc slowdown {s}");
+        assert_eq!(r.alerts, 0, "tc has no rows that can reach ATH");
+    }
+}

@@ -1,0 +1,241 @@
+//! Security-experiment reproductions: Figs. 5, 7, 8, 10, 15, 16 and
+//! Table 2. These run at full fidelity regardless of scale.
+
+use moat_analysis::{FeintingModel, RatchetModel};
+use moat_attacks::{
+    FeintingAttacker, JailbreakAttacker, PostponementAttacker, RandomizedJailbreak,
+    RatchetAttacker,
+};
+use moat_core::{MoatConfig, MoatEngine, ResetPolicy};
+use moat_dram::{DramConfig, DramTiming, Nanos};
+use moat_sim::{hammer_attacker, SecurityConfig, SecuritySim, SlotBudget};
+use moat_trackers::{IdealSramTracker, PanopticonConfig, PanopticonEngine};
+
+/// Table 2: the feinting T_RH bound for per-row counters, model and
+/// simulated attack side by side.
+pub fn table2() -> String {
+    let model = FeintingModel::default();
+    let mut out = String::from(
+        "Table 2: Feinting TRH bound for per-row counters\n\
+         rate (1 aggr per k tREFI) | paper | model A*H(P) | simulated (512 periods, scaled)\n",
+    );
+    let paper = [638u32, 1188, 1702, 2195, 2669];
+    for (k, &paper_v) in (1u32..=5).zip(&paper) {
+        // Empirical validation at a reduced horizon (512 periods) so the
+        // refresh sweep does not interfere; compared against the model at
+        // the same horizon.
+        let periods = 512u32;
+        let sim_v = simulate_feinting(k, periods);
+        let model_small = (model.bound(k).acts_per_period as f64
+            * moat_analysis::harmonic(u64::from(periods)))
+        .round() as u32;
+        let b = model.bound(k);
+        out.push_str(&format!(
+            "  1 per {k} tREFI           | {paper_v:>5} | {:>12} | sim {sim_v} vs model-at-horizon {model_small}\n",
+            b.trh_bound
+        ));
+    }
+    out
+}
+
+fn simulate_feinting(k: u32, periods: u32) -> u32 {
+    let mut cfg = SecurityConfig::paper_default();
+    cfg.alerts_enabled = false;
+    cfg.budget = SlotBudget::per_aggressor(5, k);
+    let mut sim = SecuritySim::new(cfg, Box::new(IdealSramTracker::new(65536)));
+    let mut attacker = FeintingAttacker::new(periods as usize, 40_000);
+    let duration = Nanos::new(u64::from(periods) * u64::from(k) * 3_900 + 1_000_000);
+    sim.run(&mut attacker, duration).max_pressure
+}
+
+/// Fig. 5: Jailbreak versus deterministic and randomized Panopticon
+/// (threshold 128).
+pub fn fig5() -> String {
+    let mut out = String::from("Fig. 5: Breaking Panopticon (threshold 128)\n");
+
+    // Deterministic: one pass of the pattern suffices.
+    let mut sim = SecuritySim::new(
+        SecurityConfig::paper_default(),
+        Box::new(PanopticonEngine::new(PanopticonConfig::paper_default())),
+    );
+    let det = sim.run(&mut JailbreakAttacker::new(20_000), Nanos::from_millis(2));
+    out.push_str(&format!(
+        "  deterministic: {} ACTs on attack row (paper: 1152 = 9x threshold), alerts={}\n",
+        det.max_pressure, det.alerts
+    ));
+
+    // Randomized: running max over iterations (event-granularity model,
+    // validated against the full simulator in tests/).
+    let mut rj = RandomizedJailbreak::new(128, 0xF165);
+    let series = rj.running_max(1 << 20);
+    out.push_str("  randomized (running max of ACTs on attack row):\n");
+    for exp in [2u32, 5, 8, 11, 14, 17, 20] {
+        let idx = (1usize << exp) - 1;
+        out.push_str(&format!("    2^{exp:<2} iterations: {}\n", series[idx]));
+    }
+    out.push_str("  (paper: ~1145 within 5 minutes / 2^20 iterations)\n");
+    out
+}
+
+/// Fig. 7: unsafe versus safe counter-reset-on-refresh, attacked by the
+/// reset-straddling pattern (T activations before and after the reset).
+pub fn fig7() -> String {
+    let mut out =
+        String::from("Fig. 7: counter reset on refresh under the straddle attack (ATH 64)\n");
+    for (label, policy) in [
+        ("unsafe", ResetPolicy::Unsafe),
+        ("safe", ResetPolicy::Safe),
+        ("free-running", ResetPolicy::None),
+    ] {
+        let pressure = reset_policy_pressure(policy);
+        out.push_str(&format!(
+            "  {label:>12} reset: max ACTs without mitigation = {pressure}\n"
+        ));
+    }
+    out.push_str(
+        "  (unsafe reset doubles the exposure to ~2xATH; the SRAM shadow\n   counters of §4.3 keep it at ATH + the ALERT window)\n",
+    );
+    out
+}
+
+fn reset_policy_pressure(policy: ResetPolicy) -> u32 {
+    // Proactive budget disabled to isolate the reset-policy effect.
+    let mut cfg = SecurityConfig::paper_default();
+    cfg.budget = SlotBudget::disabled();
+    let mut sim = SecuritySim::new(
+        cfg,
+        Box::new(MoatEngine::new(MoatConfig::paper_default().reset_policy(policy))),
+    );
+    // Row 2055 is the trailing row of group 256 (refreshed at ~1 ms).
+    let mut attacker = moat_attacks::StraddleAttacker::new(2055, 64);
+    sim.run(&mut attacker, Nanos::from_millis(2)).max_pressure
+}
+
+/// Fig. 8: minimum activations between consecutive ALERTs per ABO level.
+pub fn fig8() -> String {
+    let t = DramTiming::ddr5_prac();
+    let mut out = String::from("Fig. 8: minimum ACTs between consecutive ALERTs\n");
+    for level in [1u8, 2, 4] {
+        out.push_str(&format!(
+            "  level {level}: {} ACTs (3 in the 180ns window + {level} post-RFM), tA2A = {}\n",
+            t.min_acts_between_alerts(level),
+            t.t_alert_to_alert(level)
+        ));
+    }
+    out
+}
+
+/// Figs. 10 and 15: max ACTs on the attack row under the Ratchet attack —
+/// the analytical model (Appendix A) across ATH, plus simulated points.
+pub fn fig10_fig15() -> String {
+    let model = RatchetModel::default();
+    let mut out = String::from(
+        "Fig. 10/15: Ratchet attack — safely tolerated TRH (Appendix A model)\n\
+         ATH  | level-1 | level-2 | level-4\n",
+    );
+    for ath in [8u32, 16, 32, 48, 64, 80, 96, 112, 128] {
+        out.push_str(&format!(
+            "  {ath:>3}  | {:>7} | {:>7} | {:>7}\n",
+            model.safe_trh(ath, 1),
+            model.safe_trh(ath, 2),
+            model.safe_trh(ath, 4)
+        ));
+    }
+    out.push_str("  paper anchors: ATH 64 -> 99, ATH 128 -> 161 (level 1)\n");
+
+    // Simulated ratchet at two pool sizes against MOAT (level 1).
+    for (pool, millis) in [(256usize, 8u64), (1024, 12)] {
+        let mut sim = SecuritySim::new(
+            SecurityConfig::paper_default(),
+            Box::new(MoatEngine::new(MoatConfig::paper_default())),
+        );
+        let mut attacker = RatchetAttacker::new(64, pool);
+        let r = sim.run(&mut attacker, Nanos::from_millis(millis));
+        let bound = 64.0 + (pool as f64).ln() / (4.0f64 / 3.0).ln() + 4.0;
+        out.push_str(&format!(
+            "  simulated ratchet (ATH 64, pool {pool}): max ACT {} (model bound for this pool: {bound:.0})\n",
+            r.max_pressure
+        ));
+    }
+    out
+}
+
+/// Fig. 16: refresh postponement versus Panopticon + drain-on-REF.
+pub fn fig16() -> String {
+    let mut out =
+        String::from("Fig. 16: refresh postponement vs Panopticon drain-on-REF (threshold 128)\n");
+    for budget in [0u32, 1, 2] {
+        let mut cfg = SecurityConfig::paper_default();
+        cfg.dram = DramConfig::builder().max_postponed_refs(budget).build();
+        let mut sim = SecuritySim::new(
+            cfg,
+            Box::new(PanopticonEngine::new(PanopticonConfig::drain_variant())),
+        );
+        let mut attacker = PostponementAttacker::new(20_000, 128);
+        let r = sim.run(&mut attacker, Nanos::from_millis(1));
+        out.push_str(&format!(
+            "  postponement budget {budget}: max ACTs = {} (paper at budget 2: ~328 = 2.6x)\n",
+            r.max_pressure
+        ));
+    }
+    out
+}
+
+/// MOAT sanity anchor: a straight hammer against MOAT stays bounded and
+/// the simulated Ratchet respects the Appendix-A bound (used by the
+/// harness as a cross-check line).
+pub fn moat_bound_check() -> String {
+    let mut sim = SecuritySim::new(
+        SecurityConfig::paper_default(),
+        Box::new(MoatEngine::new(MoatConfig::paper_default())),
+    );
+    let r = sim.run(&mut hammer_attacker(30_000), Nanos::from_millis(4));
+    format!(
+        "MOAT check: single-row hammer max ACT = {} (<= 99 tolerated), alerts = {}\n",
+        r.max_pressure, r.alerts
+    )
+}
+
+/// Runs a security experiment by figure/table name; `None` if unknown.
+pub fn run_security(name: &str) -> Option<String> {
+    Some(match name {
+        "table2" => table2(),
+        "fig5" => fig5(),
+        "fig7" => fig7(),
+        "fig8" => fig8(),
+        "fig10" | "fig15" => fig10_fig15(),
+        "fig16" => fig16(),
+        "check" => moat_bound_check(),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_lines_mention_all_levels() {
+        let s = fig8();
+        assert!(s.contains("level 1: 4 ACTs"));
+        assert!(s.contains("level 4: 7 ACTs"));
+    }
+
+    #[test]
+    fn unsafe_reset_worse_than_safe() {
+        let unsafe_p = reset_policy_pressure(ResetPolicy::Unsafe);
+        let safe_p = reset_policy_pressure(ResetPolicy::Safe);
+        assert!(
+            unsafe_p > safe_p + 30,
+            "unsafe {unsafe_p} should clearly exceed safe {safe_p}"
+        );
+    }
+
+    #[test]
+    fn dispatcher_knows_all_names() {
+        for name in ["table2", "fig5", "fig7", "fig8", "fig10", "fig15", "fig16", "check"] {
+            assert!(run_security(name).is_some(), "{name}");
+        }
+        assert!(run_security("nope").is_none());
+    }
+}

@@ -1,0 +1,471 @@
+//! The MOAT mitigation engine (§4, Appendix D).
+//!
+//! MOAT eschews Panopticon's multi-entry queue in favour of tracking a
+//! single entry per bank (the CTA — *Current Tracked Addr*), plus a CMA
+//! (*Currently Mitigated Addr*) register naming the row whose victims are
+//! being refreshed. Crucially, and unlike Panopticon, **the CTA stores the
+//! counter value alongside the row address**, which is what defeats
+//! Jailbreak-style attacks: a row that keeps getting hammered while tracked
+//! keeps raising its tracked count and crosses ATH, forcing an ALERT.
+//!
+//! The generalized MOAT-L design (Appendix D) tracks `L` entries for ABO
+//! level `L`, always keeping the `L` highest-count rows seen since the last
+//! mitigation and mitigating the highest-count one first.
+
+use core::any::Any;
+use core::ops::Range;
+
+use moat_dram::{ActCount, MitigationEngine, RowId};
+
+use crate::config::{MoatConfig, ResetPolicy};
+
+/// One tracker entry: a row address plus its (shadow-aware) counter value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackedEntry {
+    /// The tracked aggressor row.
+    pub row: RowId,
+    /// The counter value MOAT attributes to the row.
+    pub count: u32,
+}
+
+/// A trailing-row SRAM shadow counter for safe reset-on-refresh (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShadowCounter {
+    row: RowId,
+    count: u32,
+}
+
+/// Running statistics the engine keeps about itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MoatStats {
+    /// Number of times an ALERT was requested.
+    pub alerts_requested: u64,
+    /// Rows handed out for proactive (REF-time) mitigation.
+    pub proactive_selected: u64,
+    /// Rows handed out for reactive (RFM) mitigation.
+    pub reactive_selected: u64,
+    /// Tracker insertions (new row displacing or filling an entry).
+    pub insertions: u64,
+}
+
+/// The MOAT engine for one bank.
+///
+/// # Examples
+///
+/// ```
+/// use moat_core::{MoatConfig, MoatEngine};
+/// use moat_dram::{ActCount, MitigationEngine, RowId};
+///
+/// let mut moat = MoatEngine::new(MoatConfig::paper_default());
+/// // A row crossing ETH (32) becomes tracked:
+/// moat.on_precharge_update(RowId::new(7), ActCount::new(33));
+/// assert_eq!(moat.cta().unwrap().row, RowId::new(7));
+/// // A row crossing ATH (64) requests an ALERT:
+/// moat.on_precharge_update(RowId::new(9), ActCount::new(65));
+/// assert!(moat.alert_pending());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MoatEngine {
+    config: MoatConfig,
+    /// The tracked entries (1 for MOAT-L1; `L` for MOAT-L, Appendix D).
+    tracker: Vec<TrackedEntry>,
+    /// The row currently being mitigated (CMA register).
+    cma: Option<RowId>,
+    /// Trailing-row shadows for safe reset (§4.3).
+    shadows: Vec<ShadowCounter>,
+    alert_pending: bool,
+    stats: MoatStats,
+}
+
+impl MoatEngine {
+    /// Creates a MOAT engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`MoatConfig::validate`]).
+    pub fn new(config: MoatConfig) -> Self {
+        config.validate();
+        MoatEngine {
+            config,
+            tracker: Vec::with_capacity(config.tracker_entries()),
+            cma: None,
+            shadows: Vec::with_capacity(config.shadow_slots as usize),
+            alert_pending: false,
+            stats: MoatStats::default(),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MoatConfig {
+        &self.config
+    }
+
+    /// The CTA register: the highest-count tracked entry (MOAT-L1's single
+    /// entry), or `None` when the tracker is empty.
+    pub fn cta(&self) -> Option<TrackedEntry> {
+        self.tracker.iter().copied().max_by_key(|e| e.count)
+    }
+
+    /// All tracked entries (1 for L1, up to `L` for MOAT-L).
+    pub fn tracker(&self) -> &[TrackedEntry] {
+        &self.tracker
+    }
+
+    /// The CMA register: the row currently undergoing mitigation.
+    pub fn cma(&self) -> Option<RowId> {
+        self.cma
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> MoatStats {
+        self.stats
+    }
+
+    /// The shadow-aware counter value for `row` given the in-array value,
+    /// updating the shadow if `row` is shadowed. Called on every precharge.
+    fn bump_effective(&mut self, row: RowId, in_array: ActCount) -> u32 {
+        if let Some(s) = self.shadows.iter_mut().find(|s| s.row == row) {
+            s.count = s.count.saturating_add(1);
+            s.count
+        } else {
+            in_array.get()
+        }
+    }
+
+    fn refresh_alert_flag(&mut self) {
+        let was = self.alert_pending;
+        self.alert_pending = self.tracker.iter().any(|e| e.count > self.config.ath);
+        if self.alert_pending && !was {
+            self.stats.alerts_requested += 1;
+        }
+    }
+
+    /// Removes and returns the highest-count tracked entry.
+    fn take_max(&mut self) -> Option<TrackedEntry> {
+        let idx = self
+            .tracker
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.count)
+            .map(|(i, _)| i)?;
+        let entry = self.tracker.swap_remove(idx);
+        self.refresh_alert_flag();
+        Some(entry)
+    }
+}
+
+impl MitigationEngine for MoatEngine {
+    fn name(&self) -> String {
+        format!(
+            "moat-{}-ath{}-eth{}",
+            self.config.level, self.config.ath, self.config.eth
+        )
+    }
+
+    fn on_precharge_update(&mut self, row: RowId, counter: ActCount) {
+        let effective = self.bump_effective(row, counter);
+
+        // Update an existing entry for this row, or try to insert.
+        if let Some(e) = self.tracker.iter_mut().find(|e| e.row == row) {
+            e.count = e.count.max(effective);
+        } else if effective >= self.config.eth {
+            if self.tracker.len() < self.config.tracker_entries() {
+                self.tracker.push(TrackedEntry {
+                    row,
+                    count: effective,
+                });
+                self.stats.insertions += 1;
+            } else if let Some(min) = self.tracker.iter_mut().min_by_key(|e| e.count) {
+                // Appendix D: replace the minimum-count entry if the
+                // accessed row has a higher count.
+                if effective > min.count {
+                    *min = TrackedEntry {
+                        row,
+                        count: effective,
+                    };
+                    self.stats.insertions += 1;
+                }
+            }
+        }
+        self.refresh_alert_flag();
+    }
+
+    fn alert_pending(&self) -> bool {
+        self.alert_pending
+    }
+
+    fn select_ref_mitigation(&mut self) -> Option<RowId> {
+        // Mitigation-period boundary: latch CTA into CMA, invalidate CTA.
+        let entry = self.take_max()?;
+        self.cma = Some(entry.row);
+        self.stats.proactive_selected += 1;
+        Some(entry.row)
+    }
+
+    fn select_alert_mitigation(&mut self) -> Option<RowId> {
+        let entry = self.take_max()?;
+        self.cma = Some(entry.row);
+        self.stats.reactive_selected += 1;
+        Some(entry.row)
+    }
+
+    fn on_mitigation_complete(&mut self, row: RowId) {
+        if self.cma == Some(row) {
+            self.cma = None;
+        }
+        // The aggressor's counter was reset; reset its shadow too.
+        if let Some(s) = self.shadows.iter_mut().find(|s| s.row == row) {
+            s.count = 0;
+        }
+        self.refresh_alert_flag();
+    }
+
+    fn on_refresh_group(
+        &mut self,
+        rows: Range<u32>,
+        counter_of: &mut dyn FnMut(RowId) -> ActCount,
+    ) {
+        match self.config.reset_policy {
+            ResetPolicy::None | ResetPolicy::Unsafe => {}
+            ResetPolicy::Safe => {
+                // §4.3: replace the shadow set with the trailing rows of the
+                // freshly refreshed group (their victims in the *next* group
+                // are not yet refreshed). Pre-reset counts are preserved,
+                // shadow-aware in case a trailing row was already shadowed.
+                let slots = self.config.shadow_slots.min(rows.len() as u32);
+                let new_shadows: Vec<ShadowCounter> = (0..slots)
+                    .map(|i| {
+                        let row = RowId::new(rows.end - 1 - i);
+                        let in_array = counter_of(row);
+                        let count = self
+                            .shadows
+                            .iter()
+                            .find(|s| s.row == row)
+                            .map_or(in_array.get(), |s| s.count);
+                        ShadowCounter { row, count }
+                    })
+                    .collect();
+                self.shadows = new_shadows;
+            }
+        }
+    }
+
+    fn resets_counters_on_refresh(&self) -> bool {
+        !matches!(self.config.reset_policy, ResetPolicy::None)
+    }
+
+    fn resets_counter_on_mitigation(&self) -> bool {
+        true // MOAT spends the 5th REF slot resetting the aggressor counter.
+    }
+
+    fn sram_bytes_per_bank(&self) -> usize {
+        // §6.5 / Appendix D: L tracker entries of 3 bytes (address +
+        // counter), CMA of 2 bytes, and two shadow counters of 1 byte each.
+        self.config.tracker_entries() * 3 + 2 + self.config.shadow_slots as usize
+    }
+
+    fn effective_counter(&self, row: RowId, in_array: ActCount) -> ActCount {
+        self.shadows
+            .iter()
+            .find(|s| s.row == row)
+            .map_or(in_array, |s| ActCount::new(s.count))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_dram::AboLevel;
+
+    fn engine() -> MoatEngine {
+        MoatEngine::new(MoatConfig::paper_default())
+    }
+
+    #[test]
+    fn rows_below_eth_are_not_tracked() {
+        let mut m = engine();
+        m.on_precharge_update(RowId::new(1), ActCount::new(31));
+        assert!(m.cta().is_none());
+        m.on_precharge_update(RowId::new(1), ActCount::new(32));
+        assert_eq!(
+            m.cta(),
+            Some(TrackedEntry {
+                row: RowId::new(1),
+                count: 32
+            })
+        );
+    }
+
+    #[test]
+    fn cta_tracks_highest_count() {
+        let mut m = engine();
+        m.on_precharge_update(RowId::new(1), ActCount::new(40));
+        m.on_precharge_update(RowId::new(2), ActCount::new(50));
+        assert_eq!(m.cta().unwrap().row, RowId::new(2));
+        // A lower-count row does not displace the CTA.
+        m.on_precharge_update(RowId::new(3), ActCount::new(45));
+        assert_eq!(m.cta().unwrap().row, RowId::new(2));
+        // The tracked row's own activations raise its tracked count.
+        m.on_precharge_update(RowId::new(2), ActCount::new(51));
+        assert_eq!(m.cta().unwrap().count, 51);
+    }
+
+    #[test]
+    fn alert_on_crossing_ath() {
+        let mut m = engine();
+        m.on_precharge_update(RowId::new(5), ActCount::new(64));
+        assert!(!m.alert_pending(), "count == ATH does not alert");
+        m.on_precharge_update(RowId::new(5), ActCount::new(65));
+        assert!(m.alert_pending(), "count > ATH alerts");
+        assert_eq!(m.stats().alerts_requested, 1);
+    }
+
+    #[test]
+    fn alert_mitigation_clears_pending() {
+        let mut m = engine();
+        m.on_precharge_update(RowId::new(5), ActCount::new(70));
+        assert!(m.alert_pending());
+        let row = m.select_alert_mitigation().unwrap();
+        assert_eq!(row, RowId::new(5));
+        assert_eq!(m.cma(), Some(row));
+        m.on_mitigation_complete(row);
+        assert!(!m.alert_pending());
+        assert_eq!(m.cma(), None);
+        assert!(m.cta().is_none());
+    }
+
+    #[test]
+    fn ref_mitigation_latches_cta_to_cma() {
+        let mut m = engine();
+        m.on_precharge_update(RowId::new(9), ActCount::new(40));
+        let row = m.select_ref_mitigation().unwrap();
+        assert_eq!(row, RowId::new(9));
+        assert_eq!(m.cma(), Some(RowId::new(9)));
+        assert!(m.cta().is_none(), "CTA invalidated after latch");
+        m.on_mitigation_complete(row);
+        assert_eq!(m.cma(), None);
+    }
+
+    #[test]
+    fn moat_l4_tracks_four_highest() {
+        let mut m = MoatEngine::new(MoatConfig::with_ath(64).level(AboLevel::L4));
+        for (r, c) in [(1u32, 40u32), (2, 45), (3, 50), (4, 55)] {
+            m.on_precharge_update(RowId::new(r), ActCount::new(c));
+        }
+        assert_eq!(m.tracker().len(), 4);
+        // Higher-count row replaces the minimum (row 1, count 40).
+        m.on_precharge_update(RowId::new(5), ActCount::new(42));
+        assert!(m.tracker().iter().all(|e| e.row != RowId::new(1)));
+        assert!(m.tracker().iter().any(|e| e.row == RowId::new(5)));
+        // Lower-count row does not.
+        m.on_precharge_update(RowId::new(6), ActCount::new(33));
+        assert!(m.tracker().iter().all(|e| e.row != RowId::new(6)));
+        // Mitigation selects the maximum.
+        assert_eq!(m.select_ref_mitigation(), Some(RowId::new(4)));
+        assert_eq!(m.tracker().len(), 3);
+    }
+
+    #[test]
+    fn sram_budget_matches_paper() {
+        // §6.5 / Appendix D: 7 bytes (L1), 10 bytes (L2), 16 bytes (L4).
+        let l1 = MoatEngine::new(MoatConfig::with_ath(64));
+        let l2 = MoatEngine::new(MoatConfig::with_ath(64).level(AboLevel::L2));
+        let l4 = MoatEngine::new(MoatConfig::with_ath(64).level(AboLevel::L4));
+        assert_eq!(l1.sram_bytes_per_bank(), 7);
+        assert_eq!(l2.sram_bytes_per_bank(), 10);
+        assert_eq!(l4.sram_bytes_per_bank(), 16);
+    }
+
+    #[test]
+    fn safe_reset_shadows_trailing_rows() {
+        let mut m = engine();
+        // Simulate the refresh of group rows 0..8 where row 6 has count 50
+        // and row 7 has count 60.
+        let mut counts = [0u32; 16];
+        counts[6] = 50;
+        counts[7] = 60;
+        m.on_refresh_group(0..8, &mut |r: RowId| ActCount::new(counts[r.as_usize()]));
+        // In-array counters are now reset (bank would do it); the shadow
+        // preserves the counts, so the next activation sees count 61.
+        m.on_precharge_update(RowId::new(7), ActCount::new(1));
+        assert_eq!(m.cta().unwrap(), TrackedEntry { row: RowId::new(7), count: 61 });
+        m.on_precharge_update(RowId::new(6), ActCount::new(1));
+        assert_eq!(
+            m.effective_counter(RowId::new(6), ActCount::new(1)).get(),
+            51
+        );
+        // Row 5 was not shadowed: its effective count is the in-array one.
+        assert_eq!(
+            m.effective_counter(RowId::new(5), ActCount::new(1)).get(),
+            1
+        );
+    }
+
+    #[test]
+    fn shadow_replaced_at_next_group() {
+        let mut m = engine();
+        let mut counts = [10u32; 24];
+        m.on_refresh_group(0..8, &mut |r: RowId| ActCount::new(counts[r.as_usize()]));
+        counts[14] = 30;
+        counts[15] = 40;
+        m.on_refresh_group(8..16, &mut |r: RowId| ActCount::new(counts[r.as_usize()]));
+        // Old shadows (rows 6,7) dropped; new ones are rows 14,15.
+        assert_eq!(
+            m.effective_counter(RowId::new(7), ActCount::new(2)).get(),
+            2
+        );
+        assert_eq!(
+            m.effective_counter(RowId::new(15), ActCount::new(0)).get(),
+            40
+        );
+    }
+
+    #[test]
+    fn shadowed_alert_fires_across_reset() {
+        // A trailing row at ATH that is activated right after its group's
+        // refresh still alerts (the unsafe design would not).
+        let mut m = engine();
+        let mut counts = [0u32; 8];
+        counts[7] = 64;
+        m.on_refresh_group(0..8, &mut |r: RowId| ActCount::new(counts[r.as_usize()]));
+        m.on_precharge_update(RowId::new(7), ActCount::new(1));
+        assert!(m.alert_pending(), "shadow count 65 > ATH must alert");
+    }
+
+    #[test]
+    fn unsafe_reset_keeps_no_shadow() {
+        let mut m = MoatEngine::new(MoatConfig::paper_default().reset_policy(ResetPolicy::Unsafe));
+        let counts = [64u32; 8];
+        m.on_refresh_group(0..8, &mut |r: RowId| ActCount::new(counts[r.as_usize()]));
+        // The bank would have reset the in-array counter to 0; the next
+        // precharge therefore reports count 1.
+        m.on_precharge_update(RowId::new(7), ActCount::new(1));
+        assert!(!m.alert_pending(), "unsafe reset forgets the 64 prior acts");
+    }
+
+    #[test]
+    fn mitigation_resets_shadow() {
+        let mut m = engine();
+        let counts = [50u32; 8];
+        m.on_refresh_group(0..8, &mut |r: RowId| ActCount::new(counts[r.as_usize()]));
+        m.on_precharge_update(RowId::new(7), ActCount::new(1)); // shadow 51
+        let row = m.select_ref_mitigation().unwrap();
+        assert_eq!(row, RowId::new(7));
+        m.on_mitigation_complete(row);
+        assert_eq!(
+            m.effective_counter(RowId::new(7), ActCount::new(0)).get(),
+            0
+        );
+    }
+
+    #[test]
+    fn name_mentions_config() {
+        let m = MoatEngine::new(MoatConfig::with_ath(128));
+        assert_eq!(m.name(), "moat-L1-ath128-eth64");
+    }
+}

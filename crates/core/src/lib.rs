@@ -1,0 +1,43 @@
+//! # moat-core — the MOAT Rowhammer mitigation engine
+//!
+//! This crate implements the paper's primary contribution: **MOAT**
+//! (*Mitigating Rowhammer with Dual Thresholds*), a provably secure
+//! in-DRAM Rowhammer mitigation built on the DDR5 PRAC + ABO framework
+//! (§4 of the paper).
+//!
+//! MOAT tracks a single entry per bank — the CTA (*Current Tracked Addr*)
+//! register, holding both a row address **and its counter value** — plus a
+//! CMA (*Currently Mitigated Addr*) register. Two internal thresholds drive
+//! it:
+//!
+//! * **ETH** — eligibility threshold for proactive mitigation during REF,
+//! * **ATH** — ALERT threshold for reactive mitigation via ABO.
+//!
+//! The safe counter-reset-on-refresh scheme (§4.3) replicates the counters
+//! of the two trailing rows of each refreshed group into SRAM so that the
+//! reset can never under-count a straddling attacker. The generalized
+//! MOAT-L design (Appendix D) extends the tracker to `L` entries for ABO
+//! levels 2 and 4.
+//!
+//! ## Example
+//!
+//! ```
+//! use moat_core::{MoatConfig, MoatEngine};
+//! use moat_dram::{ActCount, MitigationEngine, RowId};
+//!
+//! let mut moat = MoatEngine::new(MoatConfig::paper_default());
+//! for count in 1..=65 {
+//!     moat.on_precharge_update(RowId::new(42), ActCount::new(count));
+//! }
+//! assert!(moat.alert_pending()); // 65 > ATH(64): reactive mitigation
+//! assert_eq!(moat.sram_bytes_per_bank(), 7); // §6.5: 7 bytes per bank
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+
+pub use config::{MoatConfig, ResetPolicy};
+pub use engine::{MoatEngine, MoatStats, TrackedEntry};

@@ -1,0 +1,122 @@
+//! Property-based tests of the MOAT engine's invariants.
+
+use moat_core::{MoatConfig, MoatEngine, ResetPolicy};
+use moat_dram::{AboLevel, ActCount, MitigationEngine, RowId};
+use proptest::prelude::*;
+
+/// Drives the engine with an arbitrary precharge sequence, mirroring the
+/// in-array counters the bank would maintain.
+fn drive(engine: &mut MoatEngine, ops: &[(u32, bool)]) -> Vec<u32> {
+    let mut counters = vec![0u32; 64];
+    for &(row, mitigate) in ops {
+        let row = row % 64;
+        if mitigate {
+            if let Some(selected) = engine.select_ref_mitigation() {
+                counters[selected.as_usize()] = 0;
+                engine.on_mitigation_complete(selected);
+            }
+        } else {
+            counters[row as usize] += 1;
+            engine.on_precharge_update(RowId::new(row), ActCount::new(counters[row as usize]));
+        }
+    }
+    counters
+}
+
+proptest! {
+    /// The CTA always holds the maximum tracked count, and every tracked
+    /// count is at least ETH.
+    #[test]
+    fn cta_is_max_and_tracked_counts_respect_eth(
+        ops in prop::collection::vec((0u32..64, prop::bool::ANY), 1..300)
+    ) {
+        let mut e = MoatEngine::new(MoatConfig::paper_default());
+        drive(&mut e, &ops);
+        if let Some(cta) = e.cta() {
+            for entry in e.tracker() {
+                prop_assert!(entry.count <= cta.count);
+                prop_assert!(entry.count >= 32, "tracked below ETH: {}", entry.count);
+            }
+        }
+    }
+
+    /// alert_pending is true exactly when some tracked count exceeds ATH.
+    #[test]
+    fn alert_pending_iff_tracked_count_exceeds_ath(
+        ops in prop::collection::vec((0u32..64, prop::bool::ANY), 1..300)
+    ) {
+        let mut e = MoatEngine::new(MoatConfig::paper_default());
+        drive(&mut e, &ops);
+        let any_above = e.tracker().iter().any(|t| t.count > 64);
+        prop_assert_eq!(e.alert_pending(), any_above);
+    }
+
+    /// A row whose true count stays below ETH is never tracked; a row
+    /// whose count crosses ATH while being the hottest always triggers.
+    #[test]
+    fn cold_rows_never_tracked(acts in prop::collection::vec(0u32..64, 1..200)) {
+        let mut e = MoatEngine::new(MoatConfig::paper_default());
+        let mut counters = vec![0u32; 64];
+        for row in acts {
+            // Cap every row below ETH.
+            if counters[row as usize] < 31 {
+                counters[row as usize] += 1;
+                e.on_precharge_update(RowId::new(row), ActCount::new(counters[row as usize]));
+            }
+        }
+        prop_assert!(e.tracker().is_empty());
+        prop_assert!(!e.alert_pending());
+    }
+
+    /// MOAT-L tracker never exceeds L entries and mitigation always
+    /// returns the current maximum.
+    #[test]
+    fn tracker_capacity_and_max_selection(
+        level_idx in 0usize..3,
+        ops in prop::collection::vec((0u32..64, prop::bool::ANY), 1..300)
+    ) {
+        let level = AboLevel::ALL[level_idx];
+        let mut e = MoatEngine::new(MoatConfig::with_ath(64).level(level));
+        drive(&mut e, &ops);
+        prop_assert!(e.tracker().len() <= level.as_u8() as usize);
+        if let Some(max) = e.tracker().iter().map(|t| t.count).max() {
+            let selected = e.select_alert_mitigation().unwrap();
+            // The removed entry had the maximum count.
+            prop_assert!(e.tracker().iter().all(|t| t.count <= max));
+            let _ = selected;
+        }
+    }
+
+    /// Safe reset: the effective counter after a refresh never understates
+    /// the pre-reset value for shadowed (trailing) rows.
+    #[test]
+    fn shadow_preserves_trailing_counts(pre in prop::collection::vec(0u32..200, 8)) {
+        let mut e = MoatEngine::new(MoatConfig::paper_default());
+        e.on_refresh_group(0..8, &mut |r: RowId| ActCount::new(pre[r.as_usize()]));
+        // Trailing rows 6 and 7 keep their counts; the rest fall to the
+        // in-array value (0 after the bank's reset).
+        prop_assert_eq!(e.effective_counter(RowId::new(6), ActCount::ZERO).get(), pre[6]);
+        prop_assert_eq!(e.effective_counter(RowId::new(7), ActCount::ZERO).get(), pre[7]);
+        for r in 0..6u32 {
+            prop_assert_eq!(e.effective_counter(RowId::new(r), ActCount::ZERO).get(), 0);
+        }
+    }
+
+    /// The unsafe policy keeps no shadows regardless of input.
+    #[test]
+    fn unsafe_policy_never_shadows(pre in prop::collection::vec(0u32..200, 8)) {
+        let mut e = MoatEngine::new(
+            MoatConfig::paper_default().reset_policy(ResetPolicy::Unsafe),
+        );
+        e.on_refresh_group(0..8, &mut |r: RowId| ActCount::new(pre[r.as_usize()]));
+        for r in 0..8u32 {
+            prop_assert_eq!(e.effective_counter(RowId::new(r), ActCount::new(3)).get(), 3);
+        }
+    }
+}
+
+#[test]
+fn engine_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<MoatEngine>();
+}

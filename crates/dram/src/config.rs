@@ -1,0 +1,271 @@
+//! DRAM organization parameters and builder (Table 3 of the paper).
+
+use crate::timing::DramTiming;
+use crate::types::Nanos;
+
+/// The order in which the refresh sweep visits groups.
+///
+/// The paper's safe counter-reset scheme (§4.3) *depends* on spatially
+/// contiguous refresh: only then are the trailing rows of the most recent
+/// group the sole rows whose victims are not yet refreshed. A strided
+/// order — common in designs that interleave refresh for bank-level
+/// concerns — reopens the Fig. 7(a) straddling window even with the
+/// shadow counters in place (see the `ablation` experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RefreshOrder {
+    /// Groups refreshed in ascending row order (the paper's §4.3 scheme).
+    #[default]
+    Contiguous,
+    /// Groups visited with the given stride (must be coprime with the
+    /// group count to cover every group once per tREFW).
+    Strided(u32),
+}
+
+/// Static organization of the simulated memory system.
+///
+/// Defaults follow Table 3: 32 banks per sub-channel, 2 sub-channels,
+/// 64 Ki rows per bank, 8 KiB rows, refresh in 8192 spatially contiguous
+/// groups of 8 rows, and a Rowhammer blast radius of 2 (four victims per
+/// aggressor).
+///
+/// Use [`DramConfig::builder`] to customize:
+///
+/// ```
+/// use moat_dram::DramConfig;
+///
+/// let cfg = DramConfig::builder()
+///     .rows_per_bank(1 << 14)
+///     .banks_per_subchannel(8)
+///     .build();
+/// assert_eq!(cfg.rows_per_bank, 1 << 14);
+/// assert_eq!(cfg.refresh_groups(), (1 << 14) / 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramConfig {
+    /// Timing parameters.
+    pub timing: DramTiming,
+    /// Rows per bank (default 65536).
+    pub rows_per_bank: u32,
+    /// Banks per sub-channel (default 32).
+    pub banks_per_subchannel: u16,
+    /// Sub-channels per rank (default 2).
+    pub subchannels: u16,
+    /// Row size in bytes (default 8 KiB).
+    pub row_bytes: u32,
+    /// Rows per refresh group (default 8; 64 Ki rows / 8 = 8192 groups).
+    pub rows_per_refresh_group: u32,
+    /// Rowhammer blast radius: victims on each side of an aggressor
+    /// (default 2, i.e. 4 victim rows, §2.2 "Mitigation-Rate").
+    pub blast_radius: u32,
+    /// Maximum number of REF commands the controller may postpone
+    /// (Appendix B uses 2; 0 disables postponement).
+    pub max_postponed_refs: u32,
+    /// Order in which the refresh sweep visits groups.
+    pub refresh_order: RefreshOrder,
+}
+
+impl DramConfig {
+    /// The paper's baseline configuration (Table 3).
+    pub const fn paper_baseline() -> Self {
+        DramConfig {
+            timing: DramTiming::ddr5_prac(),
+            rows_per_bank: 65_536,
+            banks_per_subchannel: 32,
+            subchannels: 2,
+            row_bytes: 8 * 1024,
+            rows_per_refresh_group: 8,
+            blast_radius: 2,
+            max_postponed_refs: 0,
+            refresh_order: RefreshOrder::Contiguous,
+        }
+    }
+
+    /// Starts building a configuration from the paper baseline.
+    pub fn builder() -> DramConfigBuilder {
+        DramConfigBuilder {
+            config: Self::paper_baseline(),
+        }
+    }
+
+    /// Number of refresh groups per bank.
+    pub const fn refresh_groups(&self) -> u32 {
+        self.rows_per_bank / self.rows_per_refresh_group
+    }
+
+    /// Number of victim rows affected by one aggressor (2 × blast radius,
+    /// fewer at the bank edges).
+    pub const fn victims_per_aggressor(&self) -> u32 {
+        2 * self.blast_radius
+    }
+
+    /// Convenience accessor for tREFI.
+    pub const fn t_refi(&self) -> Nanos {
+        self.timing.t_refi
+    }
+
+    /// Convenience accessor for tRC.
+    pub const fn t_rc(&self) -> Nanos {
+        self.timing.t_rc
+    }
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+/// Builder for [`DramConfig`] (C-BUILDER).
+#[derive(Debug, Clone)]
+pub struct DramConfigBuilder {
+    config: DramConfig,
+}
+
+impl DramConfigBuilder {
+    /// Sets the timing parameters.
+    pub fn timing(mut self, timing: DramTiming) -> Self {
+        self.config.timing = timing;
+        self
+    }
+
+    /// Sets the number of rows per bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics at [`build`](Self::build) time if the row count is not a
+    /// multiple of the refresh-group size.
+    pub fn rows_per_bank(mut self, rows: u32) -> Self {
+        self.config.rows_per_bank = rows;
+        self
+    }
+
+    /// Sets the number of banks per sub-channel.
+    pub fn banks_per_subchannel(mut self, banks: u16) -> Self {
+        self.config.banks_per_subchannel = banks;
+        self
+    }
+
+    /// Sets the number of sub-channels.
+    pub fn subchannels(mut self, subchannels: u16) -> Self {
+        self.config.subchannels = subchannels;
+        self
+    }
+
+    /// Sets the refresh-group size in rows.
+    pub fn rows_per_refresh_group(mut self, rows: u32) -> Self {
+        self.config.rows_per_refresh_group = rows;
+        self
+    }
+
+    /// Sets the Rowhammer blast radius.
+    pub fn blast_radius(mut self, radius: u32) -> Self {
+        self.config.blast_radius = radius;
+        self
+    }
+
+    /// Sets the maximum number of postponable REF commands.
+    pub fn max_postponed_refs(mut self, refs: u32) -> Self {
+        self.config.max_postponed_refs = refs;
+        self
+    }
+
+    /// Sets the refresh sweep order.
+    pub fn refresh_order(mut self, order: RefreshOrder) -> Self {
+        self.config.refresh_order = order;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_bank` is zero or not divisible by
+    /// `rows_per_refresh_group`, or if `blast_radius` is zero.
+    pub fn build(self) -> DramConfig {
+        let c = self.config;
+        assert!(c.rows_per_bank > 0, "rows_per_bank must be non-zero");
+        assert!(
+            c.rows_per_refresh_group > 0 && c.rows_per_bank.is_multiple_of(c.rows_per_refresh_group),
+            "rows_per_bank ({}) must be a multiple of rows_per_refresh_group ({})",
+            c.rows_per_bank,
+            c.rows_per_refresh_group
+        );
+        assert!(c.blast_radius > 0, "blast_radius must be non-zero");
+        if let RefreshOrder::Strided(stride) = c.refresh_order {
+            assert!(
+                stride > 0 && gcd(stride, c.refresh_groups()) == 1,
+                "stride ({stride}) must be coprime with the group count ({})",
+                c.refresh_groups()
+            );
+        }
+        c
+    }
+}
+
+fn gcd(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table3() {
+        let c = DramConfig::paper_baseline();
+        assert_eq!(c.rows_per_bank, 65_536);
+        assert_eq!(c.banks_per_subchannel, 32);
+        assert_eq!(c.subchannels, 2);
+        assert_eq!(c.row_bytes, 8 * 1024);
+        assert_eq!(c.refresh_groups(), 8192);
+        assert_eq!(c.victims_per_aggressor(), 4);
+    }
+
+    #[test]
+    fn builder_customizes() {
+        let c = DramConfig::builder()
+            .rows_per_bank(1024)
+            .banks_per_subchannel(4)
+            .blast_radius(1)
+            .max_postponed_refs(2)
+            .build();
+        assert_eq!(c.rows_per_bank, 1024);
+        assert_eq!(c.banks_per_subchannel, 4);
+        assert_eq!(c.victims_per_aggressor(), 2);
+        assert_eq!(c.max_postponed_refs, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of rows_per_refresh_group")]
+    fn builder_rejects_unaligned_groups() {
+        let _ = DramConfig::builder().rows_per_bank(100).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "blast_radius")]
+    fn builder_rejects_zero_radius() {
+        let _ = DramConfig::builder().blast_radius(0).build();
+    }
+
+    #[test]
+    fn strided_order_accepted_when_coprime() {
+        let c = DramConfig::builder()
+            .rows_per_bank(64)
+            .refresh_order(RefreshOrder::Strided(3))
+            .build();
+        assert_eq!(c.refresh_order, RefreshOrder::Strided(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "coprime")]
+    fn strided_order_rejects_non_coprime() {
+        // 64 rows / 8 per group = 8 groups; stride 2 shares a factor.
+        let _ = DramConfig::builder()
+            .rows_per_bank(64)
+            .refresh_order(RefreshOrder::Strided(2))
+            .build();
+    }
+}

@@ -1,0 +1,92 @@
+//! Error types for the DRAM substrate.
+
+use core::fmt;
+
+use crate::types::{Nanos, RowId};
+
+/// Errors returned by the DRAM bank and protocol state machines.
+///
+/// All variants indicate a protocol violation by the caller (the memory
+/// controller or an attacker model), never an internal inconsistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramError {
+    /// An ACT was issued before the bank's tRC window elapsed.
+    TimingViolation {
+        /// Earliest legal issue time.
+        earliest: Nanos,
+        /// The attempted issue time.
+        attempted: Nanos,
+    },
+    /// A row index outside `rows_per_bank` was addressed.
+    RowOutOfRange {
+        /// The offending row.
+        row: RowId,
+        /// Number of rows in the bank.
+        rows_per_bank: u32,
+    },
+    /// ALERT was asserted while the ABO protocol forbids it (already in an
+    /// ALERT, or the minimum inter-ALERT activations have not occurred).
+    AlertNotPermitted,
+    /// A REF postponement beyond the configured maximum was requested.
+    PostponeLimitExceeded {
+        /// Configured maximum number of postponable REFs.
+        max: u32,
+    },
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DramError::TimingViolation {
+                earliest,
+                attempted,
+            } => write!(
+                f,
+                "activation at {attempted} violates tRC (earliest legal time {earliest})"
+            ),
+            DramError::RowOutOfRange { row, rows_per_bank } => {
+                write!(f, "{row} is outside the bank ({rows_per_bank} rows)")
+            }
+            DramError::AlertNotPermitted => {
+                write!(f, "ALERT assertion not permitted by the ABO protocol state")
+            }
+            DramError::PostponeLimitExceeded { max } => {
+                write!(f, "cannot postpone more than {max} REF commands")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs: [DramError; 4] = [
+            DramError::TimingViolation {
+                earliest: Nanos::new(52),
+                attempted: Nanos::new(10),
+            },
+            DramError::RowOutOfRange {
+                row: RowId::new(70000),
+                rows_per_bank: 65536,
+            },
+            DramError::AlertNotPermitted,
+            DramError::PostponeLimitExceeded { max: 2 },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+    }
+}

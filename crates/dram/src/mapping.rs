@@ -1,0 +1,174 @@
+//! Physical-address to DRAM-coordinate mapping.
+//!
+//! The paper's baseline uses a CoffeeLake-style mapping (Table 3): bank bits
+//! are XOR-hashed with row bits so that consecutive cache lines spread
+//! across banks, which is the behaviour attackers must invert to colocate
+//! aggressors in one bank. The exact Intel function is undocumented; we
+//! implement the widely reverse-engineered XOR structure (rank/bank bits
+//! XORed with higher-order row bits), which preserves the property the
+//! experiments need: a fixed, invertible addr→(subchannel, bank, row)
+//! function with bank interleaving.
+
+use crate::config::DramConfig;
+use crate::types::{BankId, RowId};
+
+/// A fully decoded DRAM coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramAddress {
+    /// Sub-channel index.
+    pub subchannel: u16,
+    /// Bank within the sub-channel.
+    pub bank: BankId,
+    /// Row within the bank.
+    pub row: RowId,
+    /// Byte column within the row.
+    pub column: u32,
+}
+
+/// XOR-hashed address mapping in the CoffeeLake style.
+///
+/// Bit layout (from LSB): column within the 8 KiB row, then sub-channel,
+/// then bank, then row; the bank bits are XORed with the low row bits.
+///
+/// # Examples
+///
+/// ```
+/// use moat_dram::{AddressMapping, DramConfig};
+///
+/// let map = AddressMapping::new(&DramConfig::paper_baseline());
+/// let addr = 0x1234_5678u64;
+/// let coord = map.decode(addr);
+/// assert_eq!(map.encode(coord), addr & map.address_mask());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AddressMapping {
+    column_bits: u32,
+    subchannel_bits: u32,
+    bank_bits: u32,
+    row_bits: u32,
+}
+
+impl AddressMapping {
+    /// Builds the mapping for a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the configured sizes is not a power of two.
+    pub fn new(config: &DramConfig) -> Self {
+        let column_bits = log2_exact(config.row_bytes as u64, "row_bytes");
+        let subchannel_bits = log2_exact(u64::from(config.subchannels), "subchannels");
+        let bank_bits = log2_exact(u64::from(config.banks_per_subchannel), "banks");
+        let row_bits = log2_exact(u64::from(config.rows_per_bank), "rows_per_bank");
+        AddressMapping {
+            column_bits,
+            subchannel_bits,
+            bank_bits,
+            row_bits,
+        }
+    }
+
+    /// Total number of address bits the mapping covers.
+    pub fn address_bits(&self) -> u32 {
+        self.column_bits + self.subchannel_bits + self.bank_bits + self.row_bits
+    }
+
+    /// Mask of the physical-address bits the mapping decodes.
+    pub fn address_mask(&self) -> u64 {
+        (1u64 << self.address_bits()) - 1
+    }
+
+    /// Decodes a physical address into DRAM coordinates.
+    pub fn decode(&self, addr: u64) -> DramAddress {
+        let addr = addr & self.address_mask();
+        let column = (addr & ((1 << self.column_bits) - 1)) as u32;
+        let mut rest = addr >> self.column_bits;
+        let subchannel = (rest & ((1 << self.subchannel_bits) - 1)) as u16;
+        rest >>= self.subchannel_bits;
+        let raw_bank = (rest & ((1 << self.bank_bits) - 1)) as u32;
+        rest >>= self.bank_bits;
+        let row = (rest & ((1 << self.row_bits) - 1)) as u32;
+        // CoffeeLake-style bank hash: bank bits XORed with the low row bits.
+        let bank = raw_bank ^ (row & ((1 << self.bank_bits) - 1));
+        DramAddress {
+            subchannel,
+            bank: BankId::new(bank as u16),
+            row: RowId::new(row),
+            column,
+        }
+    }
+
+    /// Encodes DRAM coordinates back into a physical address (the inverse
+    /// of [`decode`](Self::decode)).
+    pub fn encode(&self, coord: DramAddress) -> u64 {
+        let row = u64::from(coord.row.index());
+        let bank_hash = u64::from(coord.bank.index()) ^ (row & ((1 << self.bank_bits) - 1));
+        let mut addr = row;
+        addr = (addr << self.bank_bits) | bank_hash;
+        addr = (addr << self.subchannel_bits) | u64::from(coord.subchannel);
+        addr = (addr << self.column_bits) | u64::from(coord.column);
+        addr
+    }
+}
+
+fn log2_exact(v: u64, what: &str) -> u32 {
+    assert!(v.is_power_of_two(), "{what} ({v}) must be a power of two");
+    v.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> AddressMapping {
+        AddressMapping::new(&DramConfig::paper_baseline())
+    }
+
+    #[test]
+    fn decode_encode_roundtrip() {
+        let m = mapping();
+        for addr in [0u64, 0x1000, 0xdead_beef, 0x7fff_ffff, m.address_mask()] {
+            let masked = addr & m.address_mask();
+            assert_eq!(m.encode(m.decode(addr)), masked, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = mapping();
+        let coord = DramAddress {
+            subchannel: 1,
+            bank: BankId::new(17),
+            row: RowId::new(0xbeef),
+            column: 0x123,
+        };
+        assert_eq!(m.decode(m.encode(coord)), coord);
+    }
+
+    #[test]
+    fn bank_interleaving_spreads_consecutive_rows() {
+        // Same raw bank bits, consecutive rows → different hashed banks.
+        let m = mapping();
+        let row_stride = 1u64 << (m.column_bits + m.subchannel_bits + m.bank_bits);
+        let a = m.decode(0);
+        let b = m.decode(row_stride);
+        assert_ne!(a.bank, b.bank, "bank hash should differ across rows");
+        assert_eq!(a.row.index() + 1, b.row.index());
+    }
+
+    #[test]
+    fn paper_baseline_address_bits() {
+        // 8 KiB column (13) + 1 subchannel + 5 bank + 16 row = 35 bits = 32 GB.
+        let m = mapping();
+        assert_eq!(m.address_bits(), 35);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let cfg = DramConfig::builder()
+            .rows_per_bank(24)
+            .rows_per_refresh_group(8)
+            .build();
+        let _ = AddressMapping::new(&cfg);
+    }
+}

@@ -1,0 +1,214 @@
+//! The interface between the DRAM substrate and a Rowhammer mitigation
+//! engine.
+//!
+//! PRAC+ABO is a *framework* (§2.7): the DRAM provides per-row counters and
+//! the ALERT back-off signal, but when to select a row for mitigation and
+//! when to assert ALERT is up to the implementation. Every design evaluated
+//! by the paper — MOAT, Panopticon (both variants), and the no-op baseline —
+//! implements [`MitigationEngine`], and the simulators drive them through
+//! this trait, so all designs are compared under identical substrate rules.
+//!
+//! Engines are *per bank*: each bank instantiates its own engine, matching
+//! the paper's per-bank trackers (queue per bank, CTA/CMA per bank).
+
+use core::any::Any;
+use core::fmt;
+use core::ops::Range;
+
+use crate::types::{ActCount, RowId};
+
+/// How an engine consumes the REF-time mitigation budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefMitigationMode {
+    /// Gradual mitigation (§2.2, Appendix B): one victim row can be
+    /// refreshed per REF; a full aggressor mitigation takes
+    /// [`ops_per_mitigation`](MitigationEngine::ops_per_mitigation) REF
+    /// slots. This is the DDR4-style default used for all designs in the
+    /// paper's main evaluation.
+    Gradual,
+    /// Drain-all-entries-on-REF (Appendix B): each REF is repurposed to
+    /// fully mitigate up to two aggressor rows, and ALERTs are issued until
+    /// the tracker is empty.
+    DrainAll,
+}
+
+/// A Rowhammer mitigation engine for one DRAM bank.
+///
+/// The simulator calls the methods in this order per event:
+///
+/// 1. [`on_precharge_update`](Self::on_precharge_update) after every
+///    activation (the PRAC counter update happens in the precharge).
+/// 2. [`alert_pending`](Self::alert_pending) is polled; if true and the ABO
+///    protocol permits, the simulator asserts ALERT and, per RFM, calls
+///    [`select_alert_mitigation`](Self::select_alert_mitigation) followed by
+///    [`on_mitigation_complete`](Self::on_mitigation_complete).
+/// 3. At every REF, [`on_refresh_group`](Self::on_refresh_group) is called
+///    *before* the bank resets the group's counters (if
+///    [`resets_counters_on_refresh`](Self::resets_counters_on_refresh)), so
+///    safe-reset designs can snapshot the counters they must preserve.
+/// 4. When the REF-time mitigation budget allows starting a new aggressor
+///    mitigation, [`select_ref_mitigation`](Self::select_ref_mitigation) is
+///    called; its completion is signalled via `on_mitigation_complete`.
+pub trait MitigationEngine: fmt::Debug {
+    /// A short human-readable name (e.g. `"moat-ath64-eth32"`).
+    fn name(&self) -> String;
+
+    /// The PRAC counter of `row` has been updated during precharge;
+    /// `counter` is the post-increment in-array value.
+    fn on_precharge_update(&mut self, row: RowId, counter: ActCount);
+
+    /// Whether the engine is requesting an ALERT. The simulator polls this
+    /// after every event and asserts ALERT as soon as the ABO protocol
+    /// permits.
+    fn alert_pending(&self) -> bool;
+
+    /// Selects the next aggressor row for proactive (REF-time) mitigation,
+    /// or `None` if nothing currently warrants mitigation.
+    fn select_ref_mitigation(&mut self) -> Option<RowId>;
+
+    /// Selects the aggressor row to mitigate in one RFM of an ALERT
+    /// episode, or `None` if the engine has nothing to mitigate (the RFM is
+    /// then spent idle).
+    fn select_alert_mitigation(&mut self) -> Option<RowId>;
+
+    /// Mitigation of `row` (victim refreshes, plus counter reset when
+    /// [`resets_counter_on_mitigation`](Self::resets_counter_on_mitigation))
+    /// has completed.
+    fn on_mitigation_complete(&mut self, row: RowId);
+
+    /// A REF is refreshing `rows`. Called before any counter reset, with
+    /// `counter_of` providing the current in-array counter of any row in
+    /// the bank (safe-reset designs snapshot the trailing rows, §4.3).
+    fn on_refresh_group(
+        &mut self,
+        rows: Range<u32>,
+        counter_of: &mut dyn FnMut(RowId) -> ActCount,
+    );
+
+    /// Whether the bank should reset the PRAC counters of refreshed rows
+    /// (reset-on-refresh, §4.3). Panopticon's counters are free-running.
+    fn resets_counters_on_refresh(&self) -> bool {
+        false
+    }
+
+    /// Whether completing an aggressor mitigation resets its PRAC counter
+    /// (MOAT spends one extra REF slot to do so).
+    fn resets_counter_on_mitigation(&self) -> bool {
+        true
+    }
+
+    /// REF-slot cost of one full aggressor mitigation under
+    /// [`RefMitigationMode::Gradual`]: the number of victim rows plus one
+    /// if the counter is also reset (5 for MOAT, 4 for Panopticon, §4.1).
+    fn ops_per_mitigation(&self) -> u32 {
+        if self.resets_counter_on_mitigation() {
+            5
+        } else {
+            4
+        }
+    }
+
+    /// How this engine uses REF time.
+    fn ref_mitigation_mode(&self) -> RefMitigationMode {
+        RefMitigationMode::Gradual
+    }
+
+    /// SRAM bytes this design needs per bank (§6.5).
+    fn sram_bytes_per_bank(&self) -> usize;
+
+    /// The counter value the engine attributes to `row` given the in-array
+    /// value — shadow-aware for safe-reset designs (§4.3).
+    fn effective_counter(&self, _row: RowId, in_array: ActCount) -> ActCount {
+        in_array
+    }
+
+    /// Downcasting hook so adaptive attackers (threat model §2.1: "the
+    /// attacker knows the defense algorithm, including which row has been
+    /// selected for mitigation") can inspect concrete engine state.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// A baseline engine that performs no mitigation at all.
+///
+/// Useful as the ALERT-free baseline the paper normalizes performance
+/// against, and for measuring raw attack pressure.
+#[derive(Debug, Clone, Default)]
+pub struct NullEngine;
+
+impl NullEngine {
+    /// Creates a no-op engine.
+    pub fn new() -> Self {
+        NullEngine
+    }
+}
+
+impl MitigationEngine for NullEngine {
+    fn name(&self) -> String {
+        "none".to_string()
+    }
+
+    fn on_precharge_update(&mut self, _row: RowId, _counter: ActCount) {}
+
+    fn alert_pending(&self) -> bool {
+        false
+    }
+
+    fn select_ref_mitigation(&mut self) -> Option<RowId> {
+        None
+    }
+
+    fn select_alert_mitigation(&mut self) -> Option<RowId> {
+        None
+    }
+
+    fn on_mitigation_complete(&mut self, _row: RowId) {}
+
+    fn on_refresh_group(
+        &mut self,
+        _rows: Range<u32>,
+        _counter_of: &mut dyn FnMut(RowId) -> ActCount,
+    ) {
+    }
+
+    fn sram_bytes_per_bank(&self) -> usize {
+        0
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_engine_never_alerts() {
+        let mut e = NullEngine::new();
+        for i in 0..1000u32 {
+            e.on_precharge_update(RowId::new(i % 4), ActCount::new(i));
+        }
+        assert!(!e.alert_pending());
+        assert_eq!(e.select_ref_mitigation(), None);
+        assert_eq!(e.select_alert_mitigation(), None);
+        assert_eq!(e.sram_bytes_per_bank(), 0);
+        assert_eq!(e.name(), "none");
+    }
+
+    #[test]
+    fn default_ops_per_mitigation_reflects_counter_reset() {
+        let e = NullEngine::new();
+        assert!(e.resets_counter_on_mitigation());
+        assert_eq!(e.ops_per_mitigation(), 5);
+        assert!(!e.resets_counters_on_refresh());
+        assert_eq!(e.ref_mitigation_mode(), RefMitigationMode::Gradual);
+    }
+
+    #[test]
+    fn engine_is_object_safe() {
+        let e: Box<dyn MitigationEngine> = Box::new(NullEngine::new());
+        assert_eq!(e.effective_counter(RowId::new(0), ActCount::new(7)).get(), 7);
+        assert!(e.as_any().downcast_ref::<NullEngine>().is_some());
+    }
+}

@@ -1,0 +1,179 @@
+//! DDR5 timing parameters (Table 1 of the paper, revised JESD79-5C values
+//! that account for PRAC's read-modify-write of the per-row counter).
+//!
+//! The paper's security arithmetic is a counting argument over these values:
+//! at tRC = 52 ns and tRFC = 410 ns, at most ⌊(3900 − 410) / 52⌋ = 67
+//! activations fit in one tREFI.
+
+use crate::types::Nanos;
+
+/// DDR5 / PRAC timing parameters.
+///
+/// Defaults are the revised JESD79-5C values from Table 1 of the paper.
+/// All fields are public: this is a passive parameter block in the C-struct
+/// spirit, and experiments routinely sweep individual values.
+///
+/// # Examples
+///
+/// ```
+/// use moat_dram::DramTiming;
+///
+/// let t = DramTiming::ddr5_prac();
+/// assert_eq!(t.acts_per_trefi(), 67);
+/// assert_eq!(t.refs_per_trefw(), 8205);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramTiming {
+    /// Time for performing an ACT (12 ns).
+    pub t_act: Nanos,
+    /// Time to precharge an open row (36 ns with PRAC counter update).
+    pub t_pre: Nanos,
+    /// Minimum time a row must be kept open (16 ns).
+    pub t_ras: Nanos,
+    /// Time between successive ACTs to the same bank (52 ns).
+    pub t_rc: Nanos,
+    /// Refresh window: every row refreshed once per tREFW (32 ms).
+    pub t_refw: Nanos,
+    /// Time between successive REF commands (3900 ns).
+    pub t_refi: Nanos,
+    /// Execution time of a REF command (410 ns).
+    pub t_rfc: Nanos,
+    /// Normal-operation window after ALERT assertion before the MC must
+    /// stall (180 ns).
+    pub t_abo_act_window: Nanos,
+    /// Execution time of one RFM (Refresh Management) command (350 ns),
+    /// equivalent to refreshing 5 rows.
+    pub t_rfm: Nanos,
+}
+
+impl DramTiming {
+    /// Revised DDR5 specifications per JESD79-5C (Table 1), including the
+    /// PRAC changes (tPRE 16→36 ns, tRAS 32→16 ns, tRC 48→52 ns).
+    pub const fn ddr5_prac() -> Self {
+        DramTiming {
+            t_act: Nanos::new(12),
+            t_pre: Nanos::new(36),
+            t_ras: Nanos::new(16),
+            t_rc: Nanos::new(52),
+            t_refw: Nanos::new(32_000_000),
+            t_refi: Nanos::new(3_900),
+            t_rfc: Nanos::new(410),
+            t_abo_act_window: Nanos::new(180),
+            t_rfm: Nanos::new(350),
+        }
+    }
+
+    /// Maximum number of activations that fit in one tREFI, accounting for
+    /// the tRFC spent on refresh: ⌊(tREFI − tRFC) / tRC⌋ = 67 for the
+    /// default parameters (§2.2).
+    pub const fn acts_per_trefi(&self) -> u64 {
+        (self.t_refi.as_u64() - self.t_rfc.as_u64()) / self.t_rc.as_u64()
+    }
+
+    /// Number of REF commands per refresh window: ⌊tREFW / tREFI⌋.
+    ///
+    /// The DRAM array is divided into 8192 refresh groups, so with the
+    /// default 8205 REFs per window every group is refreshed at least once.
+    pub const fn refs_per_trefw(&self) -> u64 {
+        self.t_refw.as_u64() / self.t_refi.as_u64()
+    }
+
+    /// Duration of a complete ALERT for a given ABO mitigation level:
+    /// 180 ns of permitted activity plus `level` RFMs of 350 ns each
+    /// (530 ns for level 1, §2.6).
+    pub const fn t_alert(&self, level: u8) -> Nanos {
+        Nanos::new(self.t_abo_act_window.as_u64() + self.t_rfm.as_u64() * level as u64)
+    }
+
+    /// Minimum time between two ALERT assertions for a given ABO level
+    /// (Appendix A): `180 ns + (tRFM + tRC) · L`.
+    pub const fn t_alert_to_alert(&self, level: u8) -> Nanos {
+        Nanos::new(
+            self.t_abo_act_window.as_u64()
+                + (self.t_rfm.as_u64() + self.t_rc.as_u64()) * level as u64,
+        )
+    }
+
+    /// Minimum number of activations an attacker can force between two
+    /// consecutive ALERT assertions (Fig. 8): 3 during the 180 ns window
+    /// plus `level` mandated activations after the RFMs, i.e. `3 + L`.
+    pub const fn min_acts_between_alerts(&self, level: u8) -> u64 {
+        self.t_abo_act_window.as_u64() / self.t_rc.as_u64() + level as u64
+    }
+
+    /// The usable attack window within a refresh period (Appendix A uses
+    /// tREFW minus the aggregate refresh time ≈ 28.64 ms).
+    pub const fn attack_window(&self) -> Nanos {
+        let refresh_time = self.refs_per_trefw() * self.t_rfc.as_u64();
+        Nanos::new(self.t_refw.as_u64() - refresh_time)
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::ddr5_prac()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let t = DramTiming::ddr5_prac();
+        assert_eq!(t.t_act, Nanos::new(12));
+        assert_eq!(t.t_pre, Nanos::new(36));
+        assert_eq!(t.t_ras, Nanos::new(16));
+        assert_eq!(t.t_rc, Nanos::new(52));
+        assert_eq!(t.t_refw, Nanos::from_millis(32));
+        assert_eq!(t.t_refi, Nanos::new(3900));
+        assert_eq!(t.t_rfc, Nanos::new(410));
+    }
+
+    #[test]
+    fn derived_acts_per_trefi_is_67() {
+        // §2.2: "given tRC of 52ns, we can perform a maximum of 67
+        // activations within tREFI".
+        assert_eq!(DramTiming::ddr5_prac().acts_per_trefi(), 67);
+    }
+
+    #[test]
+    fn alert_duration_level1_is_530ns() {
+        // §2.6: "the minimum duration of ALERT is 530ns".
+        let t = DramTiming::ddr5_prac();
+        assert_eq!(t.t_alert(1), Nanos::new(530));
+        assert_eq!(t.t_alert(4), Nanos::new(180 + 4 * 350));
+    }
+
+    #[test]
+    fn min_acts_between_alerts_matches_fig8() {
+        // Fig. 8: level 1 → 4 ACTs, level 4 → 7 ACTs.
+        let t = DramTiming::ddr5_prac();
+        assert_eq!(t.min_acts_between_alerts(1), 4);
+        assert_eq!(t.min_acts_between_alerts(2), 5);
+        assert_eq!(t.min_acts_between_alerts(4), 7);
+    }
+
+    #[test]
+    fn alert_to_alert_spacing_matches_appendix_a() {
+        // Appendix A: tA2A = 180ns + (350 + 52)·L.
+        let t = DramTiming::ddr5_prac();
+        assert_eq!(t.t_alert_to_alert(1), Nanos::new(582));
+        assert_eq!(t.t_alert_to_alert(2), Nanos::new(984));
+        assert_eq!(t.t_alert_to_alert(4), Nanos::new(1788));
+    }
+
+    #[test]
+    fn attack_window_close_to_28_64_ms() {
+        // Appendix A: H(N) must stay below ~28.64 ms (tREFW − refresh time).
+        let w = DramTiming::ddr5_prac().attack_window();
+        let ms = w.as_u64() as f64 / 1e6;
+        assert!((28.0..29.0).contains(&ms), "attack window was {ms} ms");
+    }
+
+    #[test]
+    fn refs_per_trefw_covers_8192_groups() {
+        assert!(DramTiming::ddr5_prac().refs_per_trefw() >= 8192);
+    }
+}

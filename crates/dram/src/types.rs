@@ -1,0 +1,402 @@
+//! Fundamental newtypes shared across the MOAT workspace.
+//!
+//! All DRAM timing in the paper is expressed in integral nanoseconds, so the
+//! time base is a [`Nanos`] newtype over `u64`. Row/bank identifiers are
+//! newtypes so that a row index can never be confused with a bank index or a
+//! raw counter value (C-NEWTYPE).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// A duration or instant measured in nanoseconds.
+///
+/// The simulator clock is a monotonically increasing `Nanos` starting at 0.
+/// DDR5 timing parameters (tRC, tREFI, ...) are also `Nanos`, so arithmetic
+/// between instants and durations stays in one unit system.
+///
+/// # Examples
+///
+/// ```
+/// use moat_dram::Nanos;
+///
+/// let t_rc = Nanos::new(52);
+/// let start = Nanos::ZERO;
+/// assert_eq!(start + t_rc * 3, Nanos::new(156));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(u64);
+
+impl Nanos {
+    /// The zero instant / empty duration.
+    pub const ZERO: Nanos = Nanos(0);
+
+    /// Creates a `Nanos` from a raw nanosecond count.
+    #[inline]
+    pub const fn new(ns: u64) -> Self {
+        Nanos(ns)
+    }
+
+    /// Creates a `Nanos` from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Nanos(us * 1_000)
+    }
+
+    /// Creates a `Nanos` from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Returns the raw nanosecond count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value as seconds (lossy, for reporting).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction: returns `ZERO` instead of underflowing.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction.
+    #[inline]
+    pub const fn checked_sub(self, rhs: Nanos) -> Option<Nanos> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Nanos(v)),
+            None => None,
+        }
+    }
+
+    /// Integer division of one duration by another (e.g. how many tRC slots
+    /// fit in a tREFI).
+    #[inline]
+    pub const fn div_duration(self, rhs: Nanos) -> u64 {
+        self.0 / rhs.0
+    }
+
+    /// The larger of two instants.
+    #[inline]
+    pub fn max(self, other: Nanos) -> Nanos {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two instants.
+    #[inline]
+    pub fn min(self, other: Nanos) -> Nanos {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Rem<Nanos> for Nanos {
+    type Output = Nanos;
+    #[inline]
+    fn rem(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Nanos {
+    #[inline]
+    fn from(ns: u64) -> Self {
+        Nanos(ns)
+    }
+}
+
+/// Identifies a DRAM row within one bank.
+///
+/// Row ids are dense indices `0..rows_per_bank` (65536 in the paper's
+/// configuration). Adjacency (`row ± 1`) is physical adjacency, which is what
+/// Rowhammer blast radius is defined over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RowId(u32);
+
+impl RowId {
+    /// Creates a row id from a dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        RowId(index)
+    }
+
+    /// Returns the dense index.
+    #[inline]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the dense index as `usize` for slice indexing.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The physically adjacent row below, if any.
+    #[inline]
+    pub fn below(self) -> Option<RowId> {
+        self.0.checked_sub(1).map(RowId)
+    }
+
+    /// The physically adjacent row above, if it is within `rows_per_bank`.
+    #[inline]
+    pub fn above(self, rows_per_bank: u32) -> Option<RowId> {
+        let next = self.0 + 1;
+        (next < rows_per_bank).then_some(RowId(next))
+    }
+
+    /// Iterates over the victim rows within `radius` of this aggressor,
+    /// clamped to the bank bounds. The aggressor itself is not included.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use moat_dram::RowId;
+    /// let victims: Vec<_> = RowId::new(1).victims(2, 65536).collect();
+    /// assert_eq!(victims, vec![RowId::new(0), RowId::new(2), RowId::new(3)]);
+    /// ```
+    pub fn victims(self, radius: u32, rows_per_bank: u32) -> impl Iterator<Item = RowId> {
+        let lo = self.0.saturating_sub(radius);
+        let hi = (self.0 + radius).min(rows_per_bank.saturating_sub(1));
+        let center = self.0;
+        (lo..=hi).filter(move |&r| r != center).map(RowId)
+    }
+}
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row{}", self.0)
+    }
+}
+
+impl From<u32> for RowId {
+    #[inline]
+    fn from(index: u32) -> Self {
+        RowId(index)
+    }
+}
+
+/// Identifies a bank within one sub-channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId(u16);
+
+impl BankId {
+    /// Creates a bank id from a dense index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        BankId(index)
+    }
+
+    /// Returns the dense index.
+    #[inline]
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the dense index as `usize` for slice indexing.
+    #[inline]
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+impl From<u16> for BankId {
+    #[inline]
+    fn from(index: u16) -> Self {
+        BankId(index)
+    }
+}
+
+/// A PRAC activation-counter value.
+///
+/// The JEDEC PRAC counter is a per-row in-array counter updated during the
+/// precharge that follows each activation. This type wraps the raw count and
+/// offers saturating arithmetic so counter handling can never silently wrap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ActCount(u32);
+
+impl ActCount {
+    /// Zero activations.
+    pub const ZERO: ActCount = ActCount(0);
+
+    /// Creates a count from a raw value.
+    #[inline]
+    pub const fn new(count: u32) -> Self {
+        ActCount(count)
+    }
+
+    /// Returns the raw count.
+    #[inline]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Increments by one activation (saturating).
+    #[inline]
+    #[must_use]
+    pub const fn incremented(self) -> ActCount {
+        ActCount(self.0.saturating_add(1))
+    }
+}
+
+impl fmt::Display for ActCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for ActCount {
+    #[inline]
+    fn from(count: u32) -> Self {
+        ActCount(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_arithmetic() {
+        let a = Nanos::new(100);
+        let b = Nanos::new(52);
+        assert_eq!(a + b, Nanos::new(152));
+        assert_eq!(a - b, Nanos::new(48));
+        assert_eq!(b * 3, Nanos::new(156));
+        assert_eq!(a / 2, Nanos::new(50));
+        assert_eq!(Nanos::new(3900).div_duration(Nanos::new(52)), 75);
+        assert_eq!(a.saturating_sub(Nanos::new(200)), Nanos::ZERO);
+        assert_eq!(a.checked_sub(Nanos::new(200)), None);
+        assert_eq!(Nanos::from_millis(32), Nanos::new(32_000_000));
+        assert_eq!(Nanos::from_micros(5), Nanos::new(5_000));
+    }
+
+    #[test]
+    fn nanos_ordering_and_minmax() {
+        let a = Nanos::new(10);
+        let b = Nanos::new(20);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(format!("{a}"), "10ns");
+    }
+
+    #[test]
+    fn nanos_sum() {
+        let total: Nanos = (1..=4).map(Nanos::new).sum();
+        assert_eq!(total, Nanos::new(10));
+    }
+
+    #[test]
+    fn row_adjacency() {
+        let r = RowId::new(5);
+        assert_eq!(r.below(), Some(RowId::new(4)));
+        assert_eq!(r.above(65536), Some(RowId::new(6)));
+        assert_eq!(RowId::new(0).below(), None);
+        assert_eq!(RowId::new(65535).above(65536), None);
+    }
+
+    #[test]
+    fn victims_clamped_at_edges() {
+        let v: Vec<_> = RowId::new(0).victims(2, 65536).collect();
+        assert_eq!(v, vec![RowId::new(1), RowId::new(2)]);
+        let v: Vec<_> = RowId::new(65535).victims(2, 65536).collect();
+        assert_eq!(v, vec![RowId::new(65533), RowId::new(65534)]);
+        let v: Vec<_> = RowId::new(100).victims(2, 65536).collect();
+        assert_eq!(v.len(), 4);
+        assert!(!v.contains(&RowId::new(100)));
+    }
+
+    #[test]
+    fn act_count_saturates() {
+        let c = ActCount::new(u32::MAX);
+        assert_eq!(c.incremented(), ActCount::new(u32::MAX));
+        assert_eq!(ActCount::ZERO.incremented(), ActCount::new(1));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!format!("{:?}", Nanos::ZERO).is_empty());
+        assert!(!format!("{}", RowId::new(3)).is_empty());
+        assert!(!format!("{}", BankId::new(3)).is_empty());
+        assert!(!format!("{}", ActCount::ZERO).is_empty());
+    }
+}

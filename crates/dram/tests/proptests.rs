@@ -1,0 +1,133 @@
+//! Property-based tests for the DRAM substrate invariants.
+
+use moat_dram::{
+    AboLevel, AboProtocol, AddressMapping, Bank, DramConfig, DramTiming, Nanos, RowId,
+    SecurityLedger,
+};
+use proptest::prelude::*;
+
+fn small_config() -> DramConfig {
+    DramConfig::builder().rows_per_bank(256).build()
+}
+
+proptest! {
+    /// The PRAC counter of every row always equals the exact number of
+    /// activations performed on it (idealized tracking, §2.4).
+    #[test]
+    fn prac_counter_matches_ground_truth(rows in prop::collection::vec(0u32..256, 1..500)) {
+        let cfg = small_config();
+        let mut bank = Bank::new(&cfg);
+        let mut truth = vec![0u32; 256];
+        let mut now = Nanos::ZERO;
+        for r in &rows {
+            bank.activate(RowId::new(*r), now).unwrap();
+            truth[*r as usize] += 1;
+            now += cfg.timing.t_rc;
+        }
+        for r in 0..256u32 {
+            prop_assert_eq!(bank.counter(RowId::new(r)).get(), truth[r as usize]);
+        }
+        prop_assert_eq!(bank.total_acts(), rows.len() as u64);
+    }
+
+    /// Two activations can never be closer than tRC.
+    #[test]
+    fn trc_never_violated(gaps in prop::collection::vec(0u64..120, 1..200)) {
+        let cfg = small_config();
+        let mut bank = Bank::new(&cfg);
+        let mut now = Nanos::ZERO;
+        let mut last_accepted: Option<Nanos> = None;
+        for gap in gaps {
+            now += Nanos::new(gap);
+            if bank.activate(RowId::new(0), now).is_ok() {
+                if let Some(prev) = last_accepted {
+                    prop_assert!(now.as_u64() - prev.as_u64() >= cfg.timing.t_rc.as_u64());
+                }
+                last_accepted = Some(now);
+            }
+        }
+    }
+
+    /// Ledger pressure on a victim is exactly the number of activations of
+    /// rows within the blast radius since the victim's last refresh.
+    #[test]
+    fn ledger_pressure_matches_naive_model(
+        ops in prop::collection::vec((0u32..256, prop::bool::ANY), 1..400)
+    ) {
+        let cfg = small_config();
+        let mut ledger = SecurityLedger::new(&cfg);
+        let mut naive = vec![0u32; 256];
+        for (row, is_refresh) in ops {
+            if is_refresh {
+                ledger.on_refresh_single(RowId::new(row));
+                naive[row as usize] = 0;
+            } else {
+                ledger.on_activate(RowId::new(row));
+                let lo = row.saturating_sub(cfg.blast_radius);
+                let hi = (row + cfg.blast_radius).min(255);
+                for v in lo..=hi {
+                    if v != row {
+                        naive[v as usize] += 1;
+                    }
+                }
+            }
+        }
+        for r in 0..256u32 {
+            prop_assert_eq!(ledger.pressure(RowId::new(r)), naive[r as usize]);
+        }
+        prop_assert_eq!(
+            ledger.current_max_pressure(),
+            naive.iter().copied().max().unwrap()
+        );
+    }
+
+    /// The address mapping is a bijection on its address space.
+    #[test]
+    fn mapping_roundtrips(addr in 0u64..(1 << 35)) {
+        let map = AddressMapping::new(&DramConfig::paper_baseline());
+        let coord = map.decode(addr);
+        prop_assert_eq!(map.encode(coord), addr & map.address_mask());
+    }
+
+    /// The ABO protocol never allows two ALERT assertions separated by
+    /// fewer than `min_acts_between_alerts(L)` total activations (Fig. 8:
+    /// 3 in-window + L post-RFM).
+    #[test]
+    fn abo_spacing_invariant(
+        level_idx in 0usize..3,
+        acts in prop::collection::vec(0u8..4, 1..100)
+    ) {
+        let level = AboLevel::ALL[level_idx];
+        let timing = DramTiming::ddr5_prac();
+        let mut abo = AboProtocol::new(level, timing);
+        let mut now = Nanos::ZERO;
+        let mut acts_since_last_alert = u64::MAX; // no previous alert
+        for n_acts in acts {
+            // Attacker performs a few ACTs, then tries to assert.
+            for _ in 0..n_acts {
+                abo.on_act();
+                acts_since_last_alert = acts_since_last_alert.saturating_add(1);
+                now += timing.t_rc;
+            }
+            if abo.can_assert() {
+                // In-window ACTs: the attacker can squeeze 3 more in the
+                // 180 ns window; count them toward the spacing total.
+                let stall = abo.assert_alert(now).unwrap();
+                let in_window = (stall.as_u64() - now.as_u64()) / timing.t_rc.as_u64();
+                if acts_since_last_alert != u64::MAX {
+                    let total = acts_since_last_alert + in_window;
+                    prop_assert!(
+                        total >= timing.min_acts_between_alerts(level.as_u8()) - 1,
+                        "alerts spaced by only {total} acts at level {level}"
+                    );
+                }
+                let mut t = stall;
+                for _ in 0..level.as_u8() {
+                    t = abo.start_rfm(t).unwrap();
+                }
+                now = t;
+                acts_since_last_alert = 0;
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Rational slot budgeting for REF-time mitigation.
+//!
+//! The paper's default mitigation rate is one victim-row refresh per REF
+//! (§2.2); Table 6 sweeps the rate from one aggressor per tREFI (five
+//! victim-ops per REF for MOAT) down to one per 10 tREFI (half a victim-op
+//! per REF). A rational accumulator keeps fractional rates exact.
+
+/// An exact rational per-REF budget of mitigation slots.
+///
+/// # Examples
+///
+/// ```
+/// use moat_sim::SlotBudget;
+///
+/// // Half a slot per REF: a slot fires every second REF.
+/// let mut b = SlotBudget::new(1, 2);
+/// assert_eq!(b.on_ref(), 0);
+/// assert_eq!(b.on_ref(), 1);
+/// assert_eq!(b.on_ref(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotBudget {
+    num: u32,
+    den: u32,
+    acc: u32,
+}
+
+impl SlotBudget {
+    /// Creates a budget of `num / den` slots per REF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: u32, den: u32) -> Self {
+        assert!(den > 0, "denominator must be non-zero");
+        SlotBudget { num, den, acc: 0 }
+    }
+
+    /// A budget of zero slots (mitigation disabled; "none" row of Table 6).
+    pub const fn disabled() -> Self {
+        SlotBudget {
+            num: 0,
+            den: 1,
+            acc: 0,
+        }
+    }
+
+    /// The paper's default: one victim-op slot per REF.
+    pub const fn paper_default() -> Self {
+        SlotBudget {
+            num: 1,
+            den: 1,
+            acc: 0,
+        }
+    }
+
+    /// The budget that mitigates one aggressor (costing `ops` REF slots)
+    /// every `trefi` REF intervals — the parameterization of Table 6.
+    pub fn per_aggressor(ops: u32, trefi: u32) -> Self {
+        Self::new(ops, trefi.max(1))
+    }
+
+    /// Whether the budget is zero.
+    pub fn is_disabled(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Accrues one REF worth of budget and returns the number of whole
+    /// slots now available.
+    pub fn on_ref(&mut self) -> u32 {
+        self.acc += self.num;
+        let slots = self.acc / self.den;
+        self.acc %= self.den;
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_one_per_ref() {
+        let mut b = SlotBudget::paper_default();
+        for _ in 0..5 {
+            assert_eq!(b.on_ref(), 1);
+        }
+    }
+
+    #[test]
+    fn five_per_ref_for_one_aggressor_per_trefi() {
+        // MOAT (5 ops) at one aggressor per tREFI.
+        let mut b = SlotBudget::per_aggressor(5, 1);
+        assert_eq!(b.on_ref(), 5);
+    }
+
+    #[test]
+    fn fractional_rates_average_exactly() {
+        // One aggressor (5 ops) per 3 tREFI = 5/3 slots per REF.
+        let mut b = SlotBudget::per_aggressor(5, 3);
+        let total: u32 = (0..30).map(|_| b.on_ref()).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn disabled_yields_nothing() {
+        let mut b = SlotBudget::disabled();
+        assert!(b.is_disabled());
+        for _ in 0..10 {
+            assert_eq!(b.on_ref(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_rejected() {
+        let _ = SlotBudget::new(1, 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! The sub-channel performance simulator (§6, §7).
+//!
+//! A DDR5 sub-channel of banks executes a stream of activation requests
+//! under the full REF + ABO timing. ALERT stalls the entire sub-channel
+//! (180 ns of permitted activity, then `L` × 350 ns of RFM), exactly like
+//! the paper's model, so the performance effects of MOAT's design
+//! parameters (ATH, ETH, level, mitigation rate) fall out of the same
+//! machinery the security simulator uses.
+//!
+//! Slowdown is measured by running the identical request stream with
+//! ALERTs enabled and disabled and comparing completion times — the
+//! paper's "normalized to a system that does not incur any ALERTs".
+
+use moat_dram::{
+    AboLevel, AboPhase, AboProtocol, BankId, DramConfig, MitigationEngine, Nanos, RowId,
+};
+
+use crate::budget::SlotBudget;
+use crate::unit::BankUnit;
+
+/// One activation request: issue `gap` after the previous request's
+/// intended issue point, to `bank`/`row`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Inter-arrival gap from the previous request's intent time.
+    pub gap: Nanos,
+    /// Target bank.
+    pub bank: BankId,
+    /// Target row.
+    pub row: RowId,
+}
+
+/// A source of requests (workload generators implement this).
+pub trait RequestStream {
+    /// The next request, or `None` when the workload is complete.
+    fn next_request(&mut self) -> Option<Request>;
+}
+
+impl<I: Iterator<Item = Request>> RequestStream for I {
+    fn next_request(&mut self) -> Option<Request> {
+        self.next()
+    }
+}
+
+/// Configuration of a performance simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfConfig {
+    /// DRAM organization and timing.
+    pub dram: DramConfig,
+    /// Number of banks simulated in the sub-channel (32 at paper scale;
+    /// experiments may scale down and extrapolate).
+    pub banks: u16,
+    /// ABO mitigation level.
+    pub abo_level: AboLevel,
+    /// REF-time mitigation budget per bank.
+    pub budget: SlotBudget,
+    /// Whether ALERT assertion is honoured (disable for the baseline).
+    pub alerts_enabled: bool,
+}
+
+impl PerfConfig {
+    /// Paper-scale defaults: 32 banks, level 1, one victim-op per REF.
+    pub fn paper_default() -> Self {
+        PerfConfig {
+            dram: DramConfig::paper_baseline(),
+            banks: 32,
+            abo_level: AboLevel::L1,
+            budget: SlotBudget::paper_default(),
+            alerts_enabled: true,
+        }
+    }
+
+    /// Sets the number of banks.
+    #[must_use]
+    pub fn banks(mut self, banks: u16) -> Self {
+        self.banks = banks;
+        self
+    }
+
+    /// Enables or disables ALERT.
+    #[must_use]
+    pub fn alerts(mut self, enabled: bool) -> Self {
+        self.alerts_enabled = enabled;
+        self
+    }
+}
+
+/// Outcome of a performance simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfReport {
+    /// Time at which the last request completed.
+    pub completion_time: Nanos,
+    /// Requests executed.
+    pub total_acts: u64,
+    /// ALERTs asserted on the sub-channel.
+    pub alerts: u64,
+    /// RFMs issued.
+    pub rfms: u64,
+    /// REF commands performed (per bank; REFs are all-bank).
+    pub refs: u64,
+    /// Aggressor mitigations completed during REF, summed over banks.
+    pub proactive_mitigations: u64,
+    /// Aggressor mitigations completed during RFM, summed over banks.
+    pub reactive_mitigations: u64,
+    /// ALERTs per tREFI interval (the Fig. 11b metric).
+    pub alerts_per_trefi: f64,
+    /// Mitigations + ALERT mitigations per bank per tREFW (Table 5).
+    pub mitigations_per_bank_per_trefw: f64,
+    /// Highest hammer pressure observed on any row of any bank.
+    pub max_pressure: u32,
+    /// Highest per-aggressor epoch observed (the paper's §2.1 metric).
+    pub max_epoch: u32,
+}
+
+impl PerfReport {
+    /// Slowdown of `self` relative to a baseline run of the same stream:
+    /// `completion_time / baseline.completion_time − 1`.
+    pub fn slowdown_vs(&self, baseline: &PerfReport) -> f64 {
+        self.completion_time.as_u64() as f64 / baseline.completion_time.as_u64() as f64 - 1.0
+    }
+}
+
+/// The sub-channel performance simulator.
+///
+/// # Examples
+///
+/// ```
+/// use moat_core::{MoatConfig, MoatEngine};
+/// use moat_dram::{BankId, Nanos, RowId};
+/// use moat_sim::{PerfConfig, PerfSim, Request};
+///
+/// let cfg = PerfConfig::paper_default().banks(2);
+/// let mut sim = PerfSim::new(cfg, || Box::new(MoatEngine::new(MoatConfig::paper_default())));
+/// let stream = (0..1000u32).map(|i| Request {
+///     gap: Nanos::new(60),
+///     bank: BankId::new((i % 2) as u16),
+///     row: RowId::new(i % 64),
+/// });
+/// let report = sim.run(stream);
+/// assert_eq!(report.total_acts, 1000);
+/// ```
+#[derive(Debug)]
+pub struct PerfSim {
+    config: PerfConfig,
+    units: Vec<BankUnit>,
+    abo: AboProtocol,
+    /// Sub-channel unavailable before this time (REF / RFM stall).
+    stall_until: Nanos,
+    last_end: Nanos,
+}
+
+impl PerfSim {
+    /// Creates a simulator; `engine_factory` builds one engine per bank.
+    pub fn new<F>(config: PerfConfig, mut engine_factory: F) -> Self
+    where
+        F: FnMut() -> Box<dyn MitigationEngine>,
+    {
+        let units = (0..config.banks)
+            .map(|_| BankUnit::new(&config.dram, engine_factory(), config.budget))
+            .collect();
+        PerfSim {
+            config,
+            units,
+            abo: AboProtocol::new(config.abo_level, config.dram.timing),
+            stall_until: Nanos::ZERO,
+            last_end: Nanos::ZERO,
+        }
+    }
+
+    /// The simulated bank units.
+    pub fn units(&self) -> &[BankUnit] {
+        &self.units
+    }
+
+    /// Runs the stream to completion and reports.
+    ///
+    /// The arrival process is closed-loop: when a request is delayed past
+    /// its intended issue time (by a REF, an ALERT stall, or a bank
+    /// conflict), every subsequent intent shifts by that delay — the
+    /// rate-mode cores slip together when the memory system falls behind.
+    /// This is what makes ALERT stalls visible in the completion-time
+    /// ratio the paper reports as slowdown.
+    pub fn run<S: RequestStream>(&mut self, mut stream: S) -> PerfReport {
+        let t_rc = self.config.dram.timing.t_rc;
+        let mut intent = Nanos::ZERO;
+        let mut shift = Nanos::ZERO;
+
+        while let Some(req) = stream.next_request() {
+            intent += req.gap;
+            let eff_intent = intent + shift;
+            let bank_idx = req.bank.as_usize();
+            assert!(bank_idx < self.units.len(), "request to unknown bank");
+
+            let t = loop {
+                let bank_ready = self.units[bank_idx].bank().next_ready();
+                let t_cand = eff_intent.max(self.stall_until).max(bank_ready);
+
+                // All-bank REF when due (and no ALERT episode in flight).
+                let ref_due = self.units[0].refresh().next_due();
+                if matches!(self.abo.phase(), AboPhase::Idle) && ref_due <= t_cand {
+                    self.do_ref(ref_due.max(self.stall_until));
+                    continue;
+                }
+
+                // If the ALERT activity window closes before this request
+                // could finish, the RFMs run first.
+                if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
+                    if t_cand + t_rc > stall_at {
+                        self.do_rfms(stall_at);
+                        continue;
+                    }
+                }
+                break t_cand;
+            };
+
+            self.units[bank_idx]
+                .activate(req.row, t)
+                .expect("issue time respects bank timing");
+            self.abo.on_act();
+            shift += t - eff_intent;
+            self.last_end = t + t_rc;
+
+            // Assert ALERT at the precharge that crossed the threshold.
+            if self.config.alerts_enabled
+                && self.abo.can_assert()
+                && self.units.iter().any(BankUnit::alert_pending)
+            {
+                self.abo
+                    .assert_alert(self.last_end)
+                    .expect("can_assert checked");
+            }
+        }
+
+        // Drain a trailing ALERT episode.
+        if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
+            self.do_rfms(stall_at);
+            self.last_end = self.last_end.max(self.stall_until);
+        }
+
+        self.report()
+    }
+
+    fn do_ref(&mut self, start: Nanos) {
+        for u in &mut self.units {
+            u.perform_ref(start);
+        }
+        let end = start + self.config.dram.timing.t_rfc;
+        self.stall_until = self.stall_until.max(end);
+        for u in &mut self.units {
+            u.bank_mut().occupy_until(end);
+        }
+    }
+
+    fn do_rfms(&mut self, stall_at: Nanos) {
+        let mut t = stall_at.max(self.stall_until);
+        for _ in 0..self.config.abo_level.as_u8() {
+            t = self.abo.start_rfm(t).expect("rfm sequencing");
+            // Each RFM mitigates one row from every bank (§7.2).
+            for u in &mut self.units {
+                u.rfm_mitigate();
+            }
+        }
+        self.stall_until = self.stall_until.max(t);
+        for u in &mut self.units {
+            u.bank_mut().occupy_until(t);
+        }
+    }
+
+    /// The report for everything simulated so far.
+    pub fn report(&self) -> PerfReport {
+        let elapsed = self.last_end.max(Nanos::new(1));
+        let t_refi = self.config.dram.timing.t_refi.as_u64() as f64;
+        let t_refw = self.config.dram.timing.t_refw.as_u64() as f64;
+        let trefi_intervals = (elapsed.as_u64() as f64 / t_refi).max(1.0);
+        let trefw_windows = (elapsed.as_u64() as f64 / t_refw).max(1e-12);
+
+        let mut acts = 0;
+        let mut refs = 0;
+        let mut proactive = 0;
+        let mut reactive = 0;
+        let mut max_pressure = 0;
+        let mut max_epoch = 0;
+        for u in &self.units {
+            let s = u.stats();
+            acts += s.acts;
+            refs = refs.max(s.refs);
+            proactive += s.proactive_mitigations;
+            reactive += s.reactive_mitigations;
+            max_pressure = max_pressure.max(u.ledger().max_pressure_ever());
+            max_epoch = max_epoch.max(u.ledger().max_epoch_ever());
+        }
+        let banks = self.units.len() as f64;
+        PerfReport {
+            completion_time: self.last_end,
+            total_acts: acts,
+            alerts: self.abo.alerts(),
+            rfms: self.abo.rfms(),
+            refs,
+            proactive_mitigations: proactive,
+            reactive_mitigations: reactive,
+            alerts_per_trefi: self.abo.alerts() as f64 / trefi_intervals,
+            mitigations_per_bank_per_trefw: (proactive + reactive) as f64 / banks / trefw_windows,
+            max_pressure,
+            max_epoch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_core::{MoatConfig, MoatEngine};
+
+    fn small_cfg(banks: u16, alerts: bool) -> PerfConfig {
+        let dram = DramConfig::builder().rows_per_bank(4096).build();
+        PerfConfig {
+            dram,
+            banks,
+            abo_level: AboLevel::L1,
+            budget: SlotBudget::paper_default(),
+            alerts_enabled: alerts,
+        }
+    }
+
+    fn moat_factory() -> Box<dyn MitigationEngine> {
+        Box::new(MoatEngine::new(MoatConfig::paper_default()))
+    }
+
+    fn uniform_stream(n: u32, banks: u16, gap: u64) -> impl Iterator<Item = Request> {
+        (0..n).map(move |i| Request {
+            gap: Nanos::new(gap),
+            bank: BankId::new((i % u32::from(banks)) as u16),
+            row: RowId::new((i * 37) % 4096),
+        })
+    }
+
+    #[test]
+    fn completes_all_requests() {
+        let mut sim = PerfSim::new(small_cfg(4, true), moat_factory);
+        let r = sim.run(uniform_stream(5000, 4, 20));
+        assert_eq!(r.total_acts, 5000);
+        assert!(r.completion_time > Nanos::ZERO);
+    }
+
+    #[test]
+    fn benign_uniform_traffic_never_alerts() {
+        let mut sim = PerfSim::new(small_cfg(4, true), moat_factory);
+        let r = sim.run(uniform_stream(20_000, 4, 30));
+        assert_eq!(r.alerts, 0, "uniform traffic stays below ATH");
+        assert!(r.refs > 0, "REFs happen during the run");
+    }
+
+    #[test]
+    fn hammering_stream_alerts_and_slows_down() {
+        // All requests to one bank, one row: ALERT every ~65 ACTs.
+        let hot = |n: u32| {
+            (0..n).map(|_| Request {
+                gap: Nanos::new(52),
+                bank: BankId::new(0),
+                row: RowId::new(9),
+            })
+        };
+        let mut with = PerfSim::new(small_cfg(1, true), moat_factory);
+        let with_alerts = with.run(hot(10_000));
+        let mut without = PerfSim::new(small_cfg(1, false), moat_factory);
+        let baseline = without.run(hot(10_000));
+        assert!(with_alerts.alerts > 100);
+        let slowdown = with_alerts.slowdown_vs(&baseline);
+        // Fig. 13a: single-row hammering loses ~10% throughput.
+        assert!(
+            (0.02..0.30).contains(&slowdown),
+            "slowdown {slowdown} out of range"
+        );
+        // Security holds while performance degrades.
+        assert!(with_alerts.max_pressure < 99);
+    }
+
+    #[test]
+    fn refs_occur_roughly_every_trefi() {
+        let mut sim = PerfSim::new(small_cfg(2, true), moat_factory);
+        let r = sim.run(uniform_stream(50_000, 2, 60));
+        let expected = r.completion_time.as_u64() / 3900;
+        assert!(
+            (r.refs as i64 - expected as i64).abs() <= 2,
+            "refs {} vs expected {expected}",
+            r.refs
+        );
+    }
+
+    #[test]
+    fn disabled_alerts_never_assert() {
+        let hot = (0..5000u32).map(|_| Request {
+            gap: Nanos::new(52),
+            bank: BankId::new(0),
+            row: RowId::new(9),
+        });
+        let mut sim = PerfSim::new(small_cfg(1, false), moat_factory);
+        let r = sim.run(hot);
+        assert_eq!(r.alerts, 0);
+        assert_eq!(r.rfms, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown bank")]
+    fn request_to_missing_bank_panics() {
+        let mut sim = PerfSim::new(small_cfg(1, true), moat_factory);
+        let bad = std::iter::once(Request {
+            gap: Nanos::ZERO,
+            bank: BankId::new(5),
+            row: RowId::new(0),
+        });
+        let _ = sim.run(bad);
+    }
+}

@@ -1,0 +1,432 @@
+//! The bank-level security simulator: an adaptive attacker versus one bank
+//! unit under full DDR5/PRAC/ABO timing.
+//!
+//! The simulator is the referee for every security experiment in the paper
+//! (Figs. 5, 7, 10, 15, 16): it enforces tRC spacing, schedules REFs,
+//! drives the ABO protocol, and maintains the ground-truth
+//! [`SecurityLedger`](moat_dram::SecurityLedger) outside the reach of the
+//! defense. The attacker sees the complete defense state each step (threat
+//! model §2.1) and decides the next activation.
+
+use moat_dram::{
+    AboLevel, AboPhase, AboProtocol, DramConfig, MitigationEngine, Nanos, RowId,
+};
+
+use crate::budget::SlotBudget;
+use crate::unit::BankUnit;
+
+/// What the attacker does with its next ACT slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackStep {
+    /// Activate this row.
+    Act(RowId),
+    /// Let the slot pass unused.
+    Idle,
+    /// Postpone the next REF (the threat model lets the attacker choose
+    /// the memory-system policy, §2.1 / Appendix B). Costs no time; if
+    /// the postponement budget is exhausted the step degrades to `Idle`.
+    PostponeRef,
+    /// End the attack (the simulation stops).
+    Stop,
+}
+
+/// Read-only view of the complete defense state, handed to the attacker
+/// each step.
+#[derive(Debug)]
+pub struct DefenseView<'a> {
+    /// Current simulation time.
+    pub now: Nanos,
+    /// The bank unit under attack (bank counters, engine state, ledger,
+    /// refresh pointer are all inspectable).
+    pub unit: &'a BankUnit,
+    /// The ABO protocol state.
+    pub abo: &'a AboProtocol,
+}
+
+impl DefenseView<'_> {
+    /// Convenience: the mitigation engine, for downcasting to a concrete
+    /// design (`view.engine().as_any().downcast_ref::<PanopticonEngine>()`).
+    pub fn engine(&self) -> &dyn MitigationEngine {
+        self.unit.engine()
+    }
+}
+
+/// An adaptive single-bank attacker.
+pub trait Attacker {
+    /// Chooses the next step given full visibility of the defense.
+    fn step(&mut self, view: &DefenseView<'_>) -> AttackStep;
+
+    /// A short name for reports.
+    fn name(&self) -> String {
+        "attacker".to_string()
+    }
+}
+
+/// Configuration of a security simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SecurityConfig {
+    /// DRAM organization and timing.
+    pub dram: DramConfig,
+    /// ABO mitigation level.
+    pub abo_level: AboLevel,
+    /// REF-time mitigation budget.
+    pub budget: SlotBudget,
+    /// Whether the DRAM may assert ALERT (disable to measure raw feinting
+    /// bounds of purely transparent schemes).
+    pub alerts_enabled: bool,
+}
+
+impl SecurityConfig {
+    /// The paper's defaults: baseline DRAM, ABO level 1, one victim-op
+    /// slot per REF, ALERTs enabled.
+    pub fn paper_default() -> Self {
+        SecurityConfig {
+            dram: DramConfig::paper_baseline(),
+            abo_level: AboLevel::L1,
+            budget: SlotBudget::paper_default(),
+            alerts_enabled: true,
+        }
+    }
+}
+
+impl Default for SecurityConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Outcome of a security simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecurityReport {
+    /// Highest hammer pressure any victim row ever absorbed — the metric
+    /// plotted in Figs. 5 and 10. A defense tolerates Rowhammer threshold
+    /// `T` iff this stays ≤ `T`.
+    pub max_pressure: u32,
+    /// The victim row that absorbed it.
+    pub max_pressure_row: RowId,
+    /// Highest per-aggressor epoch (the paper's §2.1 metric: activations
+    /// on one row without intervening mitigation or neighborhood refresh).
+    pub max_epoch: u32,
+    /// Total attacker activations performed.
+    pub total_acts: u64,
+    /// ALERTs asserted.
+    pub alerts: u64,
+    /// RFMs issued.
+    pub rfms: u64,
+    /// REFs performed.
+    pub refs: u64,
+    /// Aggressor mitigations completed during REF.
+    pub proactive_mitigations: u64,
+    /// Aggressor mitigations completed during RFM.
+    pub reactive_mitigations: u64,
+    /// Virtual time elapsed.
+    pub elapsed: Nanos,
+}
+
+/// The single-bank security simulator.
+///
+/// # Examples
+///
+/// ```
+/// use moat_core::{MoatConfig, MoatEngine};
+/// use moat_dram::Nanos;
+/// use moat_sim::{hammer_attacker, SecurityConfig, SecuritySim};
+///
+/// let mut sim = SecuritySim::new(
+///     SecurityConfig::paper_default(),
+///     Box::new(MoatEngine::new(MoatConfig::paper_default())),
+/// );
+/// // Hammer one row continuously for a millisecond of DRAM time:
+/// let report = sim.run(&mut hammer_attacker(5), Nanos::from_millis(1));
+/// // MOAT keeps the pressure bounded near ATH despite ~19k activations:
+/// assert!(report.total_acts > 15_000);
+/// assert!(report.max_pressure < 99);
+/// ```
+#[derive(Debug)]
+pub struct SecuritySim {
+    config: SecurityConfig,
+    unit: BankUnit,
+    abo: AboProtocol,
+    now: Nanos,
+}
+
+impl SecuritySim {
+    /// Creates a simulator for `engine` under `config`.
+    pub fn new(config: SecurityConfig, engine: Box<dyn MitigationEngine>) -> Self {
+        let unit = BankUnit::new(&config.dram, engine, config.budget);
+        let abo = AboProtocol::new(config.abo_level, config.dram.timing);
+        SecuritySim {
+            config,
+            unit,
+            abo,
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// The bank unit (for pre-run setup such as randomized counter
+    /// initialization, and post-run inspection).
+    pub fn unit(&self) -> &BankUnit {
+        &self.unit
+    }
+
+    /// Mutable bank unit access.
+    pub fn unit_mut(&mut self) -> &mut BankUnit {
+        &mut self.unit
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Runs `attacker` for `duration` of virtual time (or until it stops)
+    /// and reports the outcome. Can be called repeatedly; time continues.
+    pub fn run(&mut self, attacker: &mut dyn Attacker, duration: Nanos) -> SecurityReport {
+        let end = self.now + duration;
+        let t_rc = self.config.dram.timing.t_rc;
+        let t_rfc = self.config.dram.timing.t_rfc;
+
+        while self.now < end {
+            // 1. ABO RFM phase has priority once the activity window closes.
+            match self.abo.phase() {
+                AboPhase::ActWindow { stall_at } if self.now >= stall_at => {
+                    let done = self.abo.start_rfm(self.now).expect("rfm after window");
+                    self.unit.rfm_mitigate();
+                    self.now = done;
+                    continue;
+                }
+                AboPhase::Rfm { busy_until, .. } => {
+                    let t = self.now.max(busy_until);
+                    let done = self.abo.start_rfm(t).expect("chained rfm");
+                    self.unit.rfm_mitigate();
+                    self.now = done;
+                    continue;
+                }
+                _ => {}
+            }
+
+            // 2. REF when due and the sub-channel is not in an ALERT.
+            if matches!(self.abo.phase(), AboPhase::Idle) && self.unit.refresh().is_due(self.now) {
+                self.unit.perform_ref(self.now);
+                self.now += t_rfc;
+                continue;
+            }
+
+            // 3. Assert ALERT as soon as requested and permitted.
+            if self.config.alerts_enabled && self.unit.alert_pending() && self.abo.can_assert() {
+                self.abo
+                    .assert_alert(self.now)
+                    .expect("can_assert checked");
+                // Normal operation continues inside the 180 ns window.
+            }
+
+            // 4. The attacker takes the next ACT slot.
+            let step = {
+                let view = DefenseView {
+                    now: self.now,
+                    unit: &self.unit,
+                    abo: &self.abo,
+                };
+                attacker.step(&view)
+            };
+            match step {
+                AttackStep::Stop => break,
+                AttackStep::Idle => {
+                    self.now += t_rc;
+                }
+                AttackStep::PostponeRef => {
+                    if self.unit.refresh_mut().postpone().is_err() {
+                        // Budget exhausted: burn the slot instead.
+                        self.now += t_rc;
+                    }
+                }
+                AttackStep::Act(row) => {
+                    // Inside an ALERT activity window, an ACT must finish
+                    // before the stall point.
+                    if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
+                        if self.now + t_rc > stall_at {
+                            self.now = stall_at;
+                            continue;
+                        }
+                    }
+                    let t = self.now.max(self.unit.bank().next_ready());
+                    match self.unit.activate(row, t) {
+                        Ok(_) => {
+                            self.abo.on_act();
+                            self.now = t + t_rc;
+                        }
+                        Err(_) => {
+                            // Timing said no; advance to the bank's ready
+                            // time and retry next iteration.
+                            self.now = self.unit.bank().next_ready();
+                        }
+                    }
+                }
+            }
+        }
+
+        self.report()
+    }
+
+    /// The report for everything simulated so far.
+    pub fn report(&self) -> SecurityReport {
+        let stats = self.unit.stats();
+        SecurityReport {
+            max_pressure: self.unit.ledger().max_pressure_ever(),
+            max_pressure_row: self.unit.ledger().max_pressure_row(),
+            max_epoch: self.unit.ledger().max_epoch_ever(),
+            total_acts: stats.acts,
+            alerts: self.abo.alerts(),
+            rfms: self.abo.rfms(),
+            refs: stats.refs,
+            proactive_mitigations: stats.proactive_mitigations,
+            reactive_mitigations: stats.reactive_mitigations,
+            elapsed: self.now,
+        }
+    }
+}
+
+/// A trivial attacker that hammers a single row forever — the
+/// single-row kernel of Fig. 13(a).
+pub fn hammer_attacker(row: u32) -> impl Attacker {
+    struct Hammer(RowId);
+    impl Attacker for Hammer {
+        fn step(&mut self, _view: &DefenseView<'_>) -> AttackStep {
+            AttackStep::Act(self.0)
+        }
+        fn name(&self) -> String {
+            format!("hammer({})", self.0)
+        }
+    }
+    Hammer(RowId::new(row))
+}
+
+/// An attacker that cycles through a fixed set of rows — the multi-row
+/// kernel of Fig. 13(b).
+pub fn round_robin_attacker(rows: Vec<u32>) -> impl Attacker {
+    struct RoundRobin {
+        rows: Vec<RowId>,
+        next: usize,
+    }
+    impl Attacker for RoundRobin {
+        fn step(&mut self, _view: &DefenseView<'_>) -> AttackStep {
+            let row = self.rows[self.next];
+            self.next = (self.next + 1) % self.rows.len();
+            AttackStep::Act(row)
+        }
+        fn name(&self) -> String {
+            format!("round-robin({} rows)", self.rows.len())
+        }
+    }
+    assert!(!rows.is_empty(), "need at least one row");
+    RoundRobin {
+        rows: rows.into_iter().map(RowId::new).collect(),
+        next: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_core::{MoatConfig, MoatEngine};
+    use moat_dram::NullEngine;
+
+    fn moat_sim() -> SecuritySim {
+        SecuritySim::new(
+            SecurityConfig::paper_default(),
+            Box::new(MoatEngine::new(MoatConfig::paper_default())),
+        )
+    }
+
+    #[test]
+    fn unmitigated_hammer_grows_without_bound() {
+        let mut sim = SecuritySim::new(
+            SecurityConfig::paper_default(),
+            Box::new(NullEngine::new()),
+        );
+        let report = sim.run(&mut hammer_attacker(10_000), Nanos::from_micros(200));
+        // 200 µs ≈ 51 tREFI ≈ 3400 ACT slots; no mitigation, and the
+        // refresh pointer is far from row 100.
+        assert!(report.max_pressure > 3000, "pressure {}", report.max_pressure);
+        assert_eq!(report.alerts, 0);
+    }
+
+    #[test]
+    fn moat_bounds_single_row_hammer_near_ath() {
+        let mut sim = moat_sim();
+        let report = sim.run(&mut hammer_attacker(10_000), Nanos::from_millis(2));
+        assert!(report.alerts > 0, "hammering past ATH must alert");
+        // §4.4: with instantaneous ALERTs the bound is ATH+2; a lone
+        // hammered row gains at most the 3 in-window ACTs on top.
+        assert!(
+            report.max_pressure <= 64 + 5,
+            "pressure {} exceeds ATH plus the in-window slack",
+            report.max_pressure
+        );
+    }
+
+    #[test]
+    fn moat_alert_rate_matches_ath_for_single_row() {
+        // §7.2: one ALERT per ~65 activations of a single row (plus the
+        // handful of in-window ACTs folded into each episode).
+        let mut sim = moat_sim();
+        let report = sim.run(&mut hammer_attacker(10_000), Nanos::from_millis(4));
+        let acts_per_alert = report.total_acts as f64 / report.alerts as f64;
+        assert!(
+            (60.0..90.0).contains(&acts_per_alert),
+            "acts per alert: {acts_per_alert}"
+        );
+    }
+
+    #[test]
+    fn refs_happen_on_schedule() {
+        let mut sim = moat_sim();
+        let report = sim.run(&mut hammer_attacker(0), Nanos::from_millis(1));
+        // 1 ms / 3900 ns ≈ 256 REFs (a few may slip past the horizon).
+        assert!((250..=258).contains(&report.refs), "refs: {}", report.refs);
+    }
+
+    #[test]
+    fn idle_attacker_advances_time() {
+        struct Lazy;
+        impl Attacker for Lazy {
+            fn step(&mut self, _v: &DefenseView<'_>) -> AttackStep {
+                AttackStep::Idle
+            }
+        }
+        let mut sim = moat_sim();
+        let report = sim.run(&mut Lazy, Nanos::from_micros(50));
+        assert_eq!(report.total_acts, 0);
+        assert!(report.elapsed >= Nanos::from_micros(50));
+    }
+
+    #[test]
+    fn stop_ends_early() {
+        struct OneShot(bool);
+        impl Attacker for OneShot {
+            fn step(&mut self, _v: &DefenseView<'_>) -> AttackStep {
+                if self.0 {
+                    AttackStep::Stop
+                } else {
+                    self.0 = true;
+                    AttackStep::Act(RowId::new(3))
+                }
+            }
+        }
+        let mut sim = moat_sim();
+        let report = sim.run(&mut OneShot(false), Nanos::from_millis(10));
+        assert_eq!(report.total_acts, 1);
+        assert!(report.elapsed < Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn round_robin_spreads_pressure() {
+        let mut sim = moat_sim();
+        let report = sim.run(
+            &mut round_robin_attacker(vec![10_010, 10_020, 10_030, 10_040, 10_050]),
+            Nanos::from_millis(1),
+        );
+        assert!(report.total_acts > 10_000);
+        assert!(report.max_pressure <= 99, "pressure {}", report.max_pressure);
+    }
+}

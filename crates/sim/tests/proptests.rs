@@ -1,0 +1,150 @@
+//! Property-based tests of the simulators: conservation laws and the
+//! MOAT security invariant under randomized adaptive attackers.
+
+use moat_core::{MoatConfig, MoatEngine};
+use moat_dram::{BankId, Nanos, RowId};
+use moat_sim::{
+    AttackStep, Attacker, DefenseView, PerfConfig, PerfSim, Request, SecurityConfig, SecuritySim,
+    SlotBudget,
+};
+use proptest::prelude::*;
+
+/// A randomized attacker that replays a fixed decision tape: act on one
+/// of a few rows, idle, or postpone.
+struct TapeAttacker {
+    tape: Vec<u8>,
+    pos: usize,
+    rows: Vec<RowId>,
+}
+
+impl Attacker for TapeAttacker {
+    fn step(&mut self, _view: &DefenseView<'_>) -> AttackStep {
+        if self.pos >= self.tape.len() {
+            // Loop the tape; the duration bounds the run.
+            self.pos = 0;
+        }
+        let op = self.tape[self.pos];
+        self.pos += 1;
+        match op % 10 {
+            8 => AttackStep::Idle,
+            9 => AttackStep::PostponeRef,
+            r => AttackStep::Act(self.rows[usize::from(r) % self.rows.len()]),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The MOAT security invariant holds under arbitrary attacker tapes:
+    /// no row's epoch ever exceeds the Appendix-A tolerated threshold.
+    #[test]
+    fn moat_invariant_under_random_tapes(
+        tape in prop::collection::vec(0u8..10, 50..400),
+        base in 1000u32..60_000
+    ) {
+        let mut sim = SecuritySim::new(
+            SecurityConfig::paper_default(),
+            Box::new(MoatEngine::new(MoatConfig::paper_default())),
+        );
+        let rows: Vec<RowId> = (0..8).map(|i| RowId::new(base % 60_000 + i * 6)).collect();
+        let mut attacker = TapeAttacker { tape, pos: 0, rows };
+        let report = sim.run(&mut attacker, Nanos::from_millis(2));
+        prop_assert!(
+            report.max_epoch <= 99,
+            "epoch {} exceeded the tolerated threshold",
+            report.max_epoch
+        );
+        prop_assert!(report.max_pressure <= 2 * 99, "pressure {}", report.max_pressure);
+    }
+
+    /// Conservation: the security report's activation count equals the
+    /// tape's act steps (modulo the run horizon), and REFs never stop.
+    #[test]
+    fn security_sim_counts_are_consistent(
+        tape in prop::collection::vec(0u8..10, 50..200)
+    ) {
+        let mut sim = SecuritySim::new(
+            SecurityConfig::paper_default(),
+            Box::new(MoatEngine::new(MoatConfig::paper_default())),
+        );
+        let rows: Vec<RowId> = (0..4).map(|i| RowId::new(30_000 + i * 6)).collect();
+        let mut attacker = TapeAttacker { tape, pos: 0, rows };
+        let report = sim.run(&mut attacker, Nanos::from_micros(500));
+        prop_assert!(report.elapsed >= Nanos::from_micros(500));
+        // 500 µs / 3900 ns ≈ 128 REFs.
+        prop_assert!((120..=132).contains(&report.refs), "refs {}", report.refs);
+        // Level 1 issues one RFM per ALERT; an ALERT asserted right at the
+        // horizon may end the run before its RFM executes.
+        prop_assert!(
+            report.alerts - report.rfms <= 1,
+            "alerts {} vs rfms {}",
+            report.alerts,
+            report.rfms
+        );
+    }
+
+    /// The performance simulator executes every request exactly once and
+    /// time never runs backwards, for arbitrary gap/bank/row streams.
+    #[test]
+    fn perf_sim_executes_all_requests(
+        reqs in prop::collection::vec((0u64..500, 0u16..4, 0u32..4096), 1..2000)
+    ) {
+        let dram = moat_dram::DramConfig::builder().rows_per_bank(4096).build();
+        let cfg = PerfConfig {
+            dram,
+            banks: 4,
+            abo_level: moat_dram::AboLevel::L1,
+            budget: SlotBudget::paper_default(),
+            alerts_enabled: true,
+        };
+        let n = reqs.len() as u64;
+        let stream = reqs.into_iter().map(|(gap, bank, row)| Request {
+            gap: Nanos::new(gap),
+            bank: BankId::new(bank),
+            row: RowId::new(row),
+        });
+        let mut sim = PerfSim::new(cfg, || {
+            Box::new(MoatEngine::new(MoatConfig::paper_default()))
+        });
+        let report = sim.run(stream);
+        prop_assert_eq!(report.total_acts, n);
+        prop_assert!(report.completion_time > Nanos::ZERO);
+        // Level-1 accounting: RFMs equal ALERTs.
+        prop_assert_eq!(report.rfms, report.alerts);
+    }
+
+    /// ALERT-disabled runs are never slower than ALERT-enabled runs of
+    /// the same stream (stalls only add time).
+    #[test]
+    fn alerts_never_speed_things_up(
+        seed_rows in prop::collection::vec(0u32..64, 10..50)
+    ) {
+        let dram = moat_dram::DramConfig::builder().rows_per_bank(4096).build();
+        let mk = |alerts: bool| PerfConfig {
+            dram,
+            banks: 1,
+            abo_level: moat_dram::AboLevel::L1,
+            budget: SlotBudget::paper_default(),
+            alerts_enabled: alerts,
+        };
+        // A hammering stream guaranteed to trigger ALERTs.
+        let stream = |_| {
+            let rows = seed_rows.clone();
+            (0..8000usize).map(move |i| Request {
+                gap: Nanos::ZERO,
+                bank: BankId::new(0),
+                row: RowId::new(2048 + rows[i % rows.len()] % 8),
+            })
+        };
+        let with = PerfSim::new(mk(true), || {
+            Box::new(MoatEngine::new(MoatConfig::paper_default()))
+        })
+        .run(stream(0));
+        let without = PerfSim::new(mk(false), || {
+            Box::new(MoatEngine::new(MoatConfig::paper_default()))
+        })
+        .run(stream(0));
+        prop_assert!(with.completion_time >= without.completion_time);
+    }
+}

@@ -1,0 +1,192 @@
+//! An idealized per-row SRAM tracker in the spirit of ProTRR's TRR-Ideal
+//! (§8 "Related Work").
+//!
+//! The tracker mirrors every row's activation count in SRAM and, at each
+//! mitigation opportunity, mitigates the row with the globally highest
+//! count. It never uses ALERT. This is the class of design whose tolerated
+//! threshold is bounded by the feinting attack (Table 2): with a mitigation
+//! rate of one aggressor per 4 tREFI, feinting inflicts ~2195 activations
+//! regardless of the tracker's perfection — the motivation for MOAT's
+//! reactive ALERT path.
+//!
+//! The SRAM cost (2 bytes × 64 Ki rows = 128 KiB per bank) is what makes
+//! this design impractical (Fig. 1a, "SRAM-optimal").
+
+use core::any::Any;
+use core::ops::Range;
+
+use moat_dram::{ActCount, MitigationEngine, RowId};
+
+/// The idealized per-row SRAM tracker for one bank.
+///
+/// # Examples
+///
+/// ```
+/// use moat_dram::{ActCount, MitigationEngine, RowId};
+/// use moat_trackers::IdealSramTracker;
+///
+/// let mut t = IdealSramTracker::new(1024);
+/// t.on_precharge_update(RowId::new(3), ActCount::new(10));
+/// t.on_precharge_update(RowId::new(9), ActCount::new(20));
+/// assert_eq!(t.select_ref_mitigation(), Some(RowId::new(9)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct IdealSramTracker {
+    counts: Vec<u32>,
+    /// Rows whose count dropped to zero are skipped at selection.
+    mitigations: u64,
+}
+
+impl IdealSramTracker {
+    /// Creates a tracker covering `rows` rows.
+    pub fn new(rows: u32) -> Self {
+        IdealSramTracker {
+            counts: vec![0; rows as usize],
+            mitigations: 0,
+        }
+    }
+
+    /// The SRAM count currently attributed to `row`.
+    pub fn count(&self, row: RowId) -> u32 {
+        self.counts[row.as_usize()]
+    }
+
+    /// Total mitigations selected.
+    pub fn mitigations(&self) -> u64 {
+        self.mitigations
+    }
+
+    fn argmax(&self) -> Option<RowId> {
+        let (idx, &max) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)?;
+        (max > 0).then(|| RowId::new(idx as u32))
+    }
+}
+
+impl MitigationEngine for IdealSramTracker {
+    fn name(&self) -> String {
+        "ideal-sram".to_string()
+    }
+
+    fn on_precharge_update(&mut self, row: RowId, _counter: ActCount) {
+        self.counts[row.as_usize()] += 1;
+    }
+
+    fn alert_pending(&self) -> bool {
+        false // purely transparent: never asks for more time (§2.5).
+    }
+
+    fn select_ref_mitigation(&mut self) -> Option<RowId> {
+        let row = self.argmax()?;
+        self.mitigations += 1;
+        Some(row)
+    }
+
+    fn select_alert_mitigation(&mut self) -> Option<RowId> {
+        None
+    }
+
+    fn on_mitigation_complete(&mut self, row: RowId) {
+        self.counts[row.as_usize()] = 0;
+    }
+
+    fn on_refresh_group(
+        &mut self,
+        rows: Range<u32>,
+        _counter_of: &mut dyn FnMut(RowId) -> ActCount,
+    ) {
+        // Refreshed rows' victims are safe; restart their counts.
+        for r in rows {
+            self.counts[r as usize] = 0;
+        }
+    }
+
+    fn resets_counters_on_refresh(&self) -> bool {
+        true
+    }
+
+    fn resets_counter_on_mitigation(&self) -> bool {
+        true
+    }
+
+    fn sram_bytes_per_bank(&self) -> usize {
+        self.counts.len() * 2
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_every_row_exactly() {
+        let mut t = IdealSramTracker::new(16);
+        for _ in 0..5 {
+            t.on_precharge_update(RowId::new(3), ActCount::ZERO);
+        }
+        for _ in 0..2 {
+            t.on_precharge_update(RowId::new(7), ActCount::ZERO);
+        }
+        assert_eq!(t.count(RowId::new(3)), 5);
+        assert_eq!(t.count(RowId::new(7)), 2);
+    }
+
+    #[test]
+    fn selects_global_max_and_resets() {
+        let mut t = IdealSramTracker::new(16);
+        for r in [1u32, 1, 1, 2, 2, 5] {
+            t.on_precharge_update(RowId::new(r), ActCount::ZERO);
+        }
+        let row = t.select_ref_mitigation().unwrap();
+        assert_eq!(row, RowId::new(1));
+        t.on_mitigation_complete(row);
+        assert_eq!(t.count(RowId::new(1)), 0);
+        assert_eq!(t.select_ref_mitigation(), Some(RowId::new(2)));
+    }
+
+    #[test]
+    fn empty_tracker_selects_nothing() {
+        let mut t = IdealSramTracker::new(16);
+        assert_eq!(t.select_ref_mitigation(), None);
+        t.on_precharge_update(RowId::new(0), ActCount::ZERO);
+        t.on_mitigation_complete(RowId::new(0));
+        assert_eq!(t.select_ref_mitigation(), None);
+    }
+
+    #[test]
+    fn refresh_clears_group_counts() {
+        let mut t = IdealSramTracker::new(16);
+        for r in 0..16u32 {
+            t.on_precharge_update(RowId::new(r), ActCount::ZERO);
+        }
+        t.on_refresh_group(0..8, &mut |_| ActCount::ZERO);
+        for r in 0..8u32 {
+            assert_eq!(t.count(RowId::new(r)), 0);
+        }
+        assert_eq!(t.count(RowId::new(8)), 1);
+    }
+
+    #[test]
+    fn sram_cost_is_impractical() {
+        // 64 Ki rows × 2 bytes = 128 KiB per bank (Fig. 1a).
+        let t = IdealSramTracker::new(65536);
+        assert_eq!(t.sram_bytes_per_bank(), 128 * 1024);
+    }
+
+    #[test]
+    fn never_alerts() {
+        let mut t = IdealSramTracker::new(4);
+        for _ in 0..10_000 {
+            t.on_precharge_update(RowId::new(0), ActCount::ZERO);
+        }
+        assert!(!t.alert_pending());
+        assert_eq!(t.select_alert_mitigation(), None);
+    }
+}

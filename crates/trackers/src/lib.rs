@@ -1,0 +1,33 @@
+//! # moat-trackers — baseline Rowhammer trackers
+//!
+//! The mitigation designs the paper compares MOAT against, all implementing
+//! [`moat_dram::MitigationEngine`]:
+//!
+//! * [`PanopticonEngine`] — the 8-entry FIFO queue design that inspired
+//!   PRAC+ABO (§3), in both the gradual-mitigation form the paper attacks
+//!   with Jailbreak and the Appendix-B drain-on-REF variant; plus
+//!   [`randomize_counters`] for the randomized-initialization defense.
+//! * [`IdealSramTracker`] — a ProTRR TRR-Ideal-style per-row SRAM tracker,
+//!   the "SRAM-optimal" class of Fig. 1(a), bounded by feinting (Table 2).
+//! * [`MisraGriesTracker`] — a Graphene-style frequent-items tracker, the
+//!   "low-cost SRAM tracker" class of Fig. 1(a).
+//!
+//! ```
+//! use moat_dram::{ActCount, MitigationEngine, RowId};
+//! use moat_trackers::{PanopticonConfig, PanopticonEngine};
+//!
+//! let mut p = PanopticonEngine::new(PanopticonConfig::paper_default());
+//! p.on_precharge_update(RowId::new(1), ActCount::new(128));
+//! assert_eq!(p.queue_len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ideal;
+mod misra_gries;
+mod panopticon;
+
+pub use ideal::IdealSramTracker;
+pub use misra_gries::MisraGriesTracker;
+pub use panopticon::{randomize_counters, PanopticonConfig, PanopticonEngine};

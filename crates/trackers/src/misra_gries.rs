@@ -1,0 +1,176 @@
+//! A Misra–Gries frequent-items tracker in the spirit of Graphene (§8),
+//! representing the "low-cost SRAM tracker" class of Fig. 1(a).
+//!
+//! Graphene keeps a small table of (row, count) pairs maintained with the
+//! Misra–Gries algorithm: a hit increments the entry, a miss with a free
+//! slot inserts, and a miss with a full table decrements every entry
+//! (evicting zeros). The table guarantees that any row activated more than
+//! `N / (entries + 1)` times is present — but with few entries the bound is
+//! weak, and with *very* few entries (TRR-like) the tracker is thrashable,
+//! which is how TRRespass and Blacksmith break deployed designs.
+
+use core::any::Any;
+use core::ops::Range;
+
+use moat_dram::{ActCount, MitigationEngine, RowId};
+
+/// A Misra–Gries summary tracker for one bank.
+///
+/// # Examples
+///
+/// ```
+/// use moat_dram::{ActCount, MitigationEngine, RowId};
+/// use moat_trackers::MisraGriesTracker;
+///
+/// let mut t = MisraGriesTracker::new(4, 32);
+/// for _ in 0..40 {
+///     t.on_precharge_update(RowId::new(9), ActCount::ZERO);
+/// }
+/// assert_eq!(t.select_ref_mitigation(), Some(RowId::new(9)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MisraGriesTracker {
+    entries: Vec<(RowId, u32)>,
+    capacity: usize,
+    /// Counts below this are not worth a mitigation slot.
+    mitigation_floor: u32,
+}
+
+impl MisraGriesTracker {
+    /// Creates a tracker with `capacity` table entries; rows are only
+    /// selected for mitigation once their tracked count reaches
+    /// `mitigation_floor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, mitigation_floor: u32) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        MisraGriesTracker {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            mitigation_floor,
+        }
+    }
+
+    /// Current table contents (row, tracked count).
+    pub fn entries(&self) -> &[(RowId, u32)] {
+        &self.entries
+    }
+}
+
+impl MitigationEngine for MisraGriesTracker {
+    fn name(&self) -> String {
+        format!("misra-gries-{}e", self.capacity)
+    }
+
+    fn on_precharge_update(&mut self, row: RowId, _counter: ActCount) {
+        if let Some(e) = self.entries.iter_mut().find(|(r, _)| *r == row) {
+            e.1 += 1;
+        } else if self.entries.len() < self.capacity {
+            self.entries.push((row, 1));
+        } else {
+            // Decrement-all: the Misra–Gries spillover step.
+            for e in &mut self.entries {
+                e.1 -= 1;
+            }
+            self.entries.retain(|&(_, c)| c > 0);
+        }
+    }
+
+    fn alert_pending(&self) -> bool {
+        false
+    }
+
+    fn select_ref_mitigation(&mut self) -> Option<RowId> {
+        let (idx, _) = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, c))| *c >= self.mitigation_floor)
+            .max_by_key(|(_, (_, c))| *c)?;
+        Some(self.entries.swap_remove(idx).0)
+    }
+
+    fn select_alert_mitigation(&mut self) -> Option<RowId> {
+        None
+    }
+
+    fn on_mitigation_complete(&mut self, _row: RowId) {}
+
+    fn on_refresh_group(
+        &mut self,
+        rows: Range<u32>,
+        _counter_of: &mut dyn FnMut(RowId) -> ActCount,
+    ) {
+        self.entries
+            .retain(|&(r, _)| !rows.contains(&r.index()));
+    }
+
+    fn resets_counters_on_refresh(&self) -> bool {
+        true
+    }
+
+    fn sram_bytes_per_bank(&self) -> usize {
+        self.capacity * 3
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_increments_miss_inserts() {
+        let mut t = MisraGriesTracker::new(2, 1);
+        t.on_precharge_update(RowId::new(1), ActCount::ZERO);
+        t.on_precharge_update(RowId::new(1), ActCount::ZERO);
+        t.on_precharge_update(RowId::new(2), ActCount::ZERO);
+        assert_eq!(t.entries(), &[(RowId::new(1), 2), (RowId::new(2), 1)]);
+    }
+
+    #[test]
+    fn full_table_decrements_all() {
+        let mut t = MisraGriesTracker::new(2, 1);
+        t.on_precharge_update(RowId::new(1), ActCount::ZERO);
+        t.on_precharge_update(RowId::new(2), ActCount::ZERO);
+        t.on_precharge_update(RowId::new(3), ActCount::ZERO);
+        // Both entries dropped to 0 and were evicted; row 3 not inserted.
+        assert!(t.entries().is_empty());
+    }
+
+    #[test]
+    fn heavy_hitter_survives_thrashing() {
+        let mut t = MisraGriesTracker::new(4, 1);
+        for i in 0..200u32 {
+            t.on_precharge_update(RowId::new(0), ActCount::ZERO);
+            t.on_precharge_update(RowId::new(1 + (i % 50)), ActCount::ZERO);
+        }
+        assert!(t.entries().iter().any(|&(r, _)| r == RowId::new(0)));
+        assert_eq!(t.select_ref_mitigation(), Some(RowId::new(0)));
+    }
+
+    #[test]
+    fn floor_prevents_premature_mitigation() {
+        let mut t = MisraGriesTracker::new(4, 10);
+        for _ in 0..9 {
+            t.on_precharge_update(RowId::new(5), ActCount::ZERO);
+        }
+        assert_eq!(t.select_ref_mitigation(), None);
+        t.on_precharge_update(RowId::new(5), ActCount::ZERO);
+        assert_eq!(t.select_ref_mitigation(), Some(RowId::new(5)));
+    }
+
+    #[test]
+    fn refresh_drops_covered_entries() {
+        let mut t = MisraGriesTracker::new(4, 1);
+        t.on_precharge_update(RowId::new(3), ActCount::ZERO);
+        t.on_precharge_update(RowId::new(9), ActCount::ZERO);
+        t.on_refresh_group(0..8, &mut |_| ActCount::ZERO);
+        assert_eq!(t.entries(), &[(RowId::new(9), 1)]);
+    }
+}

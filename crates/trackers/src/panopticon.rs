@@ -1,0 +1,348 @@
+//! The Panopticon in-DRAM tracker (§3, Appendix B) — the design that
+//! inspired the JEDEC PRAC+ABO specifications, and the target of the
+//! paper's Jailbreak attack.
+//!
+//! Each bank has an 8-entry FIFO queue. When a row's free-running PRAC
+//! counter toggles the designated threshold bit (every 128 activations for
+//! a threshold of 128), the row address — **and only the address, not the
+//! counter** — is pushed into the queue. One queue entry is mitigated per
+//! mitigation period (4 tREFI at the default rate). ALERT is asserted only
+//! on queue overflow.
+//!
+//! The missing counter in the queue is the design flaw Jailbreak exploits:
+//! a row keeps receiving activations *while enqueued*, and Panopticon
+//! neither notices nor escalates.
+
+use core::any::Any;
+use core::ops::Range;
+use std::collections::VecDeque;
+
+use moat_dram::{ActCount, Bank, MitigationEngine, RefMitigationMode, RowId};
+use rand::Rng;
+
+/// Configuration of a Panopticon bank tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PanopticonConfig {
+    /// Queue entries per bank (paper: 8).
+    pub queue_entries: usize,
+    /// Queueing threshold: a row enters the queue each time its counter
+    /// crosses a multiple of this value (paper: 128, i.e. bit-8 toggles).
+    pub queue_threshold: u32,
+    /// Appendix-B variant: repurpose each REF to fully drain up to two
+    /// queue entries and ALERT until the queue is empty.
+    pub drain_on_ref: bool,
+}
+
+impl PanopticonConfig {
+    /// The paper's default: 8 entries, threshold 128, gradual mitigation.
+    pub const fn paper_default() -> Self {
+        PanopticonConfig {
+            queue_entries: 8,
+            queue_threshold: 128,
+            drain_on_ref: false,
+        }
+    }
+
+    /// The Appendix-B "Drain-All-Entries-on-REF" variant.
+    pub const fn drain_variant() -> Self {
+        PanopticonConfig {
+            queue_entries: 8,
+            queue_threshold: 128,
+            drain_on_ref: true,
+        }
+    }
+}
+
+impl Default for PanopticonConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The Panopticon engine for one bank.
+///
+/// # Examples
+///
+/// ```
+/// use moat_dram::{ActCount, MitigationEngine, RowId};
+/// use moat_trackers::{PanopticonConfig, PanopticonEngine};
+///
+/// let mut p = PanopticonEngine::new(PanopticonConfig::paper_default());
+/// // A row whose counter crosses a multiple of 128 enters the queue:
+/// p.on_precharge_update(RowId::new(3), ActCount::new(128));
+/// assert_eq!(p.queue(), &[RowId::new(3)]);
+/// // ...but hammering it further while enqueued goes unnoticed:
+/// p.on_precharge_update(RowId::new(3), ActCount::new(200));
+/// assert!(!p.alert_pending());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PanopticonEngine {
+    config: PanopticonConfig,
+    queue: VecDeque<RowId>,
+    alert_pending: bool,
+    /// Whether the drain variant is currently draining via ALERTs.
+    draining: bool,
+    /// Insertions dropped because the queue was full.
+    overflow_drops: u64,
+}
+
+impl PanopticonEngine {
+    /// Creates a Panopticon engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_entries` or `queue_threshold` is zero.
+    pub fn new(config: PanopticonConfig) -> Self {
+        assert!(config.queue_entries > 0, "queue must have entries");
+        assert!(config.queue_threshold > 0, "threshold must be non-zero");
+        PanopticonEngine {
+            config,
+            queue: VecDeque::with_capacity(config.queue_entries),
+            alert_pending: false,
+            draining: false,
+            overflow_drops: 0,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &PanopticonConfig {
+        &self.config
+    }
+
+    /// The queue contents in FIFO order (front = next to be mitigated).
+    /// Exposed for adaptive attackers per the threat model (§2.1).
+    pub fn queue(&self) -> &[RowId] {
+        // VecDeque is kept contiguous because we only push_back/pop_front
+        // within capacity; make_contiguous is a no-op after the first call.
+        self.queue.as_slices().0
+    }
+
+    /// Number of enqueued entries.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Insertions dropped on overflow.
+    pub fn overflow_drops(&self) -> u64 {
+        self.overflow_drops
+    }
+
+    fn pop(&mut self) -> Option<RowId> {
+        let row = self.queue.pop_front();
+        if self.config.drain_on_ref {
+            if self.queue.is_empty() {
+                self.draining = false;
+            }
+            self.alert_pending = self.draining;
+        } else {
+            // Overflow pressure is relieved once an entry drains.
+            self.alert_pending = false;
+        }
+        row
+    }
+}
+
+impl MitigationEngine for PanopticonEngine {
+    fn name(&self) -> String {
+        if self.config.drain_on_ref {
+            format!("panopticon-drain-t{}", self.config.queue_threshold)
+        } else {
+            format!("panopticon-t{}", self.config.queue_threshold)
+        }
+    }
+
+    fn on_precharge_update(&mut self, row: RowId, counter: ActCount) {
+        // Queue insertion on threshold-bit toggle: counter is a non-zero
+        // multiple of the queueing threshold.
+        let c = counter.get();
+        if c == 0 || !c.is_multiple_of(self.config.queue_threshold) {
+            return;
+        }
+        if self.queue.len() < self.config.queue_entries {
+            self.queue.push_back(row);
+        } else {
+            self.overflow_drops += 1;
+            self.alert_pending = true;
+        }
+    }
+
+    fn alert_pending(&self) -> bool {
+        self.alert_pending
+    }
+
+    fn select_ref_mitigation(&mut self) -> Option<RowId> {
+        self.pop()
+    }
+
+    fn select_alert_mitigation(&mut self) -> Option<RowId> {
+        self.pop()
+    }
+
+    fn on_mitigation_complete(&mut self, _row: RowId) {}
+
+    fn on_refresh_group(
+        &mut self,
+        _rows: Range<u32>,
+        _counter_of: &mut dyn FnMut(RowId) -> ActCount,
+    ) {
+        if self.config.drain_on_ref && !self.queue.is_empty() {
+            // Appendix B: the REF is repurposed for mitigation and ALERTs
+            // are issued until the queue drains.
+            self.draining = true;
+            self.alert_pending = true;
+        }
+    }
+
+    fn resets_counters_on_refresh(&self) -> bool {
+        false // Panopticon counters are free-running (§3.1).
+    }
+
+    fn resets_counter_on_mitigation(&self) -> bool {
+        false // Mitigation refreshes victims; the counter keeps running.
+    }
+
+    fn ref_mitigation_mode(&self) -> RefMitigationMode {
+        if self.config.drain_on_ref {
+            RefMitigationMode::DrainAll
+        } else {
+            RefMitigationMode::Gradual
+        }
+    }
+
+    fn sram_bytes_per_bank(&self) -> usize {
+        // 8 entries × 2-byte row address.
+        self.config.queue_entries * 2
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Initializes a bank's PRAC counters uniformly at random in `0..256`
+/// (the randomized Panopticon defense of §3.3).
+pub fn randomize_counters<R: Rng + ?Sized>(bank: &mut Bank, rng: &mut R) {
+    for r in 0..bank.rows() {
+        let v: u32 = rng.random_range(0..256);
+        bank.set_counter(RowId::new(r), ActCount::new(v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_dram::DramConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine() -> PanopticonEngine {
+        PanopticonEngine::new(PanopticonConfig::paper_default())
+    }
+
+    #[test]
+    fn insertion_on_every_multiple_of_threshold() {
+        let mut p = engine();
+        p.on_precharge_update(RowId::new(1), ActCount::new(127));
+        assert_eq!(p.queue_len(), 0);
+        p.on_precharge_update(RowId::new(1), ActCount::new(128));
+        assert_eq!(p.queue_len(), 1);
+        p.on_precharge_update(RowId::new(1), ActCount::new(129));
+        assert_eq!(p.queue_len(), 1);
+        // A second copy enters at the next multiple (free-running counter).
+        p.on_precharge_update(RowId::new(1), ActCount::new(256));
+        assert_eq!(p.queue_len(), 2);
+        assert_eq!(p.queue(), &[RowId::new(1), RowId::new(1)]);
+    }
+
+    #[test]
+    fn zero_counter_never_inserts() {
+        let mut p = engine();
+        p.on_precharge_update(RowId::new(1), ActCount::new(0));
+        assert_eq!(p.queue_len(), 0);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut p = engine();
+        for r in 0..4u32 {
+            p.on_precharge_update(RowId::new(r), ActCount::new(128));
+        }
+        assert_eq!(p.select_ref_mitigation(), Some(RowId::new(0)));
+        assert_eq!(p.select_ref_mitigation(), Some(RowId::new(1)));
+        assert_eq!(p.queue_len(), 2);
+    }
+
+    #[test]
+    fn overflow_raises_alert_and_drops() {
+        let mut p = engine();
+        for r in 0..8u32 {
+            p.on_precharge_update(RowId::new(r), ActCount::new(128));
+        }
+        assert_eq!(p.queue_len(), 8);
+        assert!(!p.alert_pending());
+        p.on_precharge_update(RowId::new(9), ActCount::new(128));
+        assert!(p.alert_pending());
+        assert_eq!(p.overflow_drops(), 1);
+        assert_eq!(p.queue_len(), 8, "overflowing entry is dropped");
+        // Draining one entry relieves the pressure.
+        assert!(p.select_alert_mitigation().is_some());
+        assert!(!p.alert_pending());
+    }
+
+    #[test]
+    fn no_counter_in_queue_means_no_escalation() {
+        // The crux of Jailbreak: hammering an enqueued row is invisible.
+        let mut p = engine();
+        p.on_precharge_update(RowId::new(5), ActCount::new(128));
+        for c in 129..256u32 {
+            p.on_precharge_update(RowId::new(5), ActCount::new(c));
+        }
+        assert!(!p.alert_pending());
+        assert_eq!(p.queue_len(), 1);
+    }
+
+    #[test]
+    fn drain_variant_alerts_until_empty() {
+        let mut p = PanopticonEngine::new(PanopticonConfig::drain_variant());
+        for r in 0..3u32 {
+            p.on_precharge_update(RowId::new(r), ActCount::new(128));
+        }
+        assert!(!p.alert_pending(), "drain variant alerts only at REF");
+        p.on_refresh_group(0..8, &mut |_| ActCount::ZERO);
+        assert!(p.alert_pending());
+        // Draining: pops until empty, then the alert clears.
+        assert!(p.select_ref_mitigation().is_some());
+        assert!(p.alert_pending());
+        assert!(p.select_ref_mitigation().is_some());
+        assert!(p.alert_pending());
+        assert!(p.select_alert_mitigation().is_some());
+        assert!(!p.alert_pending());
+        assert_eq!(p.ref_mitigation_mode(), RefMitigationMode::DrainAll);
+    }
+
+    #[test]
+    fn randomized_init_is_uniform_0_to_255() {
+        let cfg = DramConfig::builder().rows_per_bank(4096).build();
+        let mut bank = Bank::new(&cfg);
+        let mut rng = StdRng::seed_from_u64(42);
+        randomize_counters(&mut bank, &mut rng);
+        let counts: Vec<u32> = (0..4096).map(|r| bank.counter(RowId::new(r)).get()).collect();
+        assert!(counts.iter().all(|&c| c < 256));
+        // Roughly a quarter of rows should be "heavy-weight" (192..256).
+        let heavy = counts.iter().filter(|&&c| c >= 192).count();
+        assert!((800..1250).contains(&heavy), "heavy rows: {heavy}");
+    }
+
+    #[test]
+    fn sram_budget() {
+        assert_eq!(engine().sram_bytes_per_bank(), 16);
+    }
+
+    #[test]
+    fn panopticon_does_not_reset_counters() {
+        let p = engine();
+        assert!(!p.resets_counters_on_refresh());
+        assert!(!p.resets_counter_on_mitigation());
+        assert_eq!(p.ops_per_mitigation(), 4);
+    }
+}

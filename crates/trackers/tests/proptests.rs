@@ -1,0 +1,105 @@
+//! Property-based tests for the baseline trackers.
+
+use moat_dram::{ActCount, MitigationEngine, RowId};
+use moat_trackers::{IdealSramTracker, MisraGriesTracker, PanopticonConfig, PanopticonEngine};
+use proptest::prelude::*;
+
+proptest! {
+    /// Panopticon's queue never exceeds its capacity, and an ALERT is
+    /// requested only after an overflow drop.
+    #[test]
+    fn panopticon_queue_bounded(
+        counters in prop::collection::vec(1u32..2000, 1..300)
+    ) {
+        let mut p = PanopticonEngine::new(PanopticonConfig::paper_default());
+        let mut dropped = 0u64;
+        for (i, c) in counters.iter().enumerate() {
+            let before = p.overflow_drops();
+            p.on_precharge_update(RowId::new(i as u32 % 32), ActCount::new(*c));
+            dropped += p.overflow_drops() - before;
+            prop_assert!(p.queue_len() <= 8);
+        }
+        prop_assert_eq!(p.alert_pending(), dropped > 0 && p.queue_len() == 8);
+    }
+
+    /// Insertions happen exactly at non-zero multiples of the threshold.
+    #[test]
+    fn panopticon_inserts_only_on_crossings(count in 1u32..100_000) {
+        let mut p = PanopticonEngine::new(PanopticonConfig::paper_default());
+        p.on_precharge_update(RowId::new(1), ActCount::new(count));
+        prop_assert_eq!(p.queue_len(), usize::from(count % 128 == 0));
+    }
+
+    /// FIFO order: entries drain in exactly the order they entered.
+    #[test]
+    fn panopticon_is_fifo(rows in prop::collection::vec(0u32..1000, 1..8)) {
+        let mut p = PanopticonEngine::new(PanopticonConfig::paper_default());
+        for &r in &rows {
+            p.on_precharge_update(RowId::new(r), ActCount::new(128));
+        }
+        for &r in &rows {
+            prop_assert_eq!(p.select_ref_mitigation(), Some(RowId::new(r)));
+        }
+        prop_assert_eq!(p.select_ref_mitigation(), None);
+    }
+
+    /// The ideal tracker's counts always equal the true per-row activation
+    /// counts (between mitigations).
+    #[test]
+    fn ideal_tracker_is_exact(rows in prop::collection::vec(0u32..128, 1..500)) {
+        let mut t = IdealSramTracker::new(128);
+        let mut truth = vec![0u32; 128];
+        for &r in &rows {
+            t.on_precharge_update(RowId::new(r), ActCount::ZERO);
+            truth[r as usize] += 1;
+        }
+        for r in 0..128u32 {
+            prop_assert_eq!(t.count(RowId::new(r)), truth[r as usize]);
+        }
+        // Selection returns the argmax.
+        if let Some(sel) = t.select_ref_mitigation() {
+            let max = truth.iter().copied().max().unwrap();
+            prop_assert_eq!(truth[sel.as_usize()], max);
+        }
+    }
+
+    /// Misra–Gries guarantee: any row activated more than N/(k+1) times
+    /// (k = table capacity) is present in the table.
+    #[test]
+    fn misra_gries_heavy_hitter_guarantee(
+        noise in prop::collection::vec(1u32..64, 0..200),
+        heavy_acts in 80u32..200
+    ) {
+        let capacity = 4usize;
+        let mut t = MisraGriesTracker::new(capacity, 1);
+        let total = noise.len() as u32 + heavy_acts;
+        // Interleave a heavy hitter (row 0) with noise rows (1..64).
+        let mut noise_iter = noise.iter();
+        for i in 0..total {
+            if i % (total / heavy_acts.max(1)).max(1) == 0 {
+                t.on_precharge_update(RowId::new(0), ActCount::ZERO);
+            } else if let Some(&r) = noise_iter.next() {
+                t.on_precharge_update(RowId::new(r), ActCount::ZERO);
+            } else {
+                t.on_precharge_update(RowId::new(0), ActCount::ZERO);
+            }
+        }
+        // Heavy hitter got ≥ heavy_acts of ~total acts; with capacity 4 the
+        // guarantee threshold is total/5.
+        if u64::from(heavy_acts) > u64::from(total) / (capacity as u64 + 1) {
+            prop_assert!(
+                t.entries().iter().any(|&(r, _)| r == RowId::new(0)),
+                "heavy hitter evicted: {:?}",
+                t.entries()
+            );
+        }
+    }
+}
+
+#[test]
+fn trackers_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<PanopticonEngine>();
+    assert_send::<IdealSramTracker>();
+    assert_send::<MisraGriesTracker>();
+}

@@ -1,0 +1,134 @@
+//! Workload profiles: Table 4 of the paper.
+//!
+//! For each SPEC-2017 and GAP workload the paper reports the activation
+//! intensity (ACT-PKI: activations per thousand instructions) and the
+//! number of rows per bank per tREFW receiving at least 32/64/128
+//! activations. These are exactly the statistics that determine MOAT's
+//! mitigation and ALERT behaviour, so the synthetic generator is
+//! calibrated to them.
+
+/// Benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU 2017 (the 15 benchmarks with ≥ 0.5 ACT-PKI).
+    Spec2017,
+    /// GAP graph-analytics suite.
+    Gap,
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Workload name as printed in the paper's figures.
+    pub name: &'static str,
+    /// Suite.
+    pub suite: Suite,
+    /// Activations per kilo-instruction.
+    pub act_pki: f64,
+    /// Rows per bank per tREFW with ≥ 32 activations.
+    pub act32: u32,
+    /// Rows per bank per tREFW with ≥ 64 activations.
+    pub act64: u32,
+    /// Rows per bank per tREFW with ≥ 128 activations.
+    pub act128: u32,
+}
+
+/// Table 4, verbatim.
+pub const PROFILES: [WorkloadProfile; 21] = [
+    WorkloadProfile { name: "bwaves", suite: Suite::Spec2017, act_pki: 29.3, act32: 1871, act64: 199, act128: 4 },
+    WorkloadProfile { name: "fotonik3d", suite: Suite::Spec2017, act_pki: 25.0, act32: 2175, act64: 113, act128: 11 },
+    WorkloadProfile { name: "lbm", suite: Suite::Spec2017, act_pki: 20.9, act32: 3145, act64: 1325, act128: 13 },
+    WorkloadProfile { name: "mcf", suite: Suite::Spec2017, act_pki: 19.8, act32: 1772, act64: 380, act128: 113 },
+    WorkloadProfile { name: "omnetpp", suite: Suite::Spec2017, act_pki: 11.1, act32: 1224, act64: 142, act128: 41 },
+    WorkloadProfile { name: "roms", suite: Suite::Spec2017, act_pki: 9.6, act32: 2302, act64: 995, act128: 431 },
+    WorkloadProfile { name: "parest", suite: Suite::Spec2017, act_pki: 8.9, act32: 2259, act64: 1014, act128: 406 },
+    WorkloadProfile { name: "xz", suite: Suite::Spec2017, act_pki: 8.8, act32: 3409, act64: 1255, act128: 384 },
+    WorkloadProfile { name: "cactuBSSN", suite: Suite::Spec2017, act_pki: 3.6, act32: 4187, act64: 1180, act128: 466 },
+    WorkloadProfile { name: "cam4", suite: Suite::Spec2017, act_pki: 3.0, act32: 821, act64: 89, act128: 3 },
+    WorkloadProfile { name: "blender", suite: Suite::Spec2017, act_pki: 1.1, act32: 1016, act64: 358, act128: 91 },
+    WorkloadProfile { name: "xalancbmk", suite: Suite::Spec2017, act_pki: 0.9, act32: 585, act64: 163, act128: 36 },
+    WorkloadProfile { name: "wrf", suite: Suite::Spec2017, act_pki: 0.8, act32: 567, act64: 90, act128: 0 },
+    WorkloadProfile { name: "x264", suite: Suite::Spec2017, act_pki: 0.6, act32: 310, act64: 59, act128: 0 },
+    WorkloadProfile { name: "gcc", suite: Suite::Spec2017, act_pki: 0.6, act32: 424, act64: 107, act128: 19 },
+    WorkloadProfile { name: "cc", suite: Suite::Gap, act_pki: 71.5, act32: 1357, act64: 215, act128: 18 },
+    WorkloadProfile { name: "pr", suite: Suite::Gap, act_pki: 29.1, act32: 1489, act64: 349, act128: 52 },
+    WorkloadProfile { name: "bfs", suite: Suite::Gap, act_pki: 22.8, act32: 529, act64: 64, act128: 16 },
+    WorkloadProfile { name: "tc", suite: Suite::Gap, act_pki: 18.2, act32: 81, act64: 0, act128: 0 },
+    WorkloadProfile { name: "bc", suite: Suite::Gap, act_pki: 9.0, act32: 289, act64: 43, act128: 9 },
+    WorkloadProfile { name: "sssp", suite: Suite::Gap, act_pki: 7.0, act32: 1817, act64: 620, act128: 127 },
+];
+
+impl WorkloadProfile {
+    /// Looks a profile up by name.
+    pub fn by_name(name: &str) -> Option<&'static WorkloadProfile> {
+        PROFILES.iter().find(|p| p.name == name)
+    }
+
+    /// Rows in the `[32, 64)` activation bucket.
+    pub fn bucket32(&self) -> u32 {
+        self.act32 - self.act64
+    }
+
+    /// Rows in the `[64, 128)` activation bucket.
+    pub fn bucket64(&self) -> u32 {
+        self.act64 - self.act128
+    }
+
+    /// Rows in the `128+` activation bucket.
+    pub fn bucket128(&self) -> u32 {
+        self.act128
+    }
+
+    /// Minimum activations per bank per tREFW implied by the hot-row
+    /// histogram alone.
+    pub fn min_hot_acts(&self) -> u64 {
+        u64::from(self.bucket32()) * 32
+            + u64::from(self.bucket64()) * 64
+            + u64::from(self.bucket128()) * 128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_one_workloads() {
+        assert_eq!(PROFILES.len(), 21);
+        assert_eq!(PROFILES.iter().filter(|p| p.suite == Suite::Spec2017).count(), 15);
+        assert_eq!(PROFILES.iter().filter(|p| p.suite == Suite::Gap).count(), 6);
+    }
+
+    #[test]
+    fn histogram_is_cumulative() {
+        for p in &PROFILES {
+            assert!(p.act32 >= p.act64, "{}", p.name);
+            assert!(p.act64 >= p.act128, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn averages_match_table4() {
+        // Table 4's "Average" row: ACT-PKI 14.4, ACT-32+ 1506, ACT-64+
+        // 417, ACT-128+ 106 (rounded).
+        let n = PROFILES.len() as f64;
+        let pki: f64 = PROFILES.iter().map(|p| p.act_pki).sum::<f64>() / n;
+        let a32: f64 = PROFILES.iter().map(|p| f64::from(p.act32)).sum::<f64>() / n;
+        let a64: f64 = PROFILES.iter().map(|p| f64::from(p.act64)).sum::<f64>() / n;
+        let a128: f64 = PROFILES.iter().map(|p| f64::from(p.act128)).sum::<f64>() / n;
+        assert!((pki - 14.4).abs() < 0.3, "pki {pki}");
+        assert!((a32 - 1506.0).abs() < 15.0, "a32 {a32}");
+        assert!((a64 - 417.0).abs() < 10.0, "a64 {a64}");
+        assert!((a128 - 106.0).abs() < 5.0, "a128 {a128}");
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(WorkloadProfile::by_name("roms").is_some());
+        assert!(WorkloadProfile::by_name("nonesuch").is_none());
+        let roms = WorkloadProfile::by_name("roms").unwrap();
+        assert_eq!(roms.bucket128(), 431);
+        assert_eq!(roms.bucket64(), 995 - 431);
+        assert_eq!(roms.bucket32(), 2302 - 995);
+    }
+}

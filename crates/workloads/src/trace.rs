@@ -1,0 +1,146 @@
+//! Trace import/export: persist activation streams to a plain-text format
+//! so experiments can be replayed outside the generator (or real traces
+//! plugged in, should the user have them).
+//!
+//! Format: one request per line, `gap_ns bank row`, with `#` comments.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+
+use moat_dram::{BankId, Nanos, RowId};
+use moat_sim::{Request, RequestStream};
+
+/// Writes a request stream to `writer` in the text trace format.
+///
+/// A mutable reference works as the writer (`&mut f`), per the usual
+/// `W: Write` convention.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use moat_dram::{BankId, Nanos, RowId};
+/// use moat_sim::Request;
+/// use moat_workloads::{read_trace, write_trace};
+///
+/// let reqs = vec![Request { gap: Nanos::new(52), bank: BankId::new(1), row: RowId::new(7) }];
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, reqs.iter().copied())?;
+/// let back: Vec<_> = read_trace(&buf[..])?.collect::<Result<_, _>>()?;
+/// assert_eq!(back, reqs);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_trace<W: Write, S: RequestStream>(writer: W, mut stream: S) -> io::Result<u64> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# moat activation trace v1: gap_ns bank row")?;
+    let mut n = 0u64;
+    while let Some(r) = stream.next_request() {
+        writeln!(w, "{} {} {}", r.gap.as_u64(), r.bank.index(), r.row.index())?;
+        n += 1;
+    }
+    w.flush()?;
+    Ok(n)
+}
+
+/// Reads a text trace back as an iterator of requests.
+///
+/// # Errors
+///
+/// Returns an error immediately if the reader fails; malformed lines
+/// surface as item-level errors.
+pub fn read_trace<R: Read>(
+    reader: R,
+) -> io::Result<impl Iterator<Item = io::Result<Request>>> {
+    let lines = BufReader::new(reader).lines();
+    Ok(lines.filter_map(|line| match line {
+        Err(e) => Some(Err(e)),
+        Ok(l) => {
+            let l = l.trim();
+            if l.is_empty() || l.starts_with('#') {
+                return None;
+            }
+            Some(parse_line(l))
+        }
+    }))
+}
+
+fn parse_line(l: &str) -> io::Result<Request> {
+    let mut parts = l.split_whitespace();
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what}: {l}"));
+    let gap: u64 = parts
+        .next()
+        .ok_or_else(|| bad("gap"))?
+        .parse()
+        .map_err(|_| bad("gap"))?;
+    let bank: u16 = parts
+        .next()
+        .ok_or_else(|| bad("bank"))?
+        .parse()
+        .map_err(|_| bad("bank"))?;
+    let row: u32 = parts
+        .next()
+        .ok_or_else(|| bad("row"))?
+        .parse()
+        .map_err(|_| bad("row"))?;
+    if parts.next().is_some() {
+        return Err(bad("trailing fields"));
+    }
+    Ok(Request {
+        gap: Nanos::new(gap),
+        bank: BankId::new(bank),
+        row: RowId::new(row),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeneratorConfig, WorkloadProfile, WorkloadStream};
+    use moat_dram::DramConfig;
+
+    #[test]
+    fn roundtrip_generated_stream() {
+        let profile = WorkloadProfile::by_name("x264").unwrap();
+        let dram = DramConfig::paper_baseline();
+        let cfg = GeneratorConfig {
+            banks: 1,
+            windows: 1,
+            seed: 9,
+        };
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, WorkloadStream::new(profile, &dram, cfg)).unwrap();
+        assert!(n > 1000);
+        let back: Vec<Request> = read_trace(&buf[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(back.len() as u64, n);
+
+        let mut orig = WorkloadStream::new(profile, &dram, cfg);
+        for r in &back {
+            assert_eq!(Some(*r), orig.next_request());
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n52 0 7\n# mid\n0 1 9\n";
+        let reqs: Vec<Request> = read_trace(text.as_bytes())
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(reqs.len(), 2);
+        assert_eq!(reqs[1].bank, BankId::new(1));
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        for bad in ["52 0", "x 0 1", "1 2 3 4"] {
+            let res: Result<Vec<Request>, _> =
+                read_trace(bad.as_bytes()).unwrap().collect();
+            assert!(res.is_err(), "{bad} should fail");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Jailbreak (§3) side by side: the pattern that inflicts 9× the design
+//! threshold on Panopticon achieves nothing against MOAT.
+//!
+//! Run with: `cargo run --release --example jailbreak_vs_moat`
+
+use moat::attacks::JailbreakAttacker;
+use moat::core::{MoatConfig, MoatEngine};
+use moat::dram::Nanos;
+use moat::sim::{SecurityConfig, SecuritySim};
+use moat::trackers::{PanopticonConfig, PanopticonEngine};
+
+fn main() {
+    // Against Panopticon (8-entry FIFO queue, threshold 128): the queue
+    // stores no counter, so hammering the youngest entry is invisible.
+    let mut sim = SecuritySim::new(
+        SecurityConfig::paper_default(),
+        Box::new(PanopticonEngine::new(PanopticonConfig::paper_default())),
+    );
+    let report = sim.run(&mut JailbreakAttacker::new(20_000), Nanos::from_millis(2));
+    println!(
+        "Panopticon: {} ACTs on the attack row ({}x the threshold of 128), {} ALERTs",
+        report.max_pressure,
+        report.max_pressure / 128,
+        report.alerts
+    );
+
+    // Against MOAT: the CTA stores the counter, so the hammered row's
+    // tracked count crosses ATH and forces an ALERT long before 9x.
+    let mut sim = SecuritySim::new(
+        SecurityConfig::paper_default(),
+        Box::new(MoatEngine::new(MoatConfig::paper_default())),
+    );
+    let report = sim.run(&mut JailbreakAttacker::new(20_000), Nanos::from_millis(2));
+    println!(
+        "MOAT      : {} ACTs on the attack row, {} ALERTs fired",
+        report.max_pressure, report.alerts
+    );
+    assert!(report.max_pressure <= 99);
+    println!("=> the queue was the flaw, not the per-row counters");
+}

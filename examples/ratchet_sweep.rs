@@ -1,0 +1,48 @@
+//! The Ratchet attack (§5) and the Appendix-A analytical model: how the
+//! JEDEC-permitted inter-ALERT activations raise the threshold MOAT must
+//! be provisioned for.
+//!
+//! Run with: `cargo run --release --example ratchet_sweep`
+
+use moat::analysis::RatchetModel;
+use moat::attacks::RatchetAttacker;
+use moat::core::{MoatConfig, MoatEngine};
+use moat::dram::Nanos;
+use moat::sim::{SecurityConfig, SecuritySim};
+
+fn main() {
+    let model = RatchetModel::default();
+
+    println!("Appendix-A model: safely tolerated T_RH per ATH and ABO level");
+    println!("ATH  | L1  | L2  | L4");
+    for ath in [16u32, 32, 64, 96, 128] {
+        println!(
+            "{ath:>4} | {:>3} | {:>3} | {:>3}",
+            model.safe_trh(ath, 1),
+            model.safe_trh(ath, 2),
+            model.safe_trh(ath, 4)
+        );
+    }
+    println!();
+
+    // Simulate the actual attack against MOAT at ATH 64 for growing pools.
+    println!("simulated Ratchet vs MOAT (ATH 64, level 1):");
+    for pool in [64usize, 256, 1024] {
+        let mut sim = SecuritySim::new(
+            SecurityConfig::paper_default(),
+            Box::new(MoatEngine::new(MoatConfig::paper_default())),
+        );
+        let mut attacker = RatchetAttacker::new(64, pool);
+        let report = sim.run(&mut attacker, Nanos::from_millis(12));
+        let bound = 64.0 + (pool as f64).ln() / (4.0f64 / 3.0).ln() + 4.0;
+        println!(
+            "  pool {pool:>5}: max ACT {:>3} (model bound {bound:>5.1}), {} ALERTs",
+            report.max_pressure, report.alerts
+        );
+        assert!(f64::from(report.max_pressure) <= bound + 2.0);
+    }
+    println!(
+        "\n=> at the critical pool size the model gives T_RH = {} for ATH 64",
+        model.safe_trh(64, 1)
+    );
+}

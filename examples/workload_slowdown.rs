@@ -1,0 +1,69 @@
+//! Run a Table-4-calibrated SPEC workload through the sub-channel
+//! performance simulator and measure MOAT's overhead (Fig. 11).
+//!
+//! Run with: `cargo run --release --example workload_slowdown [workload]`
+
+use moat::core::{MoatConfig, MoatEngine};
+use moat::dram::{AboLevel, DramConfig, MitigationEngine};
+use moat::sim::{PerfConfig, PerfSim, SlotBudget};
+use moat::workloads::{GeneratorConfig, WorkloadProfile, WorkloadStream};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "roms".to_string());
+    let profile = WorkloadProfile::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown workload '{name}'; try one of:");
+        for p in &moat::workloads::PROFILES {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(1);
+    });
+
+    let dram = DramConfig::paper_baseline();
+    let gen = GeneratorConfig {
+        banks: 4,
+        windows: 1,
+        seed: 0xA0A7,
+    };
+    println!(
+        "workload {}: ACT-PKI {}, rows/bank/tREFW with 32+/64+/128+ ACTs: {}/{}/{}",
+        profile.name, profile.act_pki, profile.act32, profile.act64, profile.act128
+    );
+
+    let run = |alerts: bool| {
+        let cfg = PerfConfig {
+            dram,
+            banks: gen.banks,
+            abo_level: AboLevel::L1,
+            budget: SlotBudget::paper_default(),
+            alerts_enabled: alerts,
+        };
+        let factory = || -> Box<dyn MitigationEngine> {
+            Box::new(MoatEngine::new(MoatConfig::paper_default()))
+        };
+        let mut sim = PerfSim::new(cfg, factory);
+        sim.run(WorkloadStream::new(profile, &dram, gen))
+    };
+
+    let baseline = run(false);
+    let with_moat = run(true);
+    println!("requests executed    : {}", with_moat.total_acts);
+    println!("ALERTs               : {}", with_moat.alerts);
+    println!("ALERTs per tREFI     : {:.4}", with_moat.alerts_per_trefi);
+    println!(
+        "mitigations per bank per tREFW: {:.0}",
+        with_moat.mitigations_per_bank_per_trefw
+    );
+    println!(
+        "slowdown vs ALERT-free baseline: {:.3}%",
+        with_moat.slowdown_vs(&baseline).max(0.0) * 100.0
+    );
+    println!(
+        "max per-aggressor activations (paper's metric): {} (tolerated T_RH: 99)",
+        with_moat.max_epoch
+    );
+    println!(
+        "max victim pressure (strict, sums adjacent hot rows): {}",
+        with_moat.max_pressure
+    );
+    assert!(with_moat.max_epoch <= 99);
+}

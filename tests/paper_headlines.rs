@@ -1,0 +1,88 @@
+//! End-to-end checks of the paper's headline numbers, spanning every
+//! crate in the workspace.
+
+use moat::analysis::{FeintingModel, RatchetModel};
+use moat::attacks::{JailbreakAttacker, PostponementAttacker, RandomizedJailbreak};
+use moat::core::{MoatConfig, MoatEngine};
+use moat::dram::{DramConfig, DramTiming, MitigationEngine, Nanos};
+use moat::sim::{hammer_attacker, SecurityConfig, SecuritySim};
+use moat::trackers::{PanopticonConfig, PanopticonEngine};
+
+/// §3.2: Jailbreak inflicts exactly 1152 activations (9× the queueing
+/// threshold of 128) on deterministic Panopticon, without one ALERT.
+#[test]
+fn jailbreak_breaks_deterministic_panopticon_at_1152() {
+    let mut sim = SecuritySim::new(
+        SecurityConfig::paper_default(),
+        Box::new(PanopticonEngine::new(PanopticonConfig::paper_default())),
+    );
+    let report = sim.run(&mut JailbreakAttacker::new(20_000), Nanos::from_millis(2));
+    assert_eq!(report.max_pressure, 1152);
+    assert_eq!(report.alerts, 0);
+}
+
+/// §3.3 / Fig. 5: the randomized variant reaches ≥1100 within 2^20
+/// iterations.
+#[test]
+fn randomized_jailbreak_defeats_counter_randomization() {
+    let mut rj = RandomizedJailbreak::new(128, 42);
+    let series = rj.running_max(1 << 20);
+    assert!(*series.last().unwrap() >= 1100);
+}
+
+/// §4/§6: MOAT bounds any single-row hammer near ATH, and the tolerated
+/// threshold (Appendix A) is 99 at ATH 64.
+#[test]
+fn moat_headline_trh_99() {
+    assert_eq!(RatchetModel::default().safe_trh(64, 1), 99);
+    assert_eq!(RatchetModel::default().safe_trh(128, 1), 161);
+
+    let mut sim = SecuritySim::new(
+        SecurityConfig::paper_default(),
+        Box::new(MoatEngine::new(MoatConfig::paper_default())),
+    );
+    let report = sim.run(&mut hammer_attacker(31_000), Nanos::from_millis(4));
+    assert!(report.max_pressure <= 99, "got {}", report.max_pressure);
+    assert!(report.alerts > 0);
+}
+
+/// §6.5: 7 bytes of SRAM per bank for the default MOAT.
+#[test]
+fn moat_needs_seven_bytes_per_bank() {
+    let e = MoatEngine::new(MoatConfig::paper_default());
+    assert_eq!(e.sram_bytes_per_bank(), 7);
+    assert_eq!(moat::analysis::moat_budget(1).bytes_per_chip, 224);
+}
+
+/// Table 2: the feinting bound at the default rate is ~2195 — transparent
+/// schemes cannot reach sub-200 thresholds.
+#[test]
+fn feinting_bound_at_default_rate() {
+    let b = FeintingModel::default().bound(4);
+    assert!((2170..=2220).contains(&b.trh_bound), "{}", b.trh_bound);
+}
+
+/// Appendix B / Fig. 16: refresh postponement inflates the drain-variant's
+/// exposure to ≈328 (2.6×).
+#[test]
+fn postponement_reaches_2_6x_exposure() {
+    let mut cfg = SecurityConfig::paper_default();
+    cfg.dram = DramConfig::builder().max_postponed_refs(2).build();
+    let mut sim = SecuritySim::new(
+        cfg,
+        Box::new(PanopticonEngine::new(PanopticonConfig::drain_variant())),
+    );
+    let mut attacker = PostponementAttacker::new(20_000, 128);
+    let report = sim.run(&mut attacker, Nanos::from_millis(1));
+    assert!((300..=355).contains(&report.max_pressure), "{}", report.max_pressure);
+}
+
+/// §2.2/§2.6 derived timing facts the whole analysis rests on.
+#[test]
+fn timing_derivations() {
+    let t = DramTiming::ddr5_prac();
+    assert_eq!(t.acts_per_trefi(), 67);
+    assert_eq!(t.t_alert(1), Nanos::new(530));
+    assert_eq!(t.min_acts_between_alerts(1), 4);
+    assert_eq!(t.min_acts_between_alerts(4), 7);
+}

@@ -1,0 +1,101 @@
+//! Validates the event-granularity randomized-Jailbreak model (used for
+//! the Fig. 5 curve) against the full event simulation: a successful
+//! iteration — all decoys starting "heavy-weight" — is replayed in the
+//! simulator with preset counters and must inflict what the model
+//! predicts.
+
+use moat::attacks::{JailbreakAttacker, RandomizedJailbreak};
+use moat::dram::{ActCount, Nanos, RowId};
+use moat::sim::{SecurityConfig, SecuritySim};
+use moat::trackers::{randomize_counters, PanopticonConfig, PanopticonEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A fully successful iteration (all 8 decoys heavy, attack row heavy):
+/// the model predicts `to_enqueue + 8 × 128` activations. Replaying it in
+/// the simulator with preset counters must land in the same range.
+#[test]
+fn successful_iteration_matches_model_in_full_sim() {
+    let mut sim = SecuritySim::new(
+        SecurityConfig::paper_default(),
+        Box::new(PanopticonEngine::new(PanopticonConfig::paper_default())),
+    );
+    // 8 rows — 7 decoys plus the attack row (the paper's phase-1 pool of
+    // 8 minus the one entry naturally mitigated during priming) — all
+    // starting 32 activations short of a 128-multiple crossing.
+    let rows: Vec<u32> = (0..8).map(|i| 20_000 + 6 * i).collect();
+    for &r in &rows {
+        sim.unit_mut()
+            .bank_mut()
+            .set_counter(RowId::new(r), ActCount::new(224));
+    }
+    // 32 priming activations per row (the §3.3 pattern), then paced
+    // hammering of the youngest entry.
+    let mut attacker = JailbreakAttacker::with_rows(rows, 32, 32);
+    let report = sim.run(&mut attacker, Nanos::from_millis(2));
+
+    // Model: 32 to enqueue + (7 ahead + self) × 128 = 1056; the paper
+    // quotes ~1145 because enqueueing can take up to 128 activations for
+    // less-heavy initial counters.
+    assert!(
+        (950..=1160).contains(&report.max_pressure),
+        "full-sim successful iteration inflicted {}",
+        report.max_pressure
+    );
+    assert_eq!(report.alerts, 0, "the pattern avoids queue overflow");
+}
+
+/// A failed iteration (no heavy decoys: counters just past a crossing)
+/// achieves only a fraction — confirming the model's success/failure
+/// dichotomy.
+#[test]
+fn failed_iteration_achieves_little() {
+    let mut sim = SecuritySim::new(
+        SecurityConfig::paper_default(),
+        Box::new(PanopticonEngine::new(PanopticonConfig::paper_default())),
+    );
+    let rows: Vec<u32> = (0..8).map(|i| 20_000 + 6 * i).collect();
+    for &r in &rows {
+        // 2 activations past a crossing: 126 more needed — the 32 priming
+        // activations cannot enqueue the decoys.
+        sim.unit_mut()
+            .bank_mut()
+            .set_counter(RowId::new(r), ActCount::new(130));
+    }
+    let mut attacker = JailbreakAttacker::with_rows(rows, 32, 32);
+    let report = sim.run(&mut attacker, Nanos::from_millis(2));
+    assert!(
+        report.max_pressure < 600,
+        "failed iteration should stay low, got {}",
+        report.max_pressure
+    );
+}
+
+/// The model's heavy-decoy probability matches the randomized
+/// initialization helper: about a quarter of rows start within 32
+/// activations of a crossing.
+#[test]
+fn heavy_probability_matches_randomized_init() {
+    let cfg = moat::dram::DramConfig::builder().rows_per_bank(8192).build();
+    let mut bank = moat::dram::Bank::new(&cfg);
+    let mut rng = StdRng::seed_from_u64(7);
+    randomize_counters(&mut bank, &mut rng);
+    let heavy = (0..8192u32)
+        .filter(|&r| {
+            let c = bank.counter(RowId::new(r)).get();
+            128 - (c % 128) <= 32
+        })
+        .count();
+    let frac = heavy as f64 / 8192.0;
+    assert!((0.22..0.28).contains(&frac), "heavy fraction {frac}");
+
+    // And the model's long-run success cadence is ~2^-16.
+    let mut model = RandomizedJailbreak::new(128, 99);
+    let successes = (0..(1u32 << 18))
+        .filter(|_| model.iteration().heavy_decoys == 8)
+        .count();
+    assert!(
+        (1..=12).contains(&successes),
+        "expected ~4 successes in 2^18 iterations, got {successes}"
+    );
+}

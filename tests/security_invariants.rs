@@ -1,0 +1,137 @@
+//! Cross-crate security invariants: MOAT must hold its bound under every
+//! attack in the arsenal, and the baselines must fail exactly where the
+//! paper says they fail.
+
+use moat::attacks::{FeintingAttacker, JailbreakAttacker, RatchetAttacker, StraddleAttacker};
+use moat::core::{MoatConfig, MoatEngine, ResetPolicy};
+use moat::dram::{AboLevel, Nanos};
+use moat::sim::{
+    hammer_attacker, round_robin_attacker, Attacker, SecurityConfig, SecuritySim, SlotBudget,
+};
+
+fn moat_sim(cfg: MoatConfig) -> SecuritySim {
+    SecuritySim::new(SecurityConfig::paper_default(), Box::new(MoatEngine::new(cfg)))
+}
+
+/// The tolerated threshold from Appendix A, with one count of slack for
+/// timing-edge effects.
+fn tolerated(ath: u32, level: u8) -> u32 {
+    moat::analysis::RatchetModel::default().safe_trh(ath, level) + 1
+}
+
+#[test]
+fn moat_holds_under_jailbreak() {
+    let mut sim = moat_sim(MoatConfig::paper_default());
+    let r = sim.run(&mut JailbreakAttacker::new(20_000), Nanos::from_millis(4));
+    assert!(r.max_pressure <= tolerated(64, 1), "{}", r.max_pressure);
+}
+
+#[test]
+fn moat_holds_under_ratchet_at_scale() {
+    let mut sim = moat_sim(MoatConfig::paper_default());
+    let mut attacker = RatchetAttacker::new(64, 2048);
+    let r = sim.run(&mut attacker, Nanos::from_millis(20));
+    assert!(r.max_pressure <= tolerated(64, 1), "{}", r.max_pressure);
+    assert!(r.max_pressure > 64, "ratchet should exceed ATH: {}", r.max_pressure);
+}
+
+#[test]
+fn moat_holds_under_feinting() {
+    let mut sim = moat_sim(MoatConfig::paper_default());
+    let mut attacker = FeintingAttacker::new(1024, 30_000);
+    let r = sim.run(&mut attacker, Nanos::from_millis(8));
+    assert!(r.max_pressure <= tolerated(64, 1), "{}", r.max_pressure);
+}
+
+#[test]
+fn moat_holds_under_straddle_with_safe_reset() {
+    let mut cfg = SecurityConfig::paper_default();
+    cfg.budget = SlotBudget::disabled();
+    let mut sim = SecuritySim::new(
+        cfg,
+        Box::new(MoatEngine::new(MoatConfig::paper_default())),
+    );
+    let mut attacker = StraddleAttacker::new(2055, 64);
+    let r = sim.run(&mut attacker, Nanos::from_millis(2));
+    assert!(r.max_pressure <= tolerated(64, 1), "{}", r.max_pressure);
+}
+
+#[test]
+fn moat_breaks_under_unsafe_reset() {
+    // The ablation: removing the §4.3 shadow counters breaks the bound.
+    let mut cfg = SecurityConfig::paper_default();
+    cfg.budget = SlotBudget::disabled();
+    let mut sim = SecuritySim::new(
+        cfg,
+        Box::new(MoatEngine::new(
+            MoatConfig::paper_default().reset_policy(ResetPolicy::Unsafe),
+        )),
+    );
+    let mut attacker = StraddleAttacker::new(2055, 64);
+    let r = sim.run(&mut attacker, Nanos::from_millis(2));
+    assert!(
+        r.max_pressure > tolerated(64, 1),
+        "unsafe reset should break the bound, got {}",
+        r.max_pressure
+    );
+}
+
+#[test]
+fn moat_holds_at_higher_abo_levels() {
+    for (level, abo) in [(2u8, AboLevel::L2), (4, AboLevel::L4)] {
+        let mut cfg = SecurityConfig::paper_default();
+        cfg.abo_level = abo;
+        let mut sim = SecuritySim::new(
+            cfg,
+            Box::new(MoatEngine::new(MoatConfig::with_ath(64).level(abo))),
+        );
+        let mut attacker = RatchetAttacker::new(64, 512);
+        let r = sim.run(&mut attacker, Nanos::from_millis(10));
+        assert!(
+            r.max_pressure <= tolerated(64, level),
+            "level {level}: {}",
+            r.max_pressure
+        );
+    }
+}
+
+#[test]
+fn moat_holds_for_multi_row_round_robin() {
+    let mut sim = moat_sim(MoatConfig::paper_default());
+    let rows: Vec<u32> = (0..32).map(|i| 25_000 + 6 * i).collect();
+    let r = sim.run(&mut round_robin_attacker(rows), Nanos::from_millis(6));
+    assert!(r.max_pressure <= tolerated(64, 1), "{}", r.max_pressure);
+}
+
+#[test]
+fn moat_ath128_holds_at_its_own_bound() {
+    let mut sim = moat_sim(MoatConfig::with_ath(128));
+    let r = sim.run(&mut hammer_attacker(31_000), Nanos::from_millis(4));
+    assert!(r.max_pressure <= tolerated(128, 1), "{}", r.max_pressure);
+}
+
+/// An adversarial mix: alternate hammering, idling, and bursts to shake
+/// out state-machine edge cases.
+#[test]
+fn moat_holds_under_erratic_attacker() {
+    struct Erratic {
+        step: u64,
+    }
+    impl Attacker for Erratic {
+        fn step(&mut self, _v: &moat::sim::DefenseView<'_>) -> moat::sim::AttackStep {
+            self.step += 1;
+            match self.step % 97 {
+                0..=60 => moat::sim::AttackStep::Act(moat::dram::RowId::new(
+                    30_000 + ((self.step / 1000) % 5) as u32 * 6,
+                )),
+                61..=70 => moat::sim::AttackStep::Idle,
+                _ => moat::sim::AttackStep::Act(moat::dram::RowId::new(
+                    40_000 + (self.step % 13) as u32 * 6,
+                )),
+            }
+        }
+    }
+    let mut sim = moat_sim(MoatConfig::paper_default());
+    let r = sim.run(&mut Erratic { step: 0 }, Nanos::from_millis(6));
+    assert!(r.max_pressure <= tolerated(64, 1), "{}", r.max_pressure);
+}
