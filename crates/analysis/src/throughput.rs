@@ -42,7 +42,8 @@ impl ThroughputModel {
     /// Relative throughput of the single-row kernel (§7.2): one ALERT per
     /// `ath + 1` activations — 69 ACTs in 76 units ≈ 0.9× at ATH 64.
     pub fn single_row_throughput(&self, ath: u32, level: u8) -> f64 {
-        let acts_per_episode = f64::from(ath + 1) + self.timing.min_acts_between_alerts(level) as f64;
+        let acts_per_episode =
+            f64::from(ath + 1) + self.timing.min_acts_between_alerts(level) as f64;
         let units = f64::from(ath + 1) + self.alert_units(level) + f64::from(level);
         acts_per_episode / units
     }
@@ -50,9 +51,11 @@ impl ThroughputModel {
     /// Throughput when a fraction `alert_time_fraction` of wall-clock time
     /// is spent inside ALERT episodes (§7.1: 10% in ALERTs → 0.936×).
     pub fn mixed_throughput(&self, alert_time_fraction: f64, level: u8) -> f64 {
-        assert!((0.0..=1.0).contains(&alert_time_fraction), "fraction in [0,1]");
-        (1.0 - alert_time_fraction)
-            + alert_time_fraction * self.continuous_alert_throughput(level)
+        assert!(
+            (0.0..=1.0).contains(&alert_time_fraction),
+            "fraction in [0,1]"
+        );
+        (1.0 - alert_time_fraction) + alert_time_fraction * self.continuous_alert_throughput(level)
     }
 
     /// §7.4: benign workloads see ~100× more activations per ALERT than

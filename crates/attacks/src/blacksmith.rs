@@ -59,7 +59,9 @@ impl BlacksmithAttacker {
     pub fn new(aggressors: u32, decoys: u32, seed: u64) -> Self {
         assert!(aggressors > 0 && decoys > 0, "need aggressors and decoys");
         BlacksmithAttacker {
-            aggressors: (0..aggressors).map(|i| RowId::new(30_000 + 6 * i)).collect(),
+            aggressors: (0..aggressors)
+                .map(|i| RowId::new(30_000 + 6 * i))
+                .collect(),
             decoys: (0..decoys).map(|i| RowId::new(40_000 + 6 * i)).collect(),
             rng: StdRng::seed_from_u64(seed),
             step: 0,

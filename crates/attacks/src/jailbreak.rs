@@ -292,6 +292,9 @@ mod tests {
     fn running_max_is_low_early() {
         let mut r = RandomizedJailbreak::new(128, 3);
         let series = r.running_max(16);
-        assert!(series[15] < 1152, "all-heavy within 16 iterations is (almost) impossible");
+        assert!(
+            series[15] < 1152,
+            "all-heavy within 16 iterations is (almost) impossible"
+        );
     }
 }

@@ -95,7 +95,14 @@ impl Attacker for PostponementAttacker {
                 AttackStep::Idle
             }
             Phase::Exploit => {
-                if !self.enqueued(view) && !view.unit.bank().counter(self.row).get().is_multiple_of(self.threshold) {
+                if !self.enqueued(view)
+                    && !view
+                        .unit
+                        .bank()
+                        .counter(self.row)
+                        .get()
+                        .is_multiple_of(self.threshold)
+                {
                     // Drained: the exposure window ended.
                     self.phase = Phase::Done;
                     return AttackStep::Stop;

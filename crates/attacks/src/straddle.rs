@@ -82,9 +82,7 @@ impl Attacker for StraddleAttacker {
             }
             Phase::WaitForReset => {
                 if counter == 0 {
-                    self.phase = Phase::Restrike {
-                        left: self.ath + 4,
-                    };
+                    self.phase = Phase::Restrike { left: self.ath + 4 };
                     self.step(view)
                 } else {
                     AttackStep::Idle
@@ -119,7 +117,9 @@ mod tests {
         cfg.budget = SlotBudget::disabled();
         let mut sim = SecuritySim::new(
             cfg,
-            Box::new(MoatEngine::new(MoatConfig::paper_default().reset_policy(policy))),
+            Box::new(MoatEngine::new(
+                MoatConfig::paper_default().reset_policy(policy),
+            )),
         );
         let mut attacker = StraddleAttacker::new(2055, 64);
         sim.run(&mut attacker, Nanos::from_millis(2)).max_pressure

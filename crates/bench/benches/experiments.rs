@@ -11,7 +11,10 @@ use moat_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
 
 fn main() {
     let scale = Scale::from_env();
-    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
     let selected: Vec<&str> = if args.is_empty() {
         let mut all = ALL_EXPERIMENTS.to_vec();
         all.push("fig13");

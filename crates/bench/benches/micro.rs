@@ -1,14 +1,21 @@
-//! Criterion micro-benchmarks of the hot paths: engine precharge hooks,
-//! bank activation, and simulator throughput. These establish that the
-//! per-activation bookkeeping MOAT requires is trivially cheap — the
-//! design's whole point (7 bytes of SRAM, one comparison per precharge).
+//! Criterion micro-benchmarks of the hot paths.
+//!
+//! The three per-ACT kernels the simulator throughput is made of:
+//!
+//! 1. `bank/activate_plus_ledger` — `Bank::activate` plus the ground-truth
+//!    `SecurityLedger::on_activate` blast-radius pass,
+//! 2. `precharge_hook/moat_l1` — `MoatEngine::on_precharge_update`, the
+//!    fused single-scan tracker update,
+//! 3. `perf_sim/run_32bank_*` — the full `PerfSim::run` loop on a 32-bank
+//!    uniform stream, monomorphized (`PerfSim<MoatEngine>`) next to the
+//!    boxed dynamic-dispatch form for comparison.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
 use moat_core::{MoatConfig, MoatEngine};
-use moat_dram::{ActCount, Bank, DramConfig, MitigationEngine, Nanos, RowId};
-use moat_sim::{hammer_attacker, SecurityConfig, SecuritySim};
+use moat_dram::{ActCount, Bank, DramConfig, MitigationEngine, Nanos, RowId, SecurityLedger};
+use moat_sim::{hammer_attacker, PerfConfig, PerfSim, SecurityConfig, SecuritySim};
 use moat_trackers::{PanopticonConfig, PanopticonEngine};
 
 fn bench_engines(c: &mut Criterion) {
@@ -58,17 +65,77 @@ fn bench_bank(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+
+    // Hot kernel 1: bank activation plus the ledger's blast-radius pass —
+    // exactly what `BankUnit::activate` pays per simulated ACT.
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("activate_plus_ledger", |b| {
+        let cfg = DramConfig::paper_baseline();
+        b.iter_batched(
+            || (Bank::new(&cfg), SecurityLedger::new(&cfg)),
+            |(mut bank, mut ledger)| {
+                let mut now = Nanos::ZERO;
+                for i in 0..64u32 {
+                    let row = RowId::new(i * 17 % 65536);
+                    bank.activate(row, now).unwrap();
+                    ledger.on_activate(row);
+                    now += cfg.timing.t_rc;
+                }
+                (bank, ledger)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+// Hot kernel 3: the full performance-simulator loop on a 32-bank uniform
+// stream (shared with `repro --json` via `moat_bench::uniform_stream`) —
+// monomorphized versus boxed dispatch.
+use moat_bench::uniform_stream;
+fn bench_perf_sim(c: &mut Criterion) {
+    let mk_cfg = || PerfConfig::paper_default();
+    const ACTS: u32 = 50_000;
+
+    let mut g = c.benchmark_group("perf_sim");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(u64::from(ACTS)));
+
+    g.bench_function("run_32bank_mono", |b| {
+        b.iter(|| {
+            let mut sim = PerfSim::new(mk_cfg(), || MoatEngine::new(MoatConfig::paper_default()));
+            sim.run(uniform_stream(ACTS, 32))
+        });
+    });
+
+    g.bench_function("run_32bank_boxed", |b| {
+        b.iter(|| {
+            let mut sim = PerfSim::new(mk_cfg(), || {
+                Box::new(MoatEngine::new(MoatConfig::paper_default())) as Box<dyn MitigationEngine>
+            });
+            sim.run(uniform_stream(ACTS, 32))
+        });
+    });
     g.finish();
 }
 
 fn bench_security_sim(c: &mut Criterion) {
     let mut g = c.benchmark_group("security_sim");
     g.sample_size(20);
-    g.bench_function("hammer_100us", |b| {
+    g.bench_function("hammer_100us_mono", |b| {
         b.iter(|| {
             let mut sim = SecuritySim::new(
                 SecurityConfig::paper_default(),
-                Box::new(MoatEngine::new(MoatConfig::paper_default())),
+                MoatEngine::new(MoatConfig::paper_default()),
+            );
+            sim.run(&mut hammer_attacker(30_000), Nanos::from_micros(100))
+        });
+    });
+    g.bench_function("hammer_100us_boxed", |b| {
+        b.iter(|| {
+            let mut sim = SecuritySim::new(
+                SecurityConfig::paper_default(),
+                Box::new(MoatEngine::new(MoatConfig::paper_default())) as Box<dyn MitigationEngine>,
             );
             sim.run(&mut hammer_attacker(30_000), Nanos::from_micros(100))
         });
@@ -76,5 +143,11 @@ fn bench_security_sim(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_bank, bench_security_sim);
+criterion_group!(
+    benches,
+    bench_engines,
+    bench_bank,
+    bench_perf_sim,
+    bench_security_sim
+);
 criterion_main!(benches);

@@ -16,9 +16,8 @@ use crate::scale::Scale;
 /// row's lower victims unrefreshed for ~half a tREFW, so the straddle
 /// attack doubles the exposure even with the shadow counters in place.
 pub fn ablation_refresh_order() -> String {
-    let mut out = String::from(
-        "Ablation: refresh sweep order vs the straddle attack (safe reset, ATH 64)\n",
-    );
+    let mut out =
+        String::from("Ablation: refresh sweep order vs the straddle attack (safe reset, ATH 64)\n");
     for (label, order) in [
         ("contiguous (paper §4.3)", RefreshOrder::Contiguous),
         ("strided (stride 4097)", RefreshOrder::Strided(4097)),
@@ -38,10 +37,7 @@ fn straddle_with_order(order: RefreshOrder) -> u32 {
     let mut cfg = SecurityConfig::paper_default();
     cfg.dram = DramConfig::builder().refresh_order(order).build();
     cfg.budget = SlotBudget::disabled();
-    let mut sim = SecuritySim::new(
-        cfg,
-        Box::new(MoatEngine::new(MoatConfig::paper_default())),
-    );
+    let mut sim = SecuritySim::new(cfg, Box::new(MoatEngine::new(MoatConfig::paper_default())));
     // Row 2048 leads group 256; its lower victims live in group 255.
     // Under stride 4097 group 256 is refreshed at sweep position 256
     // (~1 ms) but group 255 only at position 4351 (~17 ms).

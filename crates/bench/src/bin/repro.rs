@@ -5,27 +5,40 @@
 //!   repro list                  list experiment names
 //!   repro all [--full]          run everything
 //!   repro `<name>`... [--full]  run selected experiments
+//!   repro bench                 run the simulator-throughput benchmark
+//!   repro --json [names...]     also write BENCH_perf.json (ACTs/sec,
+//!                               sweep wall time, mono-vs-boxed speedup)
+//!
+//! The performance sweeps fan their (profile × config) cells across all
+//! cores; `--full` selects the paper-size configuration (32 banks,
+//! 2 tREFW windows).
 
-use moat_bench::{run_experiment, Scale, ALL_EXPERIMENTS};
+use moat_bench::{bench_perf, run_experiment, Scale, ALL_EXPERIMENTS};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    args.retain(|a| a != "--full");
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--full" && a != "--json");
     let scale = if full { Scale::full() } else { Scale::scaled() };
 
-    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: repro <list|all|experiment...> [--full]");
+    if args.is_empty() && !json {
+        eprintln!("usage: repro <list|all|bench|experiment...> [--full] [--json]");
         std::process::exit(2);
     }
-    if args[0] == "list" {
+    if args.first().is_some_and(|a| a == "help" || a == "--help") {
+        eprintln!("usage: repro <list|all|bench|experiment...> [--full] [--json]");
+        std::process::exit(2);
+    }
+    if args.first().is_some_and(|a| a == "list") {
         for name in ALL_EXPERIMENTS {
             println!("{name}");
         }
-        println!("fig13\nstorage");
+        println!("fig13\nstorage\nbench");
         return;
     }
-    let selected: Vec<String> = if args[0] == "all" {
+
+    let selected: Vec<String> = if args.first().is_some_and(|a| a == "all") {
         let mut v: Vec<String> = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
         v.push("fig13".into());
         v.push("storage".into());
@@ -33,12 +46,37 @@ fn main() {
     } else {
         args
     };
+
     let mut failed = false;
+    let mut bench_report = None;
     for name in &selected {
+        if name == "bench" {
+            let report = bench_perf(scale);
+            println!("{}", report.summary());
+            bench_report = Some(report);
+            continue;
+        }
         match run_experiment(name, scale) {
             Some(out) => println!("{out}"),
             None => {
                 eprintln!("unknown experiment: {name}");
+                failed = true;
+            }
+        }
+    }
+
+    if json {
+        // Reuse the benchmark if the selection already ran it.
+        let report = bench_report.unwrap_or_else(|| {
+            let report = bench_perf(scale);
+            println!("{}", report.summary());
+            report
+        });
+        let path = "BENCH_perf.json";
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
                 failed = true;
             }
         }

@@ -12,17 +12,21 @@
 
 mod ablation_experiments;
 mod perf_experiments;
+mod perfbench;
 mod scale;
 mod security_experiments;
+mod sweep;
 
 pub use ablation_experiments::{ablation_refresh_order, ablation_tracker_class, energy};
 pub use perf_experiments::{
     fig11, fig12, fig13, fig17, run_perf, table4, table5, table6, table7, PerfLab,
 };
+pub use perfbench::{bench_perf, uniform_stream, PerfBenchReport};
 pub use scale::Scale;
 pub use security_experiments::{
     fig10_fig15, fig16, fig5, fig7, fig8, moat_bound_check, run_security, table2,
 };
+pub use sweep::{run_sweep, SweepCell, SweepOutcome, SweepStats};
 
 /// The storage table (§6.5 / Appendix D).
 pub fn storage() -> String {
@@ -51,8 +55,23 @@ pub fn storage() -> String {
 
 /// All experiment names in paper order, followed by the ablations.
 pub const ALL_EXPERIMENTS: [&str; 17] = [
-    "table2", "fig5", "fig7", "fig8", "fig10", "fig16", "check", "table4", "fig11", "table5",
-    "table6", "table7", "fig17", "fig12", "ablation-refresh", "ablation-trackers", "energy",
+    "table2",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fig10",
+    "fig16",
+    "check",
+    "table4",
+    "fig11",
+    "table5",
+    "table6",
+    "table7",
+    "fig17",
+    "fig12",
+    "ablation-refresh",
+    "ablation-trackers",
+    "energy",
 ];
 
 /// Runs an experiment by name (figures 13 and storage are included under

@@ -7,20 +7,29 @@
 //! "normalized to a system that does not incur any ALERTs". The ALERT-free
 //! baseline is engine-independent (REF timing only), so it is computed
 //! once per workload and reused across configuration sweeps.
+//!
+//! All simulations run on the monomorphized `PerfSim<MoatEngine>` fast
+//! path, and the sweep tables fan their (profile × configuration) cells
+//! across cores via [`crate::run_sweep`] — with results bit-identical to
+//! a serial run.
 
 use std::collections::HashMap;
 
 use moat_analysis::RatchetModel;
 use moat_attacks::{multi_row_kernel, single_row_kernel, tsa_stream};
 use moat_core::{MoatConfig, MoatEngine};
-use moat_dram::{AboLevel, DramConfig, MitigationEngine, Nanos};
+use moat_dram::{AboLevel, DramConfig, Nanos};
 use moat_sim::{PerfConfig, PerfReport, PerfSim, Request, SlotBudget};
 use moat_workloads::{HistogramCheck, WorkloadProfile, WorkloadStream, PROFILES};
+use rayon::prelude::*;
 
 use crate::scale::Scale;
+use crate::sweep::{run_sweep, SweepCell};
 
 /// Shared context for the performance sweeps: caches the per-workload
-/// ALERT-free baseline completion times.
+/// ALERT-free baseline completion times. Once the baselines are
+/// precomputed (see [`Self::precompute_baselines`]) the lab can be shared
+/// immutably across worker threads.
 #[derive(Debug)]
 pub struct PerfLab {
     scale: Scale,
@@ -52,17 +61,44 @@ impl PerfLab {
         WorkloadStream::new(profile, &self.dram, self.scale.generator(0xA0A7))
     }
 
+    /// Computes the ALERT-free baseline completion time for `profile`
+    /// without touching the cache. Engine-independent: with ALERTs
+    /// disabled only REF timing shapes the completion time.
+    fn compute_baseline(&self, profile: &WorkloadProfile) -> Nanos {
+        let cfg = self.perf_config(AboLevel::L1, SlotBudget::paper_default(), false);
+        let mut sim = PerfSim::new(cfg, moat_factory(MoatConfig::paper_default()));
+        sim.run(self.stream(profile)).completion_time
+    }
+
     /// The ALERT-free baseline completion time for `profile` (cached; it
     /// is identical for every engine configuration).
     fn baseline(&mut self, profile: &'static WorkloadProfile) -> Nanos {
         if let Some(&t) = self.baselines.get(profile.name) {
             return t;
         }
-        let cfg = self.perf_config(AboLevel::L1, SlotBudget::paper_default(), false);
-        let mut sim = PerfSim::new(cfg, moat_factory(MoatConfig::paper_default()));
-        let report = sim.run(self.stream(profile));
-        self.baselines.insert(profile.name, report.completion_time);
-        report.completion_time
+        let t = self.compute_baseline(profile);
+        self.baselines.insert(profile.name, t);
+        t
+    }
+
+    /// Fills the baseline cache for `profiles`, computing the missing
+    /// entries **in parallel** (the sweep runner calls this before
+    /// fanning cells out, so cells only ever read the cache).
+    pub fn precompute_baselines(&mut self, profiles: &[&'static WorkloadProfile]) {
+        let missing: Vec<&'static WorkloadProfile> = profiles
+            .iter()
+            .copied()
+            .filter(|p| !self.baselines.contains_key(p.name))
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let shared: &PerfLab = self;
+        let computed: Vec<(&'static str, Nanos)> = missing
+            .into_par_iter()
+            .map(|p| (p.name, shared.compute_baseline(p)))
+            .collect();
+        self.baselines.extend(computed);
     }
 
     /// Runs `profile` under a MOAT configuration and returns
@@ -73,7 +109,23 @@ impl PerfLab {
         moat: MoatConfig,
         budget: SlotBudget,
     ) -> (f64, PerfReport) {
-        let base = self.baseline(profile);
+        self.baseline(profile);
+        self.run_moat_shared(profile, moat, budget)
+    }
+
+    /// Shared-reference variant of [`run_moat`](Self::run_moat) for
+    /// parallel sweeps. Uses the cached baseline when present and
+    /// recomputes it on the fly otherwise (without caching).
+    pub fn run_moat_shared(
+        &self,
+        profile: &'static WorkloadProfile,
+        moat: MoatConfig,
+        budget: SlotBudget,
+    ) -> (f64, PerfReport) {
+        let base = match self.baselines.get(profile.name) {
+            Some(&t) => t,
+            None => self.compute_baseline(profile),
+        };
         let cfg = self.perf_config(moat.level, budget, true);
         let mut sim = PerfSim::new(cfg, moat_factory(moat));
         let report = sim.run(self.stream(profile));
@@ -82,8 +134,10 @@ impl PerfLab {
     }
 }
 
-fn moat_factory(cfg: MoatConfig) -> impl FnMut() -> Box<dyn MitigationEngine> {
-    move || Box::new(MoatEngine::new(cfg))
+/// A factory of monomorphized MOAT engines: `PerfSim<MoatEngine>` inlines
+/// the per-ACT engine hooks instead of dispatching through a vtable.
+fn moat_factory(cfg: MoatConfig) -> impl FnMut() -> MoatEngine {
+    move || MoatEngine::new(cfg)
 }
 
 /// Table 4: the generator's per-bank-per-tREFW histogram next to the
@@ -94,13 +148,19 @@ pub fn table4(scale: Scale) -> String {
         "Table 4: workload characteristics (generated vs paper, rows per bank per tREFW)\n\
          workload    | ACT-PKI | 32+ gen/paper | 64+ gen/paper | 128+ gen/paper\n",
     );
-    for p in &PROFILES {
-        let stream = WorkloadStream::new(p, &dram, scale.generator(0xA0A7));
-        let h = HistogramCheck::measure(stream, &dram, scale.banks, scale.windows);
-        out.push_str(&format!(
-            "  {:<10} | {:>7.1} | {:>6.0}/{:<5} | {:>6.0}/{:<5} | {:>6.0}/{:<4}\n",
-            p.name, p.act_pki, h.act32, p.act32, h.act64, p.act64, h.act128, p.act128
-        ));
+    let rows: Vec<String> = PROFILES
+        .par_iter()
+        .map(|p| {
+            let stream = WorkloadStream::new(p, &dram, scale.generator(0xA0A7));
+            let h = HistogramCheck::measure(stream, &dram, scale.banks, scale.windows);
+            format!(
+                "  {:<10} | {:>7.1} | {:>6.0}/{:<5} | {:>6.0}/{:<5} | {:>6.0}/{:<4}\n",
+                p.name, p.act_pki, h.act32, p.act32, h.act64, p.act64, h.act128, p.act128
+            )
+        })
+        .collect();
+    for row in rows {
+        out.push_str(&row);
     }
     out
 }
@@ -109,24 +169,34 @@ pub fn table4(scale: Scale) -> String {
 /// MOAT at ATH 64 and ATH 128 (ETH = ATH/2).
 pub fn fig11(scale: Scale) -> String {
     let mut lab = PerfLab::new(scale);
+    let cells: Vec<SweepCell> = PROFILES
+        .iter()
+        .flat_map(|p| {
+            [
+                SweepCell::new(p, MoatConfig::with_ath(64)),
+                SweepCell::new(p, MoatConfig::with_ath(128)),
+            ]
+        })
+        .collect();
+    let (outcomes, _) = run_sweep(&mut lab, &cells);
+
     let mut out = String::from(
         "Fig. 11: MOAT performance (normalized) and ALERT rate per tREFI\n\
          workload    | perf@ATH64 | alerts/tREFI | perf@ATH128 | alerts/tREFI\n",
     );
     let mut slow64 = Vec::new();
     let mut slow128 = Vec::new();
-    for p in &PROFILES {
-        let (s64, r64) = lab.run_moat(p, MoatConfig::with_ath(64), SlotBudget::paper_default());
-        let (s128, r128) = lab.run_moat(p, MoatConfig::with_ath(128), SlotBudget::paper_default());
-        slow64.push(s64);
-        slow128.push(s128);
+    for (p, pair) in PROFILES.iter().zip(outcomes.chunks_exact(2)) {
+        let (o64, o128) = (&pair[0], &pair[1]);
+        slow64.push(o64.slowdown);
+        slow128.push(o128.slowdown);
         out.push_str(&format!(
             "  {:<10} |     {:.4} |       {:.4} |      {:.4} |       {:.4}\n",
             p.name,
-            1.0 / (1.0 + s64),
-            r64.alerts_per_trefi,
-            1.0 / (1.0 + s128),
-            r128.alerts_per_trefi
+            1.0 / (1.0 + o64.slowdown),
+            o64.report.alerts_per_trefi,
+            1.0 / (1.0 + o128.slowdown),
+            o128.report.alerts_per_trefi
         ));
     }
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
@@ -146,21 +216,29 @@ pub fn table5(scale: Scale) -> String {
         "Table 5: impact of ETH (ATH 64)\n\
          ETH | mitig.+ALERT per tREFW per bank | avg slowdown (paper)\n",
     );
-    let paper = [(0u32, 1729u32, 0.21), (16, 1329, 0.21), (32, 835, 0.28), (48, 505, 0.69)];
-    for (eth, paper_mit, paper_slow) in paper {
-        let mut mitigations = 0.0;
-        let mut slowdowns = Vec::new();
-        for p in &PROFILES {
-            let (s, r) = lab.run_moat(
-                p,
-                MoatConfig::with_ath(64).eth(eth),
-                SlotBudget::paper_default(),
-            );
-            mitigations += r.mitigations_per_bank_per_trefw;
-            slowdowns.push(s);
-        }
+    let paper = [
+        (0u32, 1729u32, 0.21),
+        (16, 1329, 0.21),
+        (32, 835, 0.28),
+        (48, 505, 0.69),
+    ];
+    let cells: Vec<SweepCell> = paper
+        .iter()
+        .flat_map(|&(eth, _, _)| {
+            PROFILES
+                .iter()
+                .map(move |p| SweepCell::new(p, MoatConfig::with_ath(64).eth(eth)))
+        })
+        .collect();
+    let (outcomes, _) = run_sweep(&mut lab, &cells);
+
+    for (row, (eth, paper_mit, paper_slow)) in outcomes.chunks_exact(PROFILES.len()).zip(paper) {
+        let mitigations: f64 = row
+            .iter()
+            .map(|o| o.report.mitigations_per_bank_per_trefw)
+            .sum();
         let avg_mit = mitigations / PROFILES.len() as f64;
-        let avg_slow = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64 * 100.0;
+        let avg_slow = row.iter().map(|o| o.slowdown).sum::<f64>() / PROFILES.len() as f64 * 100.0;
         out.push_str(&format!(
             "  {eth:>2} | {avg_mit:>8.0} (paper {paper_mit:>4}) | {avg_slow:.2}% (paper {paper_slow}%)\n"
         ));
@@ -176,19 +254,42 @@ pub fn table6(scale: Scale) -> String {
          rate                     | avg slowdown (paper)\n",
     );
     let rows: [(&str, SlotBudget, f64); 5] = [
-        ("1 aggressor per 1 tREFI", SlotBudget::per_aggressor(5, 1), 0.0),
-        ("1 aggressor per 3 tREFI", SlotBudget::per_aggressor(5, 3), 0.12),
-        ("1 aggressor per 5 tREFI", SlotBudget::per_aggressor(5, 5), 0.28),
-        ("1 aggressor per 10 tREFI", SlotBudget::per_aggressor(5, 10), 0.51),
+        (
+            "1 aggressor per 1 tREFI",
+            SlotBudget::per_aggressor(5, 1),
+            0.0,
+        ),
+        (
+            "1 aggressor per 3 tREFI",
+            SlotBudget::per_aggressor(5, 3),
+            0.12,
+        ),
+        (
+            "1 aggressor per 5 tREFI",
+            SlotBudget::per_aggressor(5, 5),
+            0.28,
+        ),
+        (
+            "1 aggressor per 10 tREFI",
+            SlotBudget::per_aggressor(5, 10),
+            0.51,
+        ),
         ("none (ALERT only)", SlotBudget::disabled(), 0.91),
     ];
-    for (label, budget, paper) in rows {
-        let mut slowdowns = Vec::new();
-        for p in &PROFILES {
-            let (s, _) = lab.run_moat(p, MoatConfig::with_ath(64), budget);
-            slowdowns.push(s);
-        }
-        let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64 * 100.0;
+    let cells: Vec<SweepCell> = rows
+        .iter()
+        .flat_map(|&(_, budget, _)| {
+            PROFILES.iter().map(move |p| SweepCell {
+                profile: p,
+                moat: MoatConfig::with_ath(64),
+                budget,
+            })
+        })
+        .collect();
+    let (outcomes, _) = run_sweep(&mut lab, &cells);
+
+    for (row, (label, _, paper)) in outcomes.chunks_exact(PROFILES.len()).zip(rows) {
+        let avg = row.iter().map(|o| o.slowdown).sum::<f64>() / PROFILES.len() as f64 * 100.0;
         out.push_str(&format!("  {label:<24} | {avg:.2}% (paper {paper}%)\n"));
     }
     out
@@ -214,18 +315,21 @@ pub fn table7(scale: Scale) -> String {
         (128, 2, 0.0, 150),
         (128, 4, 0.0, 145),
     ];
-    for (ath, level, paper_slow, paper_trh) in paper {
-        let abo = AboLevel::from_u8(level).expect("legal level");
-        let mut slowdowns = Vec::new();
-        for p in &PROFILES {
-            let (s, _) = lab.run_moat(
-                p,
-                MoatConfig::with_ath(ath).level(abo),
-                SlotBudget::paper_default(),
-            );
-            slowdowns.push(s);
-        }
-        let avg = slowdowns.iter().sum::<f64>() / slowdowns.len() as f64 * 100.0;
+    let cells: Vec<SweepCell> = paper
+        .iter()
+        .flat_map(|&(ath, level, _, _)| {
+            let abo = AboLevel::from_u8(level).expect("legal level");
+            PROFILES
+                .iter()
+                .map(move |p| SweepCell::new(p, MoatConfig::with_ath(ath).level(abo)))
+        })
+        .collect();
+    let (outcomes, _) = run_sweep(&mut lab, &cells);
+
+    for (row, (ath, level, paper_slow, paper_trh)) in
+        outcomes.chunks_exact(PROFILES.len()).zip(paper)
+    {
+        let avg = row.iter().map(|o| o.slowdown).sum::<f64>() / PROFILES.len() as f64 * 100.0;
         out.push_str(&format!(
             "  {ath:>3} | MOAT-L{level} | {avg:>5.2}% (paper {paper_slow:>4.2}%) | {} (paper {paper_trh})\n",
             model.safe_trh(ath, level)
@@ -238,27 +342,36 @@ pub fn table7(scale: Scale) -> String {
 /// ATH 64.
 pub fn fig17(scale: Scale) -> String {
     let mut lab = PerfLab::new(scale);
+    let cells: Vec<SweepCell> = PROFILES
+        .iter()
+        .flat_map(|p| {
+            AboLevel::ALL
+                .iter()
+                .map(move |&level| SweepCell::new(p, MoatConfig::with_ath(64).level(level)))
+        })
+        .collect();
+    let (outcomes, _) = run_sweep(&mut lab, &cells);
+
     let mut out = String::from(
         "Fig. 17: MOAT generalized to ABO levels (ATH 64, ETH 32)\n\
          workload    | L1 perf/alerts | L2 perf/alerts | L4 perf/alerts\n",
     );
     let mut sums = [0.0f64; 3];
     let mut alert_sums = [0.0f64; 3];
-    for p in &PROFILES {
-        let mut cells = Vec::new();
-        for (i, level) in AboLevel::ALL.iter().enumerate() {
-            let (s, r) = lab.run_moat(
-                p,
-                MoatConfig::with_ath(64).level(*level),
-                SlotBudget::paper_default(),
-            );
-            sums[i] += s;
-            alert_sums[i] += r.alerts_per_trefi;
-            cells.push(format!("{:.4}/{:.4}", 1.0 / (1.0 + s), r.alerts_per_trefi));
+    for (p, triple) in PROFILES.iter().zip(outcomes.chunks_exact(3)) {
+        let mut cells_out = Vec::new();
+        for (i, o) in triple.iter().enumerate() {
+            sums[i] += o.slowdown;
+            alert_sums[i] += o.report.alerts_per_trefi;
+            cells_out.push(format!(
+                "{:.4}/{:.4}",
+                1.0 / (1.0 + o.slowdown),
+                o.report.alerts_per_trefi
+            ));
         }
         out.push_str(&format!(
             "  {:<10} | {} | {} | {}\n",
-            p.name, cells[0], cells[1], cells[2]
+            p.name, cells_out[0], cells_out[1], cells_out[2]
         ));
     }
     let n = PROFILES.len() as f64;
@@ -352,7 +465,10 @@ mod tests {
 
     #[test]
     fn lab_reuses_baselines() {
-        let mut lab = PerfLab::new(Scale { banks: 1, windows: 1 });
+        let mut lab = PerfLab::new(Scale {
+            banks: 1,
+            windows: 1,
+        });
         let p = WorkloadProfile::by_name("x264").unwrap();
         let t1 = lab.baseline(p);
         let t2 = lab.baseline(p);
@@ -361,8 +477,29 @@ mod tests {
     }
 
     #[test]
+    fn precompute_fills_cache_identically() {
+        let scale = Scale {
+            banks: 1,
+            windows: 1,
+        };
+        let profiles: Vec<&'static WorkloadProfile> = ["x264", "gcc", "tc"]
+            .iter()
+            .map(|n| WorkloadProfile::by_name(n).unwrap())
+            .collect();
+        let mut parallel = PerfLab::new(scale);
+        parallel.precompute_baselines(&profiles);
+        let mut serial = PerfLab::new(scale);
+        for p in &profiles {
+            assert_eq!(serial.baseline(p), parallel.baselines[p.name], "{}", p.name);
+        }
+    }
+
+    #[test]
     fn light_workload_has_negligible_slowdown() {
-        let mut lab = PerfLab::new(Scale { banks: 1, windows: 1 });
+        let mut lab = PerfLab::new(Scale {
+            banks: 1,
+            windows: 1,
+        });
         let p = WorkloadProfile::by_name("tc").unwrap(); // no 64+ rows
         let (s, r) = lab.run_moat(p, MoatConfig::with_ath(64), SlotBudget::paper_default());
         assert!(s < 0.01, "tc slowdown {s}");

@@ -20,12 +20,18 @@ pub struct Scale {
 impl Scale {
     /// Fast default: 2 banks, 1 tREFW (~seconds per table).
     pub const fn scaled() -> Self {
-        Scale { banks: 2, windows: 1 }
+        Scale {
+            banks: 2,
+            windows: 1,
+        }
     }
 
     /// Paper-size: 32 banks, 2 tREFW (minutes per table).
     pub const fn full() -> Self {
-        Scale { banks: 32, windows: 2 }
+        Scale {
+            banks: 32,
+            windows: 2,
+        }
     }
 
     /// Reads `MOAT_REPRO_FULL=1` from the environment.

@@ -3,8 +3,7 @@
 
 use moat_analysis::{FeintingModel, RatchetModel};
 use moat_attacks::{
-    FeintingAttacker, JailbreakAttacker, PostponementAttacker, RandomizedJailbreak,
-    RatchetAttacker,
+    FeintingAttacker, JailbreakAttacker, PostponementAttacker, RandomizedJailbreak, RatchetAttacker,
 };
 use moat_core::{MoatConfig, MoatEngine, ResetPolicy};
 use moat_dram::{DramConfig, DramTiming, Nanos};
@@ -104,7 +103,9 @@ fn reset_policy_pressure(policy: ResetPolicy) -> u32 {
     cfg.budget = SlotBudget::disabled();
     let mut sim = SecuritySim::new(
         cfg,
-        Box::new(MoatEngine::new(MoatConfig::paper_default().reset_policy(policy))),
+        Box::new(MoatEngine::new(
+            MoatConfig::paper_default().reset_policy(policy),
+        )),
     );
     // Row 2055 is the trailing row of group 256 (refreshed at ~1 ms).
     let mut attacker = moat_attacks::StraddleAttacker::new(2055, 64);
@@ -233,7 +234,9 @@ mod tests {
 
     #[test]
     fn dispatcher_knows_all_names() {
-        for name in ["table2", "fig5", "fig7", "fig8", "fig10", "fig15", "fig16", "check"] {
+        for name in [
+            "table2", "fig5", "fig7", "fig8", "fig10", "fig15", "fig16", "check",
+        ] {
             assert!(run_security(name).is_some(), "{name}");
         }
         assert!(run_security("nope").is_none());

@@ -1,0 +1,174 @@
+//! The parallel (profile × configuration) sweep runner.
+//!
+//! Every performance table in the paper is a grid of independent cells —
+//! a workload stream run under one MOAT configuration. The runner fans
+//! those cells across cores with [`rayon`], after precomputing the
+//! per-workload ALERT-free baselines (also in parallel, since they are
+//! engine-independent and shared by every cell of a profile). Results
+//! come back **in input order** regardless of scheduling, and each cell
+//! is seeded identically to a serial run, so the parallel sweep is
+//! bit-for-bit reproducible.
+
+use std::time::Instant;
+
+use moat_core::MoatConfig;
+use moat_sim::{PerfReport, SlotBudget};
+use moat_workloads::WorkloadProfile;
+use rayon::prelude::*;
+
+use crate::perf_experiments::PerfLab;
+
+/// One cell of a performance sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepCell {
+    /// The workload to stream.
+    pub profile: &'static WorkloadProfile,
+    /// The MOAT configuration under test.
+    pub moat: MoatConfig,
+    /// The REF-time mitigation budget.
+    pub budget: SlotBudget,
+}
+
+impl SweepCell {
+    /// A cell at the paper's default mitigation budget.
+    pub fn new(profile: &'static WorkloadProfile, moat: MoatConfig) -> Self {
+        SweepCell {
+            profile,
+            moat,
+            budget: SlotBudget::paper_default(),
+        }
+    }
+}
+
+/// The outcome of one sweep cell.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOutcome {
+    /// The cell that produced this outcome.
+    pub cell: SweepCell,
+    /// Slowdown versus the ALERT-free baseline (≥ 0).
+    pub slowdown: f64,
+    /// The full performance report.
+    pub report: PerfReport,
+    /// Host wall-clock seconds spent simulating this cell.
+    pub wall_seconds: f64,
+}
+
+impl SweepOutcome {
+    /// Simulated activations per host second for this cell.
+    pub fn acts_per_sec(&self) -> f64 {
+        self.report.total_acts as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// Timing summary of a whole sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepStats {
+    /// Wall-clock seconds for the whole sweep (baselines + cells).
+    pub wall_seconds: f64,
+    /// Sum of per-cell wall seconds (≈ what a serial run would cost).
+    pub cell_seconds: f64,
+    /// Total simulated activations across all cells.
+    pub total_acts: u64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl SweepStats {
+    /// Aggregate simulated activations per host second.
+    pub fn acts_per_sec(&self) -> f64 {
+        self.total_acts as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// Runs `cells` in parallel against `lab`, returning outcomes in input
+/// order plus aggregate timing.
+///
+/// Baselines for every distinct profile are computed first (in
+/// parallel); the cells then fan out across cores. Results are
+/// bit-identical to running each cell serially in order.
+pub fn run_sweep(lab: &mut PerfLab, cells: &[SweepCell]) -> (Vec<SweepOutcome>, SweepStats) {
+    let start = Instant::now();
+
+    let mut profiles: Vec<&'static WorkloadProfile> = cells.iter().map(|c| c.profile).collect();
+    profiles.sort_by_key(|p| p.name);
+    profiles.dedup_by_key(|p| p.name);
+    lab.precompute_baselines(&profiles);
+
+    let shared: &PerfLab = lab;
+    let outcomes: Vec<SweepOutcome> = cells
+        .to_vec()
+        .into_par_iter()
+        .map(|cell| {
+            let cell_start = Instant::now();
+            let (slowdown, report) = shared.run_moat_shared(cell.profile, cell.moat, cell.budget);
+            SweepOutcome {
+                cell,
+                slowdown,
+                report,
+                wall_seconds: cell_start.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+
+    let stats = SweepStats {
+        wall_seconds: start.elapsed().as_secs_f64(),
+        cell_seconds: outcomes.iter().map(|o| o.wall_seconds).sum(),
+        total_acts: outcomes.iter().map(|o| o.report.total_acts).sum(),
+        threads: rayon::current_num_threads(),
+    };
+    (outcomes, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+    use moat_workloads::PROFILES;
+
+    #[test]
+    fn parallel_sweep_matches_serial_run() {
+        let scale = Scale {
+            banks: 1,
+            windows: 1,
+        };
+        let cells: Vec<SweepCell> = PROFILES
+            .iter()
+            .take(4)
+            .map(|p| SweepCell::new(p, MoatConfig::with_ath(64)))
+            .collect();
+
+        let mut lab = PerfLab::new(scale);
+        let (parallel, stats) = run_sweep(&mut lab, &cells);
+
+        let mut serial_lab = PerfLab::new(scale);
+        for (cell, outcome) in cells.iter().zip(&parallel) {
+            let (slowdown, report) = serial_lab.run_moat(cell.profile, cell.moat, cell.budget);
+            assert_eq!(report, outcome.report, "cell {}", cell.profile.name);
+            assert_eq!(slowdown.to_bits(), outcome.slowdown.to_bits());
+        }
+        assert_eq!(
+            stats.total_acts,
+            parallel.iter().map(|o| o.report.total_acts).sum::<u64>()
+        );
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.threads >= 1);
+    }
+
+    #[test]
+    fn outcomes_preserve_cell_order() {
+        let scale = Scale {
+            banks: 1,
+            windows: 1,
+        };
+        let cells: Vec<SweepCell> = PROFILES
+            .iter()
+            .take(6)
+            .map(|p| SweepCell::new(p, MoatConfig::with_ath(128)))
+            .collect();
+        let mut lab = PerfLab::new(scale);
+        let (outcomes, _) = run_sweep(&mut lab, &cells);
+        for (cell, outcome) in cells.iter().zip(&outcomes) {
+            assert_eq!(cell.profile.name, outcome.cell.profile.name);
+        }
+    }
+}

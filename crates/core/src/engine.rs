@@ -67,8 +67,14 @@ pub struct MoatStats {
 #[derive(Debug, Clone)]
 pub struct MoatEngine {
     config: MoatConfig,
+    /// Cached display name (formatted once — `name()` is allocation-free).
+    name: String,
     /// The tracked entries (1 for MOAT-L1; `L` for MOAT-L, Appendix D).
     tracker: Vec<TrackedEntry>,
+    /// Index of the highest-count entry (ties resolved to the highest
+    /// index, matching `Iterator::max_by_key` over the tracker vector).
+    /// Only meaningful while the tracker is non-empty.
+    max_idx: usize,
     /// The row currently being mitigated (CMA register).
     cma: Option<RowId>,
     /// Trailing-row shadows for safe reset (§4.3).
@@ -88,7 +94,9 @@ impl MoatEngine {
         config.validate();
         MoatEngine {
             config,
+            name: format!("moat-{}-ath{}-eth{}", config.level, config.ath, config.eth),
             tracker: Vec::with_capacity(config.tracker_entries()),
+            max_idx: 0,
             cma: None,
             shadows: Vec::with_capacity(config.shadow_slots as usize),
             alert_pending: false,
@@ -102,9 +110,10 @@ impl MoatEngine {
     }
 
     /// The CTA register: the highest-count tracked entry (MOAT-L1's single
-    /// entry), or `None` when the tracker is empty.
+    /// entry), or `None` when the tracker is empty. `O(1)` — the maximum
+    /// is maintained incrementally by the precharge hook.
     pub fn cta(&self) -> Option<TrackedEntry> {
-        self.tracker.iter().copied().max_by_key(|e| e.count)
+        self.tracker.get(self.max_idx).copied()
     }
 
     /// All tracked entries (1 for L1, up to `L` for MOAT-L).
@@ -124,6 +133,7 @@ impl MoatEngine {
 
     /// The shadow-aware counter value for `row` given the in-array value,
     /// updating the shadow if `row` is shadowed. Called on every precharge.
+    #[inline]
     fn bump_effective(&mut self, row: RowId, in_array: ActCount) -> u32 {
         if let Some(s) = self.shadows.iter_mut().find(|s| s.row == row) {
             s.count = s.count.saturating_add(1);
@@ -133,42 +143,90 @@ impl MoatEngine {
         }
     }
 
-    fn refresh_alert_flag(&mut self) {
+    /// Rebuilds the incrementally maintained maximum index and alert flag
+    /// by rescanning the tracker. Only called on the rare mitigation
+    /// events (entry removal, mitigation completion) — the per-ACT hot
+    /// path maintains both without a rescan.
+    fn resync(&mut self) {
         let was = self.alert_pending;
-        self.alert_pending = self.tracker.iter().any(|e| e.count > self.config.ath);
-        if self.alert_pending && !was {
+        let mut max_idx = 0;
+        let mut max_count = 0;
+        let mut any_above = false;
+        for (i, e) in self.tracker.iter().enumerate() {
+            // `>=` resolves ties to the highest index, matching the
+            // behaviour of `max_by_key` over the same vector.
+            if e.count >= max_count {
+                max_count = e.count;
+                max_idx = i;
+            }
+            any_above |= e.count > self.config.ath;
+        }
+        self.max_idx = max_idx;
+        self.alert_pending = any_above;
+        if any_above && !was {
+            self.stats.alerts_requested += 1;
+        }
+    }
+
+    /// Records that the entry at `idx` now holds `count`, folding the
+    /// max-index and ALERT-flag maintenance into the caller's single pass.
+    #[inline]
+    fn note_count(&mut self, idx: usize, count: u32) {
+        let cur = self.tracker[self.max_idx].count;
+        if count > cur || (count == cur && idx >= self.max_idx) {
+            self.max_idx = idx;
+        }
+        if count > self.config.ath && !self.alert_pending {
+            self.alert_pending = true;
             self.stats.alerts_requested += 1;
         }
     }
 
     /// Removes and returns the highest-count tracked entry.
     fn take_max(&mut self) -> Option<TrackedEntry> {
-        let idx = self
-            .tracker
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, e)| e.count)
-            .map(|(i, _)| i)?;
-        let entry = self.tracker.swap_remove(idx);
-        self.refresh_alert_flag();
+        if self.tracker.is_empty() {
+            return None;
+        }
+        let entry = self.tracker.swap_remove(self.max_idx);
+        self.resync();
         Some(entry)
     }
 }
 
 impl MitigationEngine for MoatEngine {
-    fn name(&self) -> String {
-        format!(
-            "moat-{}-ath{}-eth{}",
-            self.config.level, self.config.ath, self.config.eth
-        )
+    fn name(&self) -> &str {
+        &self.name
     }
 
+    /// The per-ACT hot path: one fused scan over the (≤ L ≤ 4 entry)
+    /// tracker finds the row's entry *and* the minimum entry, applies the
+    /// update/insert/replace, and maintains the CTA maximum and ALERT flag
+    /// incrementally — where the original implementation rescanned the
+    /// tracker separately for each of those.
+    #[inline]
     fn on_precharge_update(&mut self, row: RowId, counter: ActCount) {
         let effective = self.bump_effective(row, counter);
 
-        // Update an existing entry for this row, or try to insert.
-        if let Some(e) = self.tracker.iter_mut().find(|e| e.row == row) {
+        // Single pass: the row's entry if tracked, else the first minimum.
+        let mut found = None;
+        let mut min_idx = 0;
+        let mut min_count = u32::MAX;
+        for (i, e) in self.tracker.iter().enumerate() {
+            if e.row == row {
+                found = Some(i);
+                break;
+            }
+            if e.count < min_count {
+                min_count = e.count;
+                min_idx = i;
+            }
+        }
+
+        if let Some(i) = found {
+            let e = &mut self.tracker[i];
             e.count = e.count.max(effective);
+            let count = e.count;
+            self.note_count(i, count);
         } else if effective >= self.config.eth {
             if self.tracker.len() < self.config.tracker_entries() {
                 self.tracker.push(TrackedEntry {
@@ -176,19 +234,18 @@ impl MitigationEngine for MoatEngine {
                     count: effective,
                 });
                 self.stats.insertions += 1;
-            } else if let Some(min) = self.tracker.iter_mut().min_by_key(|e| e.count) {
+                self.note_count(self.tracker.len() - 1, effective);
+            } else if effective > min_count {
                 // Appendix D: replace the minimum-count entry if the
                 // accessed row has a higher count.
-                if effective > min.count {
-                    *min = TrackedEntry {
-                        row,
-                        count: effective,
-                    };
-                    self.stats.insertions += 1;
-                }
+                self.tracker[min_idx] = TrackedEntry {
+                    row,
+                    count: effective,
+                };
+                self.stats.insertions += 1;
+                self.note_count(min_idx, effective);
             }
         }
-        self.refresh_alert_flag();
     }
 
     fn alert_pending(&self) -> bool {
@@ -218,7 +275,7 @@ impl MitigationEngine for MoatEngine {
         if let Some(s) = self.shadows.iter_mut().find(|s| s.row == row) {
             s.count = 0;
         }
-        self.refresh_alert_flag();
+        self.resync();
     }
 
     fn on_refresh_group(
@@ -393,7 +450,13 @@ mod tests {
         // In-array counters are now reset (bank would do it); the shadow
         // preserves the counts, so the next activation sees count 61.
         m.on_precharge_update(RowId::new(7), ActCount::new(1));
-        assert_eq!(m.cta().unwrap(), TrackedEntry { row: RowId::new(7), count: 61 });
+        assert_eq!(
+            m.cta().unwrap(),
+            TrackedEntry {
+                row: RowId::new(7),
+                count: 61
+            }
+        );
         m.on_precharge_update(RowId::new(6), ActCount::new(1));
         assert_eq!(
             m.effective_counter(RowId::new(6), ActCount::new(1)).get(),

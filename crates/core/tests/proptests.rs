@@ -120,3 +120,132 @@ fn engine_is_send() {
     fn assert_send<T: Send>() {}
     assert_send::<MoatEngine>();
 }
+
+/// A reference implementation of the tracker with the *original*
+/// multi-scan semantics: find the row's entry with one scan, find the
+/// minimum with a second, recompute the ALERT flag with a third, and
+/// locate the maximum lazily with `max_by_key` at selection time. The
+/// fused single-scan engine must be observationally identical to this.
+mod oracle {
+    use moat_core::MoatConfig;
+    use moat_dram::RowId;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Entry {
+        pub row: RowId,
+        pub count: u32,
+    }
+
+    #[derive(Debug)]
+    pub struct MultiScanTracker {
+        cfg: MoatConfig,
+        pub tracker: Vec<Entry>,
+        pub alert_pending: bool,
+        pub alerts_requested: u64,
+    }
+
+    impl MultiScanTracker {
+        pub fn new(cfg: MoatConfig) -> Self {
+            MultiScanTracker {
+                cfg,
+                tracker: Vec::new(),
+                alert_pending: false,
+                alerts_requested: 0,
+            }
+        }
+
+        fn refresh_alert_flag(&mut self) {
+            let was = self.alert_pending;
+            self.alert_pending = self.tracker.iter().any(|e| e.count > self.cfg.ath);
+            if self.alert_pending && !was {
+                self.alerts_requested += 1;
+            }
+        }
+
+        pub fn on_precharge_update(&mut self, row: RowId, effective: u32) {
+            if let Some(e) = self.tracker.iter_mut().find(|e| e.row == row) {
+                e.count = e.count.max(effective);
+            } else if effective >= self.cfg.eth {
+                if self.tracker.len() < self.cfg.tracker_entries() {
+                    self.tracker.push(Entry {
+                        row,
+                        count: effective,
+                    });
+                } else if let Some(min) = self.tracker.iter_mut().min_by_key(|e| e.count) {
+                    if effective > min.count {
+                        *min = Entry {
+                            row,
+                            count: effective,
+                        };
+                    }
+                }
+            }
+            self.refresh_alert_flag();
+        }
+
+        pub fn cta(&self) -> Option<Entry> {
+            self.tracker.iter().copied().max_by_key(|e| e.count)
+        }
+
+        pub fn take_max(&mut self) -> Option<Entry> {
+            let idx = self
+                .tracker
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| e.count)
+                .map(|(i, _)| i)?;
+            let entry = self.tracker.swap_remove(idx);
+            self.refresh_alert_flag();
+            Some(entry)
+        }
+    }
+}
+
+proptest! {
+    /// Observational equivalence of the fused single-scan tracker update
+    /// with the original multi-scan semantics, over arbitrary interleaved
+    /// precharge/mitigation sequences and every MOAT-L level. The entry
+    /// vectors must match *in order* (swap_remove order included), along
+    /// with the CTA, the ALERT flag, its rising-edge count, and every
+    /// selected mitigation row.
+    #[test]
+    fn fused_scan_matches_multiscan_reference(
+        level_idx in 0usize..3,
+        ops in prop::collection::vec((0u32..48, prop::bool::ANY), 1..400)
+    ) {
+        let cfg = MoatConfig::with_ath(64).level(AboLevel::ALL[level_idx]);
+        let mut fused = MoatEngine::new(cfg);
+        let mut reference = oracle::MultiScanTracker::new(cfg);
+        let mut counters = [0u32; 48];
+
+        for (row, mitigate) in ops {
+            if mitigate {
+                let selected = fused.select_ref_mitigation();
+                let expected = reference.take_max();
+                prop_assert_eq!(selected, expected.map(|e| e.row));
+                if let Some(r) = selected {
+                    counters[r.as_usize()] = 0;
+                    fused.on_mitigation_complete(r);
+                }
+            } else {
+                counters[row as usize] += 1;
+                let effective = counters[row as usize];
+                fused.on_precharge_update(RowId::new(row), ActCount::new(effective));
+                reference.on_precharge_update(RowId::new(row), effective);
+            }
+
+            // Full visible-state comparison after every operation.
+            let fused_entries: Vec<(RowId, u32)> =
+                fused.tracker().iter().map(|e| (e.row, e.count)).collect();
+            let ref_entries: Vec<(RowId, u32)> =
+                reference.tracker.iter().map(|e| (e.row, e.count)).collect();
+            prop_assert_eq!(fused_entries, ref_entries);
+            prop_assert_eq!(
+                fused.cta().map(|e| (e.row, e.count)),
+                reference.cta().map(|e| (e.row, e.count))
+            );
+            prop_assert_eq!(fused.alert_pending(), reference.alert_pending);
+            prop_assert_eq!(fused.stats().alerts_requested, reference.alerts_requested);
+        }
+    }
+}

@@ -68,6 +68,7 @@ impl Bank {
     /// Returns [`DramError::TimingViolation`] if `now` is earlier than
     /// tRC after the previous activation, and [`DramError::RowOutOfRange`]
     /// if `row` is outside the bank.
+    #[inline]
     pub fn activate(&mut self, row: RowId, now: Nanos) -> Result<ActCount, DramError> {
         self.check_row(row)?;
         if now < self.next_ready {
@@ -84,6 +85,7 @@ impl Bank {
     }
 
     /// Earliest time the next ACT may issue.
+    #[inline]
     pub fn next_ready(&self) -> Nanos {
         self.next_ready
     }

@@ -185,7 +185,8 @@ impl DramConfigBuilder {
         let c = self.config;
         assert!(c.rows_per_bank > 0, "rows_per_bank must be non-zero");
         assert!(
-            c.rows_per_refresh_group > 0 && c.rows_per_bank.is_multiple_of(c.rows_per_refresh_group),
+            c.rows_per_refresh_group > 0
+                && c.rows_per_bank.is_multiple_of(c.rows_per_refresh_group),
             "rows_per_bank ({}) must be a multiple of rows_per_refresh_group ({})",
             c.rows_per_bank,
             c.rows_per_refresh_group

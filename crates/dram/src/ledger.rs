@@ -77,18 +77,44 @@ impl SecurityLedger {
 
     /// Records an activation of `row`: every victim within the blast radius
     /// absorbs one unit of pressure, and the row's own epoch advances.
+    ///
+    /// This is the single hottest ledger operation (once per simulated
+    /// ACT), so the blast radius is walked as two dense index ranges —
+    /// below and above the aggressor — with the running maximum folded
+    /// into the same pass instead of a filtered victim iterator.
+    #[inline]
     pub fn on_activate(&mut self, row: RowId) {
-        for v in row.victims(self.blast_radius, self.rows_per_bank) {
-            let p = &mut self.pressure[v.as_usize()];
+        let center = row.index();
+        let lo = center.saturating_sub(self.blast_radius) as usize;
+        let hi = (center + self.blast_radius).min(self.rows_per_bank - 1) as usize;
+        let center = center as usize;
+
+        let mut max = self.max_ever;
+        let mut max_row = self.max_row;
+        for v in lo..center {
+            let p = &mut self.pressure[v];
             *p += 1;
-            if *p > self.max_ever {
-                self.max_ever = *p;
-                self.max_row = v;
+            if *p > max {
+                max = *p;
+                max_row = RowId::new(v as u32);
             }
         }
-        let e = &mut self.epoch[row.as_usize()];
+        for v in (center + 1)..=hi {
+            let p = &mut self.pressure[v];
+            *p += 1;
+            if *p > max {
+                max = *p;
+                max_row = RowId::new(v as u32);
+            }
+        }
+        self.max_ever = max;
+        self.max_row = max_row;
+
+        let e = &mut self.epoch[center];
         *e += 1;
-        self.max_epoch = self.max_epoch.max(*e);
+        if *e > self.max_epoch {
+            self.max_epoch = *e;
+        }
     }
 
     /// Records a refresh of every row in `rows` (the regular refresh sweep):
@@ -187,7 +213,11 @@ mod tests {
         }
         assert_eq!(l.pressure(RowId::new(8)), 7);
         assert_eq!(l.pressure(RowId::new(9)), 7);
-        assert_eq!(l.pressure(RowId::new(10)), 0, "aggressor itself is not a victim");
+        assert_eq!(
+            l.pressure(RowId::new(10)),
+            0,
+            "aggressor itself is not a victim"
+        );
         assert_eq!(l.pressure(RowId::new(11)), 7);
         assert_eq!(l.pressure(RowId::new(12)), 7);
         assert_eq!(l.pressure(RowId::new(13)), 0);
@@ -238,7 +268,11 @@ mod tests {
         }
         l.on_refresh_single(RowId::new(6));
         assert_eq!(l.pressure(RowId::new(6)), 0);
-        assert_eq!(l.pressure(RowId::new(4)), 3, "other victims still pressured");
+        assert_eq!(
+            l.pressure(RowId::new(4)),
+            3,
+            "other victims still pressured"
+        );
     }
 
     #[test]

@@ -50,8 +50,13 @@ pub enum RefMitigationMode {
 ///    mitigation, [`select_ref_mitigation`](Self::select_ref_mitigation) is
 ///    called; its completion is signalled via `on_mitigation_complete`.
 pub trait MitigationEngine: fmt::Debug {
-    /// A short human-readable name (e.g. `"moat-ath64-eth32"`).
-    fn name(&self) -> String;
+    /// A short human-readable name (e.g. `"moat-L1-ath64-eth32"`).
+    ///
+    /// Engines whose name depends on their configuration should format it
+    /// once at construction and return the cached slice — this method may
+    /// be called from reporting paths inside simulation loops and must
+    /// not allocate.
+    fn name(&self) -> &str;
 
     /// The PRAC counter of `row` has been updated during precharge;
     /// `counter` is the post-increment in-array value.
@@ -79,11 +84,7 @@ pub trait MitigationEngine: fmt::Debug {
     /// A REF is refreshing `rows`. Called before any counter reset, with
     /// `counter_of` providing the current in-array counter of any row in
     /// the bank (safe-reset designs snapshot the trailing rows, §4.3).
-    fn on_refresh_group(
-        &mut self,
-        rows: Range<u32>,
-        counter_of: &mut dyn FnMut(RowId) -> ActCount,
-    );
+    fn on_refresh_group(&mut self, rows: Range<u32>, counter_of: &mut dyn FnMut(RowId) -> ActCount);
 
     /// Whether the bank should reset the PRAC counters of refreshed rows
     /// (reset-on-refresh, §4.3). Panopticon's counters are free-running.
@@ -128,6 +129,75 @@ pub trait MitigationEngine: fmt::Debug {
     fn as_any(&self) -> &dyn Any;
 }
 
+/// Forwarding implementation so `Box<E>` (including the fully erased
+/// `Box<dyn MitigationEngine>`) is itself a [`MitigationEngine`].
+///
+/// This is what lets the simulators be generic over `E: MitigationEngine`
+/// — monomorphizing and inlining a concrete engine into the per-ACT hot
+/// path — while heterogeneous-engine experiments keep passing boxed trait
+/// objects exactly as before.
+impl<E: MitigationEngine + ?Sized> MitigationEngine for Box<E> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_precharge_update(&mut self, row: RowId, counter: ActCount) {
+        (**self).on_precharge_update(row, counter);
+    }
+
+    fn alert_pending(&self) -> bool {
+        (**self).alert_pending()
+    }
+
+    fn select_ref_mitigation(&mut self) -> Option<RowId> {
+        (**self).select_ref_mitigation()
+    }
+
+    fn select_alert_mitigation(&mut self) -> Option<RowId> {
+        (**self).select_alert_mitigation()
+    }
+
+    fn on_mitigation_complete(&mut self, row: RowId) {
+        (**self).on_mitigation_complete(row);
+    }
+
+    fn on_refresh_group(
+        &mut self,
+        rows: Range<u32>,
+        counter_of: &mut dyn FnMut(RowId) -> ActCount,
+    ) {
+        (**self).on_refresh_group(rows, counter_of);
+    }
+
+    fn resets_counters_on_refresh(&self) -> bool {
+        (**self).resets_counters_on_refresh()
+    }
+
+    fn resets_counter_on_mitigation(&self) -> bool {
+        (**self).resets_counter_on_mitigation()
+    }
+
+    fn ops_per_mitigation(&self) -> u32 {
+        (**self).ops_per_mitigation()
+    }
+
+    fn ref_mitigation_mode(&self) -> RefMitigationMode {
+        (**self).ref_mitigation_mode()
+    }
+
+    fn sram_bytes_per_bank(&self) -> usize {
+        (**self).sram_bytes_per_bank()
+    }
+
+    fn effective_counter(&self, row: RowId, in_array: ActCount) -> ActCount {
+        (**self).effective_counter(row, in_array)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        (**self).as_any()
+    }
+}
+
 /// A baseline engine that performs no mitigation at all.
 ///
 /// Useful as the ALERT-free baseline the paper normalizes performance
@@ -143,8 +213,8 @@ impl NullEngine {
 }
 
 impl MitigationEngine for NullEngine {
-    fn name(&self) -> String {
-        "none".to_string()
+    fn name(&self) -> &str {
+        "none"
     }
 
     fn on_precharge_update(&mut self, _row: RowId, _counter: ActCount) {}
@@ -208,7 +278,10 @@ mod tests {
     #[test]
     fn engine_is_object_safe() {
         let e: Box<dyn MitigationEngine> = Box::new(NullEngine::new());
-        assert_eq!(e.effective_counter(RowId::new(0), ActCount::new(7)).get(), 7);
+        assert_eq!(
+            e.effective_counter(RowId::new(0), ActCount::new(7)).get(),
+            7
+        );
         assert!(e.as_any().downcast_ref::<NullEngine>().is_some());
     }
 }

@@ -119,9 +119,18 @@ mod tests {
         let target = hammer_address(&m, 0, BankId::new(2), RowId::new(77));
         let other = hammer_address(&m, 1, BankId::new(2), RowId::new(77));
         let accesses = vec![
-            AddressAccess { gap: Nanos::new(10), addr: other },
-            AddressAccess { gap: Nanos::new(20), addr: target },
-            AddressAccess { gap: Nanos::new(5), addr: target },
+            AddressAccess {
+                gap: Nanos::new(10),
+                addr: other,
+            },
+            AddressAccess {
+                gap: Nanos::new(20),
+                addr: target,
+            },
+            AddressAccess {
+                gap: Nanos::new(5),
+                addr: target,
+            },
         ];
         let mut s = AddressStream::new(m, 0, accesses.into_iter());
         let r1 = s.next_request().unwrap();

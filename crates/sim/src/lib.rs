@@ -44,4 +44,4 @@ pub use security::{
     hammer_attacker, round_robin_attacker, AttackStep, Attacker, DefenseView, SecurityConfig,
     SecurityReport, SecuritySim,
 };
-pub use unit::{BankUnit, BankUnitStats};
+pub use unit::{BankUnit, BankUnitStats, BankUnitView};

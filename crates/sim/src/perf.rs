@@ -122,6 +122,14 @@ impl PerfReport {
 
 /// The sub-channel performance simulator.
 ///
+/// `PerfSim` is generic over the mitigation-engine type. Instantiating it
+/// with a concrete engine (`PerfSim<MoatEngine>`, as the experiment
+/// harness does) monomorphizes the per-ACT loop — the engine's precharge
+/// hook inlines straight into [`run`](Self::run). The default parameter
+/// `Box<dyn MitigationEngine>` keeps the original dynamic-dispatch form
+/// available for heterogeneous-engine sweeps; both forms produce
+/// bit-identical reports on the same stream.
+///
 /// # Examples
 ///
 /// ```
@@ -130,7 +138,8 @@ impl PerfReport {
 /// use moat_sim::{PerfConfig, PerfSim, Request};
 ///
 /// let cfg = PerfConfig::paper_default().banks(2);
-/// let mut sim = PerfSim::new(cfg, || Box::new(MoatEngine::new(MoatConfig::paper_default())));
+/// // Monomorphized over MoatEngine — the fast path:
+/// let mut sim = PerfSim::new(cfg, || MoatEngine::new(MoatConfig::paper_default()));
 /// let stream = (0..1000u32).map(|i| Request {
 ///     gap: Nanos::new(60),
 ///     bank: BankId::new((i % 2) as u16),
@@ -140,20 +149,44 @@ impl PerfReport {
 /// assert_eq!(report.total_acts, 1000);
 /// ```
 #[derive(Debug)]
-pub struct PerfSim {
+pub struct PerfSim<E: MitigationEngine = Box<dyn MitigationEngine>> {
     config: PerfConfig,
-    units: Vec<BankUnit>,
+    units: Vec<BankUnit<E>>,
     abo: AboProtocol,
     /// Sub-channel unavailable before this time (REF / RFM stall).
     stall_until: Nanos,
     last_end: Nanos,
+    /// Number of banks whose engine currently requests an ALERT,
+    /// maintained incrementally so the per-ACT loop never rescans all
+    /// banks.
+    pending_alerts: usize,
 }
 
-impl PerfSim {
+/// Folds the change in a unit's `alert_pending` across `op` into the
+/// sub-channel's pending-alert count.
+#[inline]
+fn track_alert<E: MitigationEngine>(
+    unit: &mut BankUnit<E>,
+    pending: &mut usize,
+    op: impl FnOnce(&mut BankUnit<E>),
+) {
+    let was = unit.alert_pending();
+    op(unit);
+    let now = unit.alert_pending();
+    if now != was {
+        if now {
+            *pending += 1;
+        } else {
+            *pending -= 1;
+        }
+    }
+}
+
+impl<E: MitigationEngine> PerfSim<E> {
     /// Creates a simulator; `engine_factory` builds one engine per bank.
     pub fn new<F>(config: PerfConfig, mut engine_factory: F) -> Self
     where
-        F: FnMut() -> Box<dyn MitigationEngine>,
+        F: FnMut() -> E,
     {
         let units = (0..config.banks)
             .map(|_| BankUnit::new(&config.dram, engine_factory(), config.budget))
@@ -164,11 +197,12 @@ impl PerfSim {
             abo: AboProtocol::new(config.abo_level, config.dram.timing),
             stall_until: Nanos::ZERO,
             last_end: Nanos::ZERO,
+            pending_alerts: 0,
         }
     }
 
     /// The simulated bank units.
-    pub fn units(&self) -> &[BankUnit] {
+    pub fn units(&self) -> &[BankUnit<E>] {
         &self.units
     }
 
@@ -184,21 +218,27 @@ impl PerfSim {
         let t_rc = self.config.dram.timing.t_rc;
         let mut intent = Nanos::ZERO;
         let mut shift = Nanos::ZERO;
+        // Hoisted out of the retry loop: the next REF deadline only moves
+        // when a REF is performed, and a bank's ready time only moves when
+        // the sub-channel state changes — recompute them exactly at those
+        // points instead of on every retry iteration.
+        let mut ref_due = self.units[0].refresh().next_due();
 
         while let Some(req) = stream.next_request() {
             intent += req.gap;
             let eff_intent = intent + shift;
             let bank_idx = req.bank.as_usize();
             assert!(bank_idx < self.units.len(), "request to unknown bank");
+            let mut bank_ready = self.units[bank_idx].bank().next_ready();
 
             let t = loop {
-                let bank_ready = self.units[bank_idx].bank().next_ready();
                 let t_cand = eff_intent.max(self.stall_until).max(bank_ready);
 
                 // All-bank REF when due (and no ALERT episode in flight).
-                let ref_due = self.units[0].refresh().next_due();
                 if matches!(self.abo.phase(), AboPhase::Idle) && ref_due <= t_cand {
                     self.do_ref(ref_due.max(self.stall_until));
+                    ref_due = self.units[0].refresh().next_due();
+                    bank_ready = self.units[bank_idx].bank().next_ready();
                     continue;
                 }
 
@@ -207,24 +247,23 @@ impl PerfSim {
                 if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
                     if t_cand + t_rc > stall_at {
                         self.do_rfms(stall_at);
+                        bank_ready = self.units[bank_idx].bank().next_ready();
                         continue;
                     }
                 }
                 break t_cand;
             };
 
-            self.units[bank_idx]
-                .activate(req.row, t)
-                .expect("issue time respects bank timing");
+            track_alert(&mut self.units[bank_idx], &mut self.pending_alerts, |u| {
+                u.activate(req.row, t)
+                    .expect("issue time respects bank timing");
+            });
             self.abo.on_act();
             shift += t - eff_intent;
             self.last_end = t + t_rc;
 
             // Assert ALERT at the precharge that crossed the threshold.
-            if self.config.alerts_enabled
-                && self.abo.can_assert()
-                && self.units.iter().any(BankUnit::alert_pending)
-            {
+            if self.config.alerts_enabled && self.pending_alerts > 0 && self.abo.can_assert() {
                 self.abo
                     .assert_alert(self.last_end)
                     .expect("can_assert checked");
@@ -242,7 +281,7 @@ impl PerfSim {
 
     fn do_ref(&mut self, start: Nanos) {
         for u in &mut self.units {
-            u.perform_ref(start);
+            track_alert(u, &mut self.pending_alerts, |u| u.perform_ref(start));
         }
         let end = start + self.config.dram.timing.t_rfc;
         self.stall_until = self.stall_until.max(end);
@@ -257,7 +296,7 @@ impl PerfSim {
             t = self.abo.start_rfm(t).expect("rfm sequencing");
             // Each RFM mitigates one row from every bank (§7.2).
             for u in &mut self.units {
-                u.rfm_mitigate();
+                track_alert(u, &mut self.pending_alerts, BankUnit::rfm_mitigate);
             }
         }
         self.stall_until = self.stall_until.max(t);

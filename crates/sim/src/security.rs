@@ -8,12 +8,10 @@
 //! defense. The attacker sees the complete defense state each step (threat
 //! model §2.1) and decides the next activation.
 
-use moat_dram::{
-    AboLevel, AboPhase, AboProtocol, DramConfig, MitigationEngine, Nanos, RowId,
-};
+use moat_dram::{AboLevel, AboPhase, AboProtocol, DramConfig, MitigationEngine, Nanos, RowId};
 
 use crate::budget::SlotBudget;
-use crate::unit::BankUnit;
+use crate::unit::{BankUnit, BankUnitView};
 
 /// What the attacker does with its next ACT slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,21 +30,24 @@ pub enum AttackStep {
 
 /// Read-only view of the complete defense state, handed to the attacker
 /// each step.
+///
+/// The view is type-erased (see [`BankUnitView`]) so attackers stay
+/// independent of the engine type the simulator was monomorphized with.
 #[derive(Debug)]
 pub struct DefenseView<'a> {
     /// Current simulation time.
     pub now: Nanos,
     /// The bank unit under attack (bank counters, engine state, ledger,
     /// refresh pointer are all inspectable).
-    pub unit: &'a BankUnit,
+    pub unit: BankUnitView<'a>,
     /// The ABO protocol state.
     pub abo: &'a AboProtocol,
 }
 
-impl DefenseView<'_> {
+impl<'a> DefenseView<'a> {
     /// Convenience: the mitigation engine, for downcasting to a concrete
     /// design (`view.engine().as_any().downcast_ref::<PanopticonEngine>()`).
-    pub fn engine(&self) -> &dyn MitigationEngine {
+    pub fn engine(&self) -> &'a dyn MitigationEngine {
         self.unit.engine()
     }
 }
@@ -125,6 +126,12 @@ pub struct SecurityReport {
 
 /// The single-bank security simulator.
 ///
+/// Generic over the mitigation engine like
+/// [`PerfSim`](crate::PerfSim): a concrete `E` statically dispatches
+/// every per-ACT engine call, while the default `Box<dyn
+/// MitigationEngine>` parameter keeps the original boxed construction
+/// working unchanged.
+///
 /// # Examples
 ///
 /// ```
@@ -143,16 +150,16 @@ pub struct SecurityReport {
 /// assert!(report.max_pressure < 99);
 /// ```
 #[derive(Debug)]
-pub struct SecuritySim {
+pub struct SecuritySim<E: MitigationEngine = Box<dyn MitigationEngine>> {
     config: SecurityConfig,
-    unit: BankUnit,
+    unit: BankUnit<E>,
     abo: AboProtocol,
     now: Nanos,
 }
 
-impl SecuritySim {
+impl<E: MitigationEngine> SecuritySim<E> {
     /// Creates a simulator for `engine` under `config`.
-    pub fn new(config: SecurityConfig, engine: Box<dyn MitigationEngine>) -> Self {
+    pub fn new(config: SecurityConfig, engine: E) -> Self {
         let unit = BankUnit::new(&config.dram, engine, config.budget);
         let abo = AboProtocol::new(config.abo_level, config.dram.timing);
         SecuritySim {
@@ -165,12 +172,12 @@ impl SecuritySim {
 
     /// The bank unit (for pre-run setup such as randomized counter
     /// initialization, and post-run inspection).
-    pub fn unit(&self) -> &BankUnit {
+    pub fn unit(&self) -> &BankUnit<E> {
         &self.unit
     }
 
     /// Mutable bank unit access.
-    pub fn unit_mut(&mut self) -> &mut BankUnit {
+    pub fn unit_mut(&mut self) -> &mut BankUnit<E> {
         &mut self.unit
     }
 
@@ -214,9 +221,7 @@ impl SecuritySim {
 
             // 3. Assert ALERT as soon as requested and permitted.
             if self.config.alerts_enabled && self.unit.alert_pending() && self.abo.can_assert() {
-                self.abo
-                    .assert_alert(self.now)
-                    .expect("can_assert checked");
+                self.abo.assert_alert(self.now).expect("can_assert checked");
                 // Normal operation continues inside the 180 ns window.
             }
 
@@ -224,7 +229,7 @@ impl SecuritySim {
             let step = {
                 let view = DefenseView {
                     now: self.now,
-                    unit: &self.unit,
+                    unit: self.unit.as_view(),
                     abo: &self.abo,
                 };
                 attacker.step(&view)
@@ -340,14 +345,16 @@ mod tests {
 
     #[test]
     fn unmitigated_hammer_grows_without_bound() {
-        let mut sim = SecuritySim::new(
-            SecurityConfig::paper_default(),
-            Box::new(NullEngine::new()),
-        );
+        let mut sim =
+            SecuritySim::new(SecurityConfig::paper_default(), Box::new(NullEngine::new()));
         let report = sim.run(&mut hammer_attacker(10_000), Nanos::from_micros(200));
         // 200 µs ≈ 51 tREFI ≈ 3400 ACT slots; no mitigation, and the
         // refresh pointer is far from row 100.
-        assert!(report.max_pressure > 3000, "pressure {}", report.max_pressure);
+        assert!(
+            report.max_pressure > 3000,
+            "pressure {}",
+            report.max_pressure
+        );
         assert_eq!(report.alerts, 0);
     }
 
@@ -427,6 +434,10 @@ mod tests {
             Nanos::from_millis(1),
         );
         assert!(report.total_acts > 10_000);
-        assert!(report.max_pressure <= 99, "pressure {}", report.max_pressure);
+        assert!(
+            report.max_pressure <= 99,
+            "pressure {}",
+            report.max_pressure
+        );
     }
 }

@@ -43,6 +43,12 @@ pub struct BankUnitStats {
 
 /// One bank with everything attached to it.
 ///
+/// `BankUnit` is generic over its mitigation engine. With a concrete
+/// engine type (`BankUnit<MoatEngine>`) every per-ACT engine call is
+/// statically dispatched and inlined into the simulation loop; the
+/// default parameter `Box<dyn MitigationEngine>` preserves the original
+/// fully type-erased behaviour for heterogeneous-engine experiments.
+///
 /// # Examples
 ///
 /// ```
@@ -51,17 +57,18 @@ pub struct BankUnitStats {
 /// use moat_sim::{BankUnit, SlotBudget};
 ///
 /// let cfg = DramConfig::builder().rows_per_bank(1024).build();
-/// let engine = Box::new(MoatEngine::new(MoatConfig::paper_default()));
+/// // Monomorphized (static dispatch):
+/// let engine = MoatEngine::new(MoatConfig::paper_default());
 /// let mut unit = BankUnit::new(&cfg, engine, SlotBudget::paper_default());
 /// unit.activate(RowId::new(5), Nanos::ZERO)?;
 /// assert_eq!(unit.stats().acts, 1);
 /// # Ok::<(), moat_dram::DramError>(())
 /// ```
 #[derive(Debug)]
-pub struct BankUnit {
+pub struct BankUnit<E: MitigationEngine = Box<dyn MitigationEngine>> {
     config: DramConfig,
     bank: Bank,
-    engine: Box<dyn MitigationEngine>,
+    engine: E,
     ledger: SecurityLedger,
     refresh: RefreshEngine,
     inflight: Option<InflightMitigation>,
@@ -69,10 +76,10 @@ pub struct BankUnit {
     stats: BankUnitStats,
 }
 
-impl BankUnit {
+impl<E: MitigationEngine> BankUnit<E> {
     /// Composes a bank unit from a configuration, an engine, and a
     /// REF-time mitigation budget.
-    pub fn new(config: &DramConfig, engine: Box<dyn MitigationEngine>, budget: SlotBudget) -> Self {
+    pub fn new(config: &DramConfig, engine: E, budget: SlotBudget) -> Self {
         BankUnit {
             config: *config,
             bank: Bank::new(config),
@@ -102,8 +109,23 @@ impl BankUnit {
 
     /// The mitigation engine (attackers may downcast via
     /// [`MitigationEngine::as_any`], per the threat model).
-    pub fn engine(&self) -> &dyn MitigationEngine {
-        self.engine.as_ref()
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// A type-erased read-only view of this unit, used to hand the full
+    /// defense state to adaptive attackers without making them generic
+    /// over the engine type.
+    pub fn as_view(&self) -> BankUnitView<'_> {
+        BankUnitView {
+            config: &self.config,
+            bank: &self.bank,
+            engine: &self.engine,
+            ledger: &self.ledger,
+            refresh: &self.refresh,
+            inflight: self.inflight.as_ref().map(|m| m.row),
+            stats: self.stats,
+        }
     }
 
     /// The ground-truth security ledger.
@@ -137,6 +159,7 @@ impl BankUnit {
     /// # Errors
     ///
     /// Propagates [`DramError`] from the bank (tRC violation, bad row).
+    #[inline]
     pub fn activate(&mut self, row: RowId, now: Nanos) -> Result<ActCount, DramError> {
         let counter = self.bank.activate(row, now)?;
         self.ledger.on_activate(row);
@@ -146,6 +169,7 @@ impl BankUnit {
     }
 
     /// Whether this unit's engine wants an ALERT.
+    #[inline]
     pub fn alert_pending(&self) -> bool {
         self.engine.alert_pending()
     }
@@ -230,6 +254,62 @@ impl BankUnit {
     }
 }
 
+/// A type-erased, read-only snapshot view of a [`BankUnit`].
+///
+/// Attackers receive this through
+/// [`DefenseView`](crate::DefenseView) so the `Attacker` trait stays
+/// independent of the engine type the simulator was monomorphized with.
+/// The accessors mirror the ones on `BankUnit`, so attacker code written
+/// against `view.unit.bank()` etc. works unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct BankUnitView<'a> {
+    config: &'a DramConfig,
+    bank: &'a Bank,
+    engine: &'a dyn MitigationEngine,
+    ledger: &'a SecurityLedger,
+    refresh: &'a RefreshEngine,
+    inflight: Option<RowId>,
+    stats: BankUnitStats,
+}
+
+impl<'a> BankUnitView<'a> {
+    /// The DRAM configuration.
+    pub fn config(&self) -> &'a DramConfig {
+        self.config
+    }
+
+    /// The bank (counters, timing state).
+    pub fn bank(&self) -> &'a Bank {
+        self.bank
+    }
+
+    /// The mitigation engine, type-erased (downcast via
+    /// [`MitigationEngine::as_any`] for design-specific inspection).
+    pub fn engine(&self) -> &'a dyn MitigationEngine {
+        self.engine
+    }
+
+    /// The ground-truth security ledger.
+    pub fn ledger(&self) -> &'a SecurityLedger {
+        self.ledger
+    }
+
+    /// The refresh engine.
+    pub fn refresh(&self) -> &'a RefreshEngine {
+        self.refresh
+    }
+
+    /// The row currently being mitigated gradually, if any.
+    pub fn inflight_row(&self) -> Option<RowId> {
+        self.inflight
+    }
+
+    /// Accumulated statistics at the time the view was taken.
+    pub fn stats(&self) -> BankUnitStats {
+        self.stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,7 +325,7 @@ mod tests {
         )
     }
 
-    fn hammer(unit: &mut BankUnit, row: u32, times: u32, now: &mut Nanos) {
+    fn hammer<E: MitigationEngine>(unit: &mut BankUnit<E>, row: u32, times: u32, now: &mut Nanos) {
         for _ in 0..times {
             unit.activate(RowId::new(row), *now).unwrap();
             *now += unit.config().timing.t_rc;

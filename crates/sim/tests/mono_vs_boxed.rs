@@ -1,0 +1,103 @@
+//! Regression tests: the monomorphized `PerfSim<MoatEngine>` and the
+//! type-erased `PerfSim<Box<dyn MitigationEngine>>` must produce
+//! bit-identical reports on the same request stream — the dispatch
+//! strategy is a pure performance choice and must never change the
+//! simulation.
+
+use moat_core::{MoatConfig, MoatEngine};
+use moat_dram::{AboLevel, BankId, DramConfig, MitigationEngine, Nanos, RowId};
+use moat_sim::{PerfConfig, PerfReport, PerfSim, Request, SecurityConfig, SecuritySim, SlotBudget};
+
+fn cfg(banks: u16, alerts: bool) -> PerfConfig {
+    PerfConfig {
+        dram: DramConfig::builder().rows_per_bank(4096).build(),
+        banks,
+        abo_level: AboLevel::L1,
+        budget: SlotBudget::paper_default(),
+        alerts_enabled: alerts,
+    }
+}
+
+fn run_both<S>(config: PerfConfig, stream: S) -> (PerfReport, PerfReport)
+where
+    S: Iterator<Item = Request> + Clone,
+{
+    let mono =
+        PerfSim::new(config, || MoatEngine::new(MoatConfig::paper_default())).run(stream.clone());
+    let boxed = PerfSim::new(config, || {
+        Box::new(MoatEngine::new(MoatConfig::paper_default())) as Box<dyn MitigationEngine>
+    })
+    .run(stream);
+    (mono, boxed)
+}
+
+/// Exact equality including the f64-derived fields: both runs must take
+/// the same code path through the same arithmetic.
+fn assert_bit_identical(mono: &PerfReport, boxed: &PerfReport) {
+    assert_eq!(mono, boxed);
+    assert_eq!(
+        mono.alerts_per_trefi.to_bits(),
+        boxed.alerts_per_trefi.to_bits(),
+        "alerts_per_trefi differs at the bit level"
+    );
+    assert_eq!(
+        mono.mitigations_per_bank_per_trefw.to_bits(),
+        boxed.mitigations_per_bank_per_trefw.to_bits(),
+        "mitigations_per_bank_per_trefw differs at the bit level"
+    );
+}
+
+#[test]
+fn uniform_stream_reports_are_bit_identical() {
+    let stream = (0..50_000u32).map(|i| Request {
+        gap: Nanos::new(20),
+        bank: BankId::new((i % 4) as u16),
+        row: RowId::new(i.wrapping_mul(37) % 4096),
+    });
+    let (mono, boxed) = run_both(cfg(4, true), stream);
+    assert_eq!(mono.total_acts, 50_000);
+    assert_bit_identical(&mono, &boxed);
+}
+
+#[test]
+fn alert_heavy_hammer_reports_are_bit_identical() {
+    // Single row, single bank: an ALERT roughly every 65 ACTs exercises
+    // the whole ABO/RFM path on both dispatch strategies.
+    let stream = (0..30_000u32).map(|_| Request {
+        gap: Nanos::new(52),
+        bank: BankId::new(0),
+        row: RowId::new(9),
+    });
+    let (mono, boxed) = run_both(cfg(1, true), stream);
+    assert!(mono.alerts > 100, "hammer must alert ({})", mono.alerts);
+    assert_bit_identical(&mono, &boxed);
+}
+
+#[test]
+fn alert_disabled_baseline_reports_are_bit_identical() {
+    let stream = (0..30_000u32).map(|_| Request {
+        gap: Nanos::ZERO,
+        bank: BankId::new(0),
+        row: RowId::new(9),
+    });
+    let (mono, boxed) = run_both(cfg(1, false), stream);
+    assert_eq!(mono.alerts, 0);
+    assert_bit_identical(&mono, &boxed);
+}
+
+#[test]
+fn security_sim_is_dispatch_agnostic_too() {
+    let config = SecurityConfig::paper_default();
+    let duration = Nanos::from_millis(2);
+
+    let mut mono_sim = SecuritySim::new(config, MoatEngine::new(MoatConfig::paper_default()));
+    let mono = mono_sim.run(&mut moat_sim::hammer_attacker(10_000), duration);
+
+    let mut boxed_sim = SecuritySim::new(
+        config,
+        Box::new(MoatEngine::new(MoatConfig::paper_default())) as Box<dyn MitigationEngine>,
+    );
+    let boxed = boxed_sim.run(&mut moat_sim::hammer_attacker(10_000), duration);
+
+    assert_eq!(mono, boxed);
+}

@@ -57,18 +57,14 @@ impl IdealSramTracker {
     }
 
     fn argmax(&self) -> Option<RowId> {
-        let (idx, &max) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)?;
+        let (idx, &max) = self.counts.iter().enumerate().max_by_key(|(_, &c)| c)?;
         (max > 0).then(|| RowId::new(idx as u32))
     }
 }
 
 impl MitigationEngine for IdealSramTracker {
-    fn name(&self) -> String {
-        "ideal-sram".to_string()
+    fn name(&self) -> &str {
+        "ideal-sram"
     }
 
     fn on_precharge_update(&mut self, row: RowId, _counter: ActCount) {

@@ -30,6 +30,8 @@ use moat_dram::{ActCount, MitigationEngine, RowId};
 /// ```
 #[derive(Debug, Clone)]
 pub struct MisraGriesTracker {
+    /// Cached display name (`name()` is allocation-free).
+    name: String,
     entries: Vec<(RowId, u32)>,
     capacity: usize,
     /// Counts below this are not worth a mitigation slot.
@@ -47,6 +49,7 @@ impl MisraGriesTracker {
     pub fn new(capacity: usize, mitigation_floor: u32) -> Self {
         assert!(capacity > 0, "capacity must be non-zero");
         MisraGriesTracker {
+            name: format!("misra-gries-{capacity}e"),
             entries: Vec::with_capacity(capacity),
             capacity,
             mitigation_floor,
@@ -60,8 +63,8 @@ impl MisraGriesTracker {
 }
 
 impl MitigationEngine for MisraGriesTracker {
-    fn name(&self) -> String {
-        format!("misra-gries-{}e", self.capacity)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn on_precharge_update(&mut self, row: RowId, _counter: ActCount) {
@@ -103,8 +106,7 @@ impl MitigationEngine for MisraGriesTracker {
         rows: Range<u32>,
         _counter_of: &mut dyn FnMut(RowId) -> ActCount,
     ) {
-        self.entries
-            .retain(|&(r, _)| !rows.contains(&r.index()));
+        self.entries.retain(|&(r, _)| !rows.contains(&r.index()));
     }
 
     fn resets_counters_on_refresh(&self) -> bool {

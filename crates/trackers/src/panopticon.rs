@@ -78,6 +78,8 @@ impl Default for PanopticonConfig {
 #[derive(Debug, Clone)]
 pub struct PanopticonEngine {
     config: PanopticonConfig,
+    /// Cached display name (`name()` is allocation-free).
+    name: String,
     queue: VecDeque<RowId>,
     alert_pending: bool,
     /// Whether the drain variant is currently draining via ALERTs.
@@ -97,6 +99,11 @@ impl PanopticonEngine {
         assert!(config.queue_threshold > 0, "threshold must be non-zero");
         PanopticonEngine {
             config,
+            name: if config.drain_on_ref {
+                format!("panopticon-drain-t{}", config.queue_threshold)
+            } else {
+                format!("panopticon-t{}", config.queue_threshold)
+            },
             queue: VecDeque::with_capacity(config.queue_entries),
             alert_pending: false,
             draining: false,
@@ -143,12 +150,8 @@ impl PanopticonEngine {
 }
 
 impl MitigationEngine for PanopticonEngine {
-    fn name(&self) -> String {
-        if self.config.drain_on_ref {
-            format!("panopticon-drain-t{}", self.config.queue_threshold)
-        } else {
-            format!("panopticon-t{}", self.config.queue_threshold)
-        }
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn on_precharge_update(&mut self, row: RowId, counter: ActCount) {
@@ -326,7 +329,9 @@ mod tests {
         let mut bank = Bank::new(&cfg);
         let mut rng = StdRng::seed_from_u64(42);
         randomize_counters(&mut bank, &mut rng);
-        let counts: Vec<u32> = (0..4096).map(|r| bank.counter(RowId::new(r)).get()).collect();
+        let counts: Vec<u32> = (0..4096)
+            .map(|r| bank.counter(RowId::new(r)).get())
+            .collect();
         assert!(counts.iter().all(|&c| c < 256));
         // Roughly a quarter of rows should be "heavy-weight" (192..256).
         let heavy = counts.iter().filter(|&&c| c >= 192).count();

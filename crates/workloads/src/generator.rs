@@ -194,27 +194,40 @@ impl WorkloadStream {
                 let duration = (trefw_ns as f64 * frac) as u64;
                 let start =
                     window_start + rng.random_range(0..trefw_ns.saturating_sub(duration).max(1));
-                Self::push_campaign(campaigns, heap, Campaign {
-                    bank,
-                    row: sample_row(rng),
-                    remaining: acts,
-                    interval: (duration / u64::from(acts)).max(52),
-                }, start);
+                Self::push_campaign(
+                    campaigns,
+                    heap,
+                    Campaign {
+                        bank,
+                        row: sample_row(rng),
+                        remaining: acts,
+                        interval: (duration / u64::from(acts)).max(52),
+                    },
+                    start,
+                );
             }
         }
 
         // Cold background: spend the remaining budget on rows below the
         // 32-activation line, spread across the whole window.
         while spent < budget {
-            let acts = rng.random_range(1..=31u32).min((budget - spent) as u32).max(1);
+            let acts = rng
+                .random_range(1..=31u32)
+                .min((budget - spent) as u32)
+                .max(1);
             spent += u64::from(acts);
             let start = window_start + rng.random_range(0..trefw_ns);
-            Self::push_campaign(campaigns, heap, Campaign {
-                bank,
-                row: sample_row(rng),
-                remaining: acts,
-                interval: trefw_ns / u64::from(acts) / 4,
-            }, start);
+            Self::push_campaign(
+                campaigns,
+                heap,
+                Campaign {
+                    bank,
+                    row: sample_row(rng),
+                    remaining: acts,
+                    interval: trefw_ns / u64::from(acts) / 4,
+                },
+                start,
+            );
         }
     }
 

@@ -35,27 +35,174 @@ pub struct WorkloadProfile {
 
 /// Table 4, verbatim.
 pub const PROFILES: [WorkloadProfile; 21] = [
-    WorkloadProfile { name: "bwaves", suite: Suite::Spec2017, act_pki: 29.3, act32: 1871, act64: 199, act128: 4 },
-    WorkloadProfile { name: "fotonik3d", suite: Suite::Spec2017, act_pki: 25.0, act32: 2175, act64: 113, act128: 11 },
-    WorkloadProfile { name: "lbm", suite: Suite::Spec2017, act_pki: 20.9, act32: 3145, act64: 1325, act128: 13 },
-    WorkloadProfile { name: "mcf", suite: Suite::Spec2017, act_pki: 19.8, act32: 1772, act64: 380, act128: 113 },
-    WorkloadProfile { name: "omnetpp", suite: Suite::Spec2017, act_pki: 11.1, act32: 1224, act64: 142, act128: 41 },
-    WorkloadProfile { name: "roms", suite: Suite::Spec2017, act_pki: 9.6, act32: 2302, act64: 995, act128: 431 },
-    WorkloadProfile { name: "parest", suite: Suite::Spec2017, act_pki: 8.9, act32: 2259, act64: 1014, act128: 406 },
-    WorkloadProfile { name: "xz", suite: Suite::Spec2017, act_pki: 8.8, act32: 3409, act64: 1255, act128: 384 },
-    WorkloadProfile { name: "cactuBSSN", suite: Suite::Spec2017, act_pki: 3.6, act32: 4187, act64: 1180, act128: 466 },
-    WorkloadProfile { name: "cam4", suite: Suite::Spec2017, act_pki: 3.0, act32: 821, act64: 89, act128: 3 },
-    WorkloadProfile { name: "blender", suite: Suite::Spec2017, act_pki: 1.1, act32: 1016, act64: 358, act128: 91 },
-    WorkloadProfile { name: "xalancbmk", suite: Suite::Spec2017, act_pki: 0.9, act32: 585, act64: 163, act128: 36 },
-    WorkloadProfile { name: "wrf", suite: Suite::Spec2017, act_pki: 0.8, act32: 567, act64: 90, act128: 0 },
-    WorkloadProfile { name: "x264", suite: Suite::Spec2017, act_pki: 0.6, act32: 310, act64: 59, act128: 0 },
-    WorkloadProfile { name: "gcc", suite: Suite::Spec2017, act_pki: 0.6, act32: 424, act64: 107, act128: 19 },
-    WorkloadProfile { name: "cc", suite: Suite::Gap, act_pki: 71.5, act32: 1357, act64: 215, act128: 18 },
-    WorkloadProfile { name: "pr", suite: Suite::Gap, act_pki: 29.1, act32: 1489, act64: 349, act128: 52 },
-    WorkloadProfile { name: "bfs", suite: Suite::Gap, act_pki: 22.8, act32: 529, act64: 64, act128: 16 },
-    WorkloadProfile { name: "tc", suite: Suite::Gap, act_pki: 18.2, act32: 81, act64: 0, act128: 0 },
-    WorkloadProfile { name: "bc", suite: Suite::Gap, act_pki: 9.0, act32: 289, act64: 43, act128: 9 },
-    WorkloadProfile { name: "sssp", suite: Suite::Gap, act_pki: 7.0, act32: 1817, act64: 620, act128: 127 },
+    WorkloadProfile {
+        name: "bwaves",
+        suite: Suite::Spec2017,
+        act_pki: 29.3,
+        act32: 1871,
+        act64: 199,
+        act128: 4,
+    },
+    WorkloadProfile {
+        name: "fotonik3d",
+        suite: Suite::Spec2017,
+        act_pki: 25.0,
+        act32: 2175,
+        act64: 113,
+        act128: 11,
+    },
+    WorkloadProfile {
+        name: "lbm",
+        suite: Suite::Spec2017,
+        act_pki: 20.9,
+        act32: 3145,
+        act64: 1325,
+        act128: 13,
+    },
+    WorkloadProfile {
+        name: "mcf",
+        suite: Suite::Spec2017,
+        act_pki: 19.8,
+        act32: 1772,
+        act64: 380,
+        act128: 113,
+    },
+    WorkloadProfile {
+        name: "omnetpp",
+        suite: Suite::Spec2017,
+        act_pki: 11.1,
+        act32: 1224,
+        act64: 142,
+        act128: 41,
+    },
+    WorkloadProfile {
+        name: "roms",
+        suite: Suite::Spec2017,
+        act_pki: 9.6,
+        act32: 2302,
+        act64: 995,
+        act128: 431,
+    },
+    WorkloadProfile {
+        name: "parest",
+        suite: Suite::Spec2017,
+        act_pki: 8.9,
+        act32: 2259,
+        act64: 1014,
+        act128: 406,
+    },
+    WorkloadProfile {
+        name: "xz",
+        suite: Suite::Spec2017,
+        act_pki: 8.8,
+        act32: 3409,
+        act64: 1255,
+        act128: 384,
+    },
+    WorkloadProfile {
+        name: "cactuBSSN",
+        suite: Suite::Spec2017,
+        act_pki: 3.6,
+        act32: 4187,
+        act64: 1180,
+        act128: 466,
+    },
+    WorkloadProfile {
+        name: "cam4",
+        suite: Suite::Spec2017,
+        act_pki: 3.0,
+        act32: 821,
+        act64: 89,
+        act128: 3,
+    },
+    WorkloadProfile {
+        name: "blender",
+        suite: Suite::Spec2017,
+        act_pki: 1.1,
+        act32: 1016,
+        act64: 358,
+        act128: 91,
+    },
+    WorkloadProfile {
+        name: "xalancbmk",
+        suite: Suite::Spec2017,
+        act_pki: 0.9,
+        act32: 585,
+        act64: 163,
+        act128: 36,
+    },
+    WorkloadProfile {
+        name: "wrf",
+        suite: Suite::Spec2017,
+        act_pki: 0.8,
+        act32: 567,
+        act64: 90,
+        act128: 0,
+    },
+    WorkloadProfile {
+        name: "x264",
+        suite: Suite::Spec2017,
+        act_pki: 0.6,
+        act32: 310,
+        act64: 59,
+        act128: 0,
+    },
+    WorkloadProfile {
+        name: "gcc",
+        suite: Suite::Spec2017,
+        act_pki: 0.6,
+        act32: 424,
+        act64: 107,
+        act128: 19,
+    },
+    WorkloadProfile {
+        name: "cc",
+        suite: Suite::Gap,
+        act_pki: 71.5,
+        act32: 1357,
+        act64: 215,
+        act128: 18,
+    },
+    WorkloadProfile {
+        name: "pr",
+        suite: Suite::Gap,
+        act_pki: 29.1,
+        act32: 1489,
+        act64: 349,
+        act128: 52,
+    },
+    WorkloadProfile {
+        name: "bfs",
+        suite: Suite::Gap,
+        act_pki: 22.8,
+        act32: 529,
+        act64: 64,
+        act128: 16,
+    },
+    WorkloadProfile {
+        name: "tc",
+        suite: Suite::Gap,
+        act_pki: 18.2,
+        act32: 81,
+        act64: 0,
+        act128: 0,
+    },
+    WorkloadProfile {
+        name: "bc",
+        suite: Suite::Gap,
+        act_pki: 9.0,
+        act32: 289,
+        act64: 43,
+        act128: 9,
+    },
+    WorkloadProfile {
+        name: "sssp",
+        suite: Suite::Gap,
+        act_pki: 7.0,
+        act32: 1817,
+        act64: 620,
+        act128: 127,
+    },
 ];
 
 impl WorkloadProfile {
@@ -95,7 +242,13 @@ mod tests {
     #[test]
     fn twenty_one_workloads() {
         assert_eq!(PROFILES.len(), 21);
-        assert_eq!(PROFILES.iter().filter(|p| p.suite == Suite::Spec2017).count(), 15);
+        assert_eq!(
+            PROFILES
+                .iter()
+                .filter(|p| p.suite == Suite::Spec2017)
+                .count(),
+            15
+        );
         assert_eq!(PROFILES.iter().filter(|p| p.suite == Suite::Gap).count(), 6);
     }
 

@@ -50,9 +50,7 @@ pub fn write_trace<W: Write, S: RequestStream>(writer: W, mut stream: S) -> io::
 ///
 /// Returns an error immediately if the reader fails; malformed lines
 /// surface as item-level errors.
-pub fn read_trace<R: Read>(
-    reader: R,
-) -> io::Result<impl Iterator<Item = io::Result<Request>>> {
+pub fn read_trace<R: Read>(reader: R) -> io::Result<impl Iterator<Item = io::Result<Request>>> {
     let lines = BufReader::new(reader).lines();
     Ok(lines.filter_map(|line| match line {
         Err(e) => Some(Err(e)),
@@ -138,8 +136,7 @@ mod tests {
     #[test]
     fn malformed_lines_error() {
         for bad in ["52 0", "x 0 1", "1 2 3 4"] {
-            let res: Result<Vec<Request>, _> =
-                read_trace(bad.as_bytes()).unwrap().collect();
+            let res: Result<Vec<Request>, _> = read_trace(bad.as_bytes()).unwrap().collect();
             assert!(res.is_err(), "{bad} should fail");
         }
     }

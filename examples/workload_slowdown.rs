@@ -9,7 +9,9 @@ use moat::sim::{PerfConfig, PerfSim, SlotBudget};
 use moat::workloads::{GeneratorConfig, WorkloadProfile, WorkloadStream};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "roms".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "roms".to_string());
     let profile = WorkloadProfile::by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown workload '{name}'; try one of:");
         for p in &moat::workloads::PROFILES {

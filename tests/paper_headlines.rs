@@ -74,7 +74,11 @@ fn postponement_reaches_2_6x_exposure() {
     );
     let mut attacker = PostponementAttacker::new(20_000, 128);
     let report = sim.run(&mut attacker, Nanos::from_millis(1));
-    assert!((300..=355).contains(&report.max_pressure), "{}", report.max_pressure);
+    assert!(
+        (300..=355).contains(&report.max_pressure),
+        "{}",
+        report.max_pressure
+    );
 }
 
 /// §2.2/§2.6 derived timing facts the whole analysis rests on.

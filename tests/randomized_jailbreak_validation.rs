@@ -76,7 +76,9 @@ fn failed_iteration_achieves_little() {
 /// activations of a crossing.
 #[test]
 fn heavy_probability_matches_randomized_init() {
-    let cfg = moat::dram::DramConfig::builder().rows_per_bank(8192).build();
+    let cfg = moat::dram::DramConfig::builder()
+        .rows_per_bank(8192)
+        .build();
     let mut bank = moat::dram::Bank::new(&cfg);
     let mut rng = StdRng::seed_from_u64(7);
     randomize_counters(&mut bank, &mut rng);

@@ -10,7 +10,10 @@ use moat::sim::{
 };
 
 fn moat_sim(cfg: MoatConfig) -> SecuritySim {
-    SecuritySim::new(SecurityConfig::paper_default(), Box::new(MoatEngine::new(cfg)))
+    SecuritySim::new(
+        SecurityConfig::paper_default(),
+        Box::new(MoatEngine::new(cfg)),
+    )
 }
 
 /// The tolerated threshold from Appendix A, with one count of slack for
@@ -32,7 +35,11 @@ fn moat_holds_under_ratchet_at_scale() {
     let mut attacker = RatchetAttacker::new(64, 2048);
     let r = sim.run(&mut attacker, Nanos::from_millis(20));
     assert!(r.max_pressure <= tolerated(64, 1), "{}", r.max_pressure);
-    assert!(r.max_pressure > 64, "ratchet should exceed ATH: {}", r.max_pressure);
+    assert!(
+        r.max_pressure > 64,
+        "ratchet should exceed ATH: {}",
+        r.max_pressure
+    );
 }
 
 #[test]
@@ -47,10 +54,7 @@ fn moat_holds_under_feinting() {
 fn moat_holds_under_straddle_with_safe_reset() {
     let mut cfg = SecurityConfig::paper_default();
     cfg.budget = SlotBudget::disabled();
-    let mut sim = SecuritySim::new(
-        cfg,
-        Box::new(MoatEngine::new(MoatConfig::paper_default())),
-    );
+    let mut sim = SecuritySim::new(cfg, Box::new(MoatEngine::new(MoatConfig::paper_default())));
     let mut attacker = StraddleAttacker::new(2055, 64);
     let r = sim.run(&mut attacker, Nanos::from_millis(2));
     assert!(r.max_pressure <= tolerated(64, 1), "{}", r.max_pressure);

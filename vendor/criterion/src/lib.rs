@@ -1,0 +1,267 @@
+//! Minimal, dependency-free shim of the `criterion` benchmarking crate.
+//!
+//! Implements the subset this workspace uses: `criterion_group!` /
+//! `criterion_main!`, benchmark groups with `throughput` and
+//! `sample_size`, and `Bencher::iter` / `Bencher::iter_batched`. Timing
+//! is wall-clock: each benchmark is auto-calibrated to a target batch
+//! duration, measured over `sample_size` samples, and the best sample is
+//! reported (closest to the true cost, least scheduling noise).
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batching hint for [`Bencher::iter_batched`] (ignored by the shim
+/// beyond API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    /// Target duration of one measurement sample.
+    sample_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First free-standing CLI argument (if any) filters benchmarks by
+        // substring, mirroring `cargo bench -- <filter>`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            sample_target: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let filter = self.filter.clone();
+        let target = self.sample_target;
+        run_benchmark(id, &filter, None, 10, target, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput reported alongside the timing.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            &self.criterion.filter.clone(),
+            self.throughput,
+            self.sample_size,
+            self.criterion.sample_target,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Hands the measurement closure to the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup` input per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    filter: &Option<String>,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    sample_target: Duration,
+    mut f: F,
+) {
+    if let Some(pat) = filter {
+        if !id.contains(pat.as_str()) {
+            return;
+        }
+    }
+
+    // Calibrate: grow the iteration count until one sample takes at least
+    // the target duration.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= sample_target || iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (sample_target.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16) as u64
+        };
+        iters = iters.saturating_mul(grow.max(2));
+    }
+
+    // Measure: best-of-N samples.
+    let mut best_ns_per_iter = f64::INFINITY;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+        if ns < best_ns_per_iter {
+            best_ns_per_iter = ns;
+        }
+    }
+
+    let mut line = format!("{id:<40} {best_ns_per_iter:>12.1} ns/iter");
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (best_ns_per_iter / 1e9);
+            line.push_str(&format!("  ({:.2} Melem/s)", rate / 1e6));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (best_ns_per_iter / 1e9);
+            line.push_str(&format!("  ({:.2} MiB/s)", rate / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_and_reporting_run() {
+        let mut c = Criterion {
+            filter: None,
+            sample_target: Duration::from_micros(200),
+        };
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(3);
+        g.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(1);
+                x
+            });
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nope".into()),
+            sample_target: Duration::from_micros(50),
+        };
+        // Would loop forever if not skipped by the filter.
+        c.bench_function("other", |b| b.iter(|| std::thread::sleep(Duration::ZERO)));
+    }
+}
