@@ -1,35 +1,147 @@
 //! Basic performance-attack kernels (§7.2, Fig. 13) as request streams for
 //! the performance simulator.
+//!
+//! Each kernel exists in two forms: a *streaming* form
+//! ([`single_row_stream`], [`multi_row_stream`], [`sync_multibank_stream`])
+//! that implements [`RequestStream`] with an O(1)-state chunked fill —
+//! the pattern is regenerated into the simulator's reusable batch buffer
+//! instead of being materialized up front — and a `Vec`-returning form
+//! kept for call sites that want to inspect or splice the pattern. Both
+//! forms emit identical sequences.
 
 use moat_dram::{BankId, Nanos, RowId};
-use moat_sim::Request;
+use moat_sim::{Request, RequestStream, DEFAULT_CHUNK};
+
+/// Streaming attack kernel: a repeating (bank, row) pattern emitted
+/// gap-free for a fixed number of requests.
+///
+/// The pattern state is three words, so cloning and restarting the
+/// stream is free — and `next_chunk` fills the batch buffer in one pass
+/// with the pattern dispatch hoisted out of the per-request path.
+#[derive(Debug, Clone)]
+pub struct KernelStream {
+    /// The repeating pattern, pre-resolved to typed ids.
+    pattern: Vec<(BankId, RowId)>,
+    /// Position within the pattern.
+    pos: usize,
+    /// Requests still to emit.
+    remaining: u64,
+}
+
+impl KernelStream {
+    fn new(pattern: Vec<(BankId, RowId)>, total: u64) -> Self {
+        assert!(!pattern.is_empty(), "need a non-empty pattern");
+        KernelStream {
+            pattern,
+            pos: 0,
+            remaining: total,
+        }
+    }
+
+    /// Requests still to be emitted.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Materializes the rest of the stream (the `Vec`-kernel forms).
+    pub fn into_vec(mut self) -> Vec<Request> {
+        let mut out = Vec::with_capacity(self.remaining as usize);
+        let mut chunk = Vec::with_capacity(DEFAULT_CHUNK);
+        while self.next_chunk(&mut chunk) > 0 {
+            out.extend_from_slice(&chunk);
+        }
+        out
+    }
+}
+
+impl RequestStream for KernelStream {
+    fn next_request(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let (bank, row) = self.pattern[self.pos];
+        self.pos += 1;
+        if self.pos == self.pattern.len() {
+            self.pos = 0;
+        }
+        self.remaining -= 1;
+        Some(Request {
+            gap: Nanos::ZERO,
+            bank,
+            row,
+        })
+    }
+
+    /// Chunked fill: one bounds check and one pattern-length wrap per
+    /// request, no per-request dispatch.
+    fn next_chunk(&mut self, buf: &mut Vec<Request>) -> usize {
+        buf.clear();
+        if buf.capacity() == 0 {
+            buf.reserve(DEFAULT_CHUNK);
+        }
+        let n = (buf.capacity() as u64).min(self.remaining) as usize;
+        let pattern = &self.pattern;
+        let mut pos = self.pos;
+        for _ in 0..n {
+            let (bank, row) = pattern[pos];
+            pos += 1;
+            if pos == pattern.len() {
+                pos = 0;
+            }
+            buf.push(Request {
+                gap: Nanos::ZERO,
+                bank,
+                row,
+            });
+        }
+        self.pos = pos;
+        self.remaining -= n as u64;
+        n
+    }
+}
+
+/// Streaming form of [`single_row_kernel`]: `(A)^n` on one bank.
+pub fn single_row_stream(n: u32, bank: u16, row: u32) -> KernelStream {
+    KernelStream::new(vec![(BankId::new(bank), RowId::new(row))], u64::from(n))
+}
+
+/// Streaming form of [`multi_row_kernel`]: `n` full `(ABCDE...)` cycles
+/// on one bank.
+pub fn multi_row_stream(n: u32, bank: u16, rows: &[u32]) -> KernelStream {
+    assert!(!rows.is_empty(), "need at least one row");
+    let pattern = rows
+        .iter()
+        .map(|&r| (BankId::new(bank), RowId::new(r)))
+        .collect();
+    KernelStream::new(pattern, u64::from(n) * rows.len() as u64)
+}
+
+/// Streaming form of [`synchronized_multibank`]: `n` rounds of every bank
+/// hammering the row set in lockstep.
+pub fn sync_multibank_stream(n: u32, banks: u16, rows: &[u32]) -> KernelStream {
+    assert!(banks > 0 && !rows.is_empty(), "need banks and rows");
+    let mut pattern = Vec::with_capacity(rows.len() * banks as usize);
+    for &row in rows {
+        for b in 0..banks {
+            pattern.push((BankId::new(b), RowId::new(row)));
+        }
+    }
+    let total = u64::from(n) * pattern.len() as u64;
+    KernelStream::new(pattern, total)
+}
 
 /// Fig. 13(a): continuously activate a single row of a single bank,
 /// `(A)^n`. With ATH = 64, every ~65th activation triggers an ALERT,
 /// costing ~10% throughput.
 pub fn single_row_kernel(n: u32, bank: u16, row: u32) -> Vec<Request> {
-    (0..n)
-        .map(|_| Request {
-            gap: Nanos::ZERO,
-            bank: BankId::new(bank),
-            row: RowId::new(row),
-        })
-        .collect()
+    single_row_stream(n, bank, row).into_vec()
 }
 
 /// Fig. 13(b): cycle over `rows` of one bank, `(ABCDE...)^n` — `n` full
 /// cycles. Each row alerts independently; throughput loss matches the
 /// single-row case.
 pub fn multi_row_kernel(n: u32, bank: u16, rows: &[u32]) -> Vec<Request> {
-    assert!(!rows.is_empty(), "need at least one row");
-    (0..n)
-        .flat_map(|_| rows.iter().copied())
-        .map(|r| Request {
-            gap: Nanos::ZERO,
-            bank: BankId::new(bank),
-            row: RowId::new(r),
-        })
-        .collect()
+    multi_row_stream(n, bank, rows).into_vec()
 }
 
 /// §7.2: the synchronized multi-bank pattern — every bank hammers its own
@@ -37,20 +149,7 @@ pub fn multi_row_kernel(n: u32, bank: u16, rows: &[u32]) -> Vec<Request> {
 /// ALERT mitigates one row from *each* bank, so the loss stays at the
 /// single-bank level (~10%).
 pub fn synchronized_multibank(n: u32, banks: u16, rows: &[u32]) -> Vec<Request> {
-    assert!(banks > 0 && !rows.is_empty(), "need banks and rows");
-    let mut out = Vec::with_capacity(n as usize * banks as usize * rows.len());
-    for _ in 0..n {
-        for &row in rows {
-            for b in 0..banks {
-                out.push(Request {
-                    gap: Nanos::ZERO,
-                    bank: BankId::new(b),
-                    row: RowId::new(row),
-                });
-            }
-        }
-    }
-    out
+    sync_multibank_stream(n, banks, rows).into_vec()
 }
 
 #[cfg(test)]
@@ -78,6 +177,40 @@ mod tests {
         let with = PerfSim::new(cfg(banks, true), moat).run(stream.iter().copied());
         let base = PerfSim::new(cfg(banks, false), moat).run(stream.iter().copied());
         with.slowdown_vs(&base)
+    }
+
+    #[test]
+    fn streaming_and_vec_kernels_emit_identical_sequences() {
+        use moat_sim::RequestStream;
+        let rows = [10u32, 20, 30];
+        let cases: [(KernelStream, Vec<Request>); 3] = [
+            (single_row_stream(100, 1, 7), single_row_kernel(100, 1, 7)),
+            (
+                multi_row_stream(40, 0, &rows),
+                multi_row_kernel(40, 0, &rows),
+            ),
+            (
+                sync_multibank_stream(10, 3, &rows),
+                synchronized_multibank(10, 3, &rows),
+            ),
+        ];
+        for (mut stream, vec_form) in cases {
+            assert_eq!(stream.remaining() as usize, vec_form.len());
+            // Drain via single pulls and odd-sized chunks interleaved.
+            let mut got = Vec::new();
+            let mut buf = Vec::with_capacity(17);
+            loop {
+                if let Some(r) = stream.next_request() {
+                    got.push(r);
+                }
+                let n = stream.next_chunk(&mut buf);
+                got.extend_from_slice(&buf);
+                if n == 0 && stream.remaining() == 0 {
+                    break;
+                }
+            }
+            assert_eq!(got, vec_form);
+        }
     }
 
     #[test]

@@ -50,7 +50,10 @@ mod tsa;
 pub use blacksmith::BlacksmithAttacker;
 pub use feinting::FeintingAttacker;
 pub use jailbreak::{JailbreakAttacker, RandomizedIteration, RandomizedJailbreak};
-pub use kernels::{multi_row_kernel, single_row_kernel, synchronized_multibank};
+pub use kernels::{
+    multi_row_kernel, multi_row_stream, single_row_kernel, single_row_stream,
+    sync_multibank_stream, synchronized_multibank, KernelStream,
+};
 pub use postponement::PostponementAttacker;
 pub use ratchet::RatchetAttacker;
 pub use straddle::StraddleAttacker;

@@ -1,6 +1,6 @@
 //! Criterion micro-benchmarks of the hot paths.
 //!
-//! The three per-ACT kernels the simulator throughput is made of:
+//! The kernels the simulator throughput is made of:
 //!
 //! 1. `bank/activate_plus_ledger` — `Bank::activate` plus the ground-truth
 //!    `SecurityLedger::on_activate` blast-radius pass,
@@ -8,15 +8,20 @@
 //!    fused single-scan tracker update,
 //! 3. `perf_sim/run_32bank_*` — the full `PerfSim::run` loop on a 32-bank
 //!    uniform stream, monomorphized (`PerfSim<MoatEngine>`) next to the
-//!    boxed dynamic-dispatch form for comparison.
+//!    boxed dynamic-dispatch form and the unbatched per-request reference,
+//! 4. `request_gen/*` — `WorkloadStream` generation through the batched
+//!    `next_chunk` front-end versus per-request pulls,
+//! 5. `work_queue/*` — the rayon shim's chunked lock-free queue versus
+//!    the retired per-index-mutex queue, at a pinned worker count.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
 use moat_core::{MoatConfig, MoatEngine};
 use moat_dram::{ActCount, Bank, DramConfig, MitigationEngine, Nanos, RowId, SecurityLedger};
-use moat_sim::{hammer_attacker, PerfConfig, PerfSim, SecurityConfig, SecuritySim};
+use moat_sim::{hammer_attacker, PerfConfig, PerfSim, RequestStream, SecurityConfig, SecuritySim};
 use moat_trackers::{PanopticonConfig, PanopticonEngine};
+use moat_workloads::{GeneratorConfig, WorkloadProfile, WorkloadStream};
 
 fn bench_engines(c: &mut Criterion) {
     let mut g = c.benchmark_group("precharge_hook");
@@ -116,6 +121,104 @@ fn bench_perf_sim(c: &mut Criterion) {
             sim.run(uniform_stream(ACTS, 32))
         });
     });
+
+    g.bench_function("run_32bank_per_request", |b| {
+        b.iter(|| {
+            let mut sim = PerfSim::new(mk_cfg(), || MoatEngine::new(MoatConfig::paper_default()));
+            sim.run_per_request(uniform_stream(ACTS, 32))
+        });
+    });
+    g.finish();
+}
+
+// Hot kernel 4: workload-stream generation — the chunked front-end
+// (`next_chunk` into a reusable buffer) against per-request pulls.
+fn bench_request_gen(c: &mut Criterion) {
+    let profile = WorkloadProfile::by_name("gcc").expect("known profile");
+    let dram = DramConfig::paper_baseline();
+    let gen = GeneratorConfig {
+        banks: 2,
+        windows: 1,
+        seed: 7,
+    };
+    let stream_len = {
+        let mut s = WorkloadStream::new(profile, &dram, gen);
+        let mut n = 0u64;
+        while s.next_request().is_some() {
+            n += 1;
+        }
+        n
+    };
+
+    let mut g = c.benchmark_group("request_gen");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(stream_len));
+
+    g.bench_function("next_request", |b| {
+        b.iter(|| {
+            let mut s = WorkloadStream::new(profile, &dram, gen);
+            let mut n = 0u64;
+            while let Some(r) = s.next_request() {
+                n += u64::from(r.row.index() & 1);
+            }
+            black_box(n)
+        });
+    });
+
+    g.bench_function("next_chunk", |b| {
+        b.iter(|| {
+            let mut s = WorkloadStream::new(profile, &dram, gen);
+            let mut buf = Vec::with_capacity(1024);
+            let mut n = 0u64;
+            while s.next_chunk(&mut buf) > 0 {
+                for r in &buf {
+                    n += u64::from(r.row.index() & 1);
+                }
+            }
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+// Hot kernel 5: the sweep runner's work queue — the chunked lock-free
+// claim/stitch protocol versus the retired per-index-mutex queue, with
+// the worker count pinned so single-core hosts still exercise the
+// parallel paths.
+fn bench_work_queue(c: &mut Criterion) {
+    const ITEMS: usize = 8192;
+    const THREADS: usize = 4;
+    let items: Vec<u64> = (0..ITEMS as u64).collect();
+    // A cell-sized unit of work: small enough that queue overhead shows.
+    let work = |x: u64| -> u64 {
+        let mut acc = x;
+        for _ in 0..64 {
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        acc
+    };
+
+    let mut g = c.benchmark_group("work_queue");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(ITEMS as u64));
+
+    g.bench_function("chunked_lock_free", |b| {
+        b.iter_batched(
+            || items.clone(),
+            |items| rayon::queue::chunked_map(items, work, THREADS),
+            BatchSize::SmallInput,
+        );
+    });
+
+    g.bench_function("per_index_mutex", |b| {
+        b.iter_batched(
+            || items.clone(),
+            |items| rayon::queue::mutex_map(items, work, THREADS),
+            BatchSize::SmallInput,
+        );
+    });
     g.finish();
 }
 
@@ -148,6 +251,8 @@ criterion_group!(
     bench_engines,
     bench_bank,
     bench_perf_sim,
+    bench_request_gen,
+    bench_work_queue,
     bench_security_sim
 );
 criterion_main!(benches);

@@ -8,6 +8,11 @@
 //!   repro bench                 run the simulator-throughput benchmark
 //!   repro --json [names...]     also write BENCH_perf.json (ACTs/sec,
 //!                               sweep wall time, mono-vs-boxed speedup)
+//!   repro --json --baseline <file>
+//!                               perf smoke: additionally compare against
+//!                               a committed BENCH_perf.json and exit
+//!                               non-zero if uniform_mono_acts_per_sec
+//!                               regressed by more than 20%
 //!
 //! The performance sweeps fan their (profile × config) cells across all
 //! cores; `--full` selects the paper-size configuration (32 banks,
@@ -15,19 +20,33 @@
 
 use moat_bench::{bench_perf, run_experiment, Scale, ALL_EXPERIMENTS};
 
+/// Allowed fractional drop of `uniform_mono_acts_per_sec` before the
+/// `--baseline` perf smoke fails the run.
+const MAX_PERF_REGRESSION: f64 = 0.20;
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
+    let baseline = args.iter().position(|a| a == "--baseline").map(|i| {
+        if i + 1 >= args.len() {
+            eprintln!("--baseline needs a path to a committed BENCH_perf.json");
+            std::process::exit(2);
+        }
+        let path = args[i + 1].clone();
+        args.drain(i..=i + 1);
+        path
+    });
     args.retain(|a| a != "--full" && a != "--json");
     let scale = if full { Scale::full() } else { Scale::scaled() };
 
-    if args.is_empty() && !json {
-        eprintln!("usage: repro <list|all|bench|experiment...> [--full] [--json]");
+    let usage = "usage: repro <list|all|bench|experiment...> [--full] [--json] [--baseline <file>]";
+    if args.is_empty() && !json && baseline.is_none() {
+        eprintln!("{usage}");
         std::process::exit(2);
     }
     if args.first().is_some_and(|a| a == "help" || a == "--help") {
-        eprintln!("usage: repro <list|all|bench|experiment...> [--full] [--json]");
+        eprintln!("{usage}");
         std::process::exit(2);
     }
     if args.first().is_some_and(|a| a == "list") {
@@ -65,19 +84,38 @@ fn main() {
         }
     }
 
-    if json {
+    if json || baseline.is_some() {
         // Reuse the benchmark if the selection already ran it.
         let report = bench_report.unwrap_or_else(|| {
             let report = bench_perf(scale);
             println!("{}", report.summary());
             report
         });
-        let path = "BENCH_perf.json";
-        match std::fs::write(path, report.to_json()) {
-            Ok(()) => println!("wrote {path}"),
-            Err(e) => {
-                eprintln!("failed to write {path}: {e}");
-                failed = true;
+        if json {
+            let path = "BENCH_perf.json";
+            match std::fs::write(path, report.to_json()) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    failed = true;
+                }
+            }
+        }
+        if let Some(baseline_path) = baseline {
+            match std::fs::read_to_string(&baseline_path) {
+                Ok(baseline_json) => {
+                    match report.check_regression(&baseline_json, MAX_PERF_REGRESSION) {
+                        Ok(line) => println!("{line}"),
+                        Err(msg) => {
+                            eprintln!("{msg}");
+                            failed = true;
+                        }
+                    }
+                }
+                Err(e) => {
+                    eprintln!("failed to read baseline {baseline_path}: {e}");
+                    failed = true;
+                }
             }
         }
     }

@@ -26,7 +26,7 @@ pub use scale::Scale;
 pub use security_experiments::{
     fig10_fig15, fig16, fig5, fig7, fig8, moat_bound_check, run_security, table2,
 };
-pub use sweep::{run_sweep, SweepCell, SweepOutcome, SweepStats};
+pub use sweep::{run_cells, run_sweep, SweepCell, SweepOutcome, SweepStats};
 
 /// The storage table (§6.5 / Appendix D).
 pub fn storage() -> String {

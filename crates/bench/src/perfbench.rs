@@ -101,6 +101,38 @@ impl PerfBenchReport {
         )
     }
 
+    /// Compares this run against a previously committed `BENCH_perf.json`
+    /// and reports a perf-smoke verdict: `Err` when
+    /// `uniform_mono_acts_per_sec` dropped by more than
+    /// `max_regression` (e.g. `0.20` for the CI gate's 20%), `Ok` with a
+    /// one-line summary otherwise.
+    ///
+    /// The uniform 32-bank stream is the gated metric because it is the
+    /// steady-state hot path every experiment rides on; the other fields
+    /// are informational and machine-sensitive.
+    pub fn check_regression(
+        &self,
+        baseline_json: &str,
+        max_regression: f64,
+    ) -> Result<String, String> {
+        let key = "uniform_mono_acts_per_sec";
+        let Some(baseline) = json_number(baseline_json, key) else {
+            return Err(format!("baseline JSON has no numeric \"{key}\" field"));
+        };
+        let current = self.uniform.mono_acts_per_sec;
+        let ratio = current / baseline.max(1e-9);
+        let line =
+            format!("perf smoke: {key} {current:.0} vs baseline {baseline:.0} ({ratio:.2}x)");
+        if ratio < 1.0 - max_regression {
+            Err(format!(
+                "{line} — regressed more than {:.0}%",
+                max_regression * 100.0
+            ))
+        } else {
+            Ok(line)
+        }
+    }
+
     /// Human-readable summary printed by `repro --json`.
     pub fn summary(&self) -> String {
         format!(
@@ -123,6 +155,20 @@ impl PerfBenchReport {
             self.threads,
         )
     }
+}
+
+/// Extracts the numeric value of `"key": <number>` from the flat JSON
+/// object `BENCH_perf.json` uses. Not a general JSON parser — the file
+/// is generated by [`PerfBenchReport::to_json`] and has exactly this
+/// shape — but tolerant of whitespace and field order.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// A faithful reconstruction of the seed's per-ACT pipeline, kept as the
@@ -655,5 +701,20 @@ mod tests {
         assert!(json.contains("\"sweep_speedup\": 4.000"));
         assert_eq!(json.matches(':').count(), 14);
         assert!(report.summary().contains("Simulator performance"));
+
+        // The perf-smoke gate reads its own serialization back.
+        assert_eq!(json_number(&json, "uniform_mono_acts_per_sec"), Some(2.0e7));
+        assert_eq!(json_number(&json, "threads"), Some(4.0));
+        assert_eq!(json_number(&json, "missing"), None);
+        report
+            .check_regression(&json, 0.20)
+            .expect("identical run is not a regression");
+        // A baseline 2x faster than this run trips the 20% gate.
+        let fast_baseline = json.replace("20000000", "40000000");
+        assert!(report.check_regression(&fast_baseline, 0.20).is_err());
+        // ...but is within a 60% tolerance.
+        report
+            .check_regression(&fast_baseline, 0.60)
+            .expect("50% drop within 60% tolerance");
     }
 }

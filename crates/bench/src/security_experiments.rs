@@ -1,5 +1,12 @@
 //! Security-experiment reproductions: Figs. 5, 7, 8, 10, 15, 16 and
 //! Table 2. These run at full fidelity regardless of scale.
+//!
+//! The simulated sweeps (the feinting rate ladder, the Jailbreak run, the
+//! reset-policy triple, the Ratchet pool pair, the postponement budgets)
+//! fan their cells through [`run_cells`] — the same deterministic
+//! parallel harness the performance tables use — instead of looping
+//! serially. Each cell builds its own seeded `SecuritySim`, so results
+//! and output ordering are identical to the serial loops they replace.
 
 use moat_analysis::{FeintingModel, RatchetModel};
 use moat_attacks::{
@@ -7,8 +14,24 @@ use moat_attacks::{
 };
 use moat_core::{MoatConfig, MoatEngine, ResetPolicy};
 use moat_dram::{DramConfig, DramTiming, Nanos};
-use moat_sim::{hammer_attacker, SecurityConfig, SecuritySim, SlotBudget};
+use moat_sim::{hammer_attacker, SecurityConfig, SecurityReport, SecuritySim, SlotBudget};
 use moat_trackers::{IdealSramTracker, PanopticonConfig, PanopticonEngine};
+
+use crate::sweep::run_cells;
+
+/// Runs one security sweep in parallel with deterministic ordering:
+/// `run` maps a cell to its [`SecurityReport`], and the report's
+/// activation count feeds the sweep statistics.
+fn run_security_cells<C: Send>(
+    cells: Vec<C>,
+    run: impl Fn(C) -> SecurityReport + Sync,
+) -> Vec<SecurityReport> {
+    let (reports, _stats) = run_cells(cells, |cell| {
+        let report = run(cell);
+        (report, report.total_acts)
+    });
+    reports.into_iter().map(|(report, _wall)| report).collect()
+}
 
 /// Table 2: the feinting T_RH bound for per-row counters, model and
 /// simulated attack side by side.
@@ -19,12 +42,13 @@ pub fn table2() -> String {
          rate (1 aggr per k tREFI) | paper | model A*H(P) | simulated (512 periods, scaled)\n",
     );
     let paper = [638u32, 1188, 1702, 2195, 2669];
-    for (k, &paper_v) in (1u32..=5).zip(&paper) {
-        // Empirical validation at a reduced horizon (512 periods) so the
-        // refresh sweep does not interfere; compared against the model at
-        // the same horizon.
-        let periods = 512u32;
-        let sim_v = simulate_feinting(k, periods);
+    // Empirical validation at a reduced horizon (512 periods) so the
+    // refresh sweep does not interfere; compared against the model at
+    // the same horizon. The five rate cells sweep in parallel.
+    let periods = 512u32;
+    let sims = run_security_cells((1u32..=5).collect(), |k| simulate_feinting(k, periods));
+    for ((k, &paper_v), sim_r) in (1u32..=5).zip(&paper).zip(sims) {
+        let sim_v = sim_r.max_pressure;
         let model_small = (model.bound(k).acts_per_period as f64
             * moat_analysis::harmonic(u64::from(periods)))
         .round() as u32;
@@ -37,14 +61,14 @@ pub fn table2() -> String {
     out
 }
 
-fn simulate_feinting(k: u32, periods: u32) -> u32 {
+fn simulate_feinting(k: u32, periods: u32) -> SecurityReport {
     let mut cfg = SecurityConfig::paper_default();
     cfg.alerts_enabled = false;
     cfg.budget = SlotBudget::per_aggressor(5, k);
     let mut sim = SecuritySim::new(cfg, Box::new(IdealSramTracker::new(65536)));
     let mut attacker = FeintingAttacker::new(periods as usize, 40_000);
     let duration = Nanos::new(u64::from(periods) * u64::from(k) * 3_900 + 1_000_000);
-    sim.run(&mut attacker, duration).max_pressure
+    sim.run(&mut attacker, duration)
 }
 
 /// Fig. 5: Jailbreak versus deterministic and randomized Panopticon
@@ -52,12 +76,15 @@ fn simulate_feinting(k: u32, periods: u32) -> u32 {
 pub fn fig5() -> String {
     let mut out = String::from("Fig. 5: Breaking Panopticon (threshold 128)\n");
 
-    // Deterministic: one pass of the pattern suffices.
-    let mut sim = SecuritySim::new(
-        SecurityConfig::paper_default(),
-        Box::new(PanopticonEngine::new(PanopticonConfig::paper_default())),
-    );
-    let det = sim.run(&mut JailbreakAttacker::new(20_000), Nanos::from_millis(2));
+    // Deterministic: one pass of the pattern suffices. Runs through the
+    // shared sweep harness like every other simulated figure.
+    let det = run_security_cells(vec![()], |()| {
+        let mut sim = SecuritySim::new(
+            SecurityConfig::paper_default(),
+            Box::new(PanopticonEngine::new(PanopticonConfig::paper_default())),
+        );
+        sim.run(&mut JailbreakAttacker::new(20_000), Nanos::from_millis(2))
+    })[0];
     out.push_str(&format!(
         "  deterministic: {} ACTs on attack row (paper: 1152 = 9x threshold), alerts={}\n",
         det.max_pressure, det.alerts
@@ -81,14 +108,18 @@ pub fn fig5() -> String {
 pub fn fig7() -> String {
     let mut out =
         String::from("Fig. 7: counter reset on refresh under the straddle attack (ATH 64)\n");
-    for (label, policy) in [
+    let policies = [
         ("unsafe", ResetPolicy::Unsafe),
         ("safe", ResetPolicy::Safe),
         ("free-running", ResetPolicy::None),
-    ] {
-        let pressure = reset_policy_pressure(policy);
+    ];
+    let reports = run_security_cells(policies.iter().map(|&(_, p)| p).collect(), |policy| {
+        reset_policy_report(policy)
+    });
+    for ((label, _), report) in policies.iter().zip(reports) {
         out.push_str(&format!(
-            "  {label:>12} reset: max ACTs without mitigation = {pressure}\n"
+            "  {label:>12} reset: max ACTs without mitigation = {}\n",
+            report.max_pressure
         ));
     }
     out.push_str(
@@ -97,7 +128,7 @@ pub fn fig7() -> String {
     out
 }
 
-fn reset_policy_pressure(policy: ResetPolicy) -> u32 {
+fn reset_policy_report(policy: ResetPolicy) -> SecurityReport {
     // Proactive budget disabled to isolate the reset-policy effect.
     let mut cfg = SecurityConfig::paper_default();
     cfg.budget = SlotBudget::disabled();
@@ -109,7 +140,7 @@ fn reset_policy_pressure(policy: ResetPolicy) -> u32 {
     );
     // Row 2055 is the trailing row of group 256 (refreshed at ~1 ms).
     let mut attacker = moat_attacks::StraddleAttacker::new(2055, 64);
-    sim.run(&mut attacker, Nanos::from_millis(2)).max_pressure
+    sim.run(&mut attacker, Nanos::from_millis(2))
 }
 
 /// Fig. 8: minimum activations between consecutive ALERTs per ABO level.
@@ -144,15 +175,19 @@ pub fn fig10_fig15() -> String {
     }
     out.push_str("  paper anchors: ATH 64 -> 99, ATH 128 -> 161 (level 1)\n");
 
-    // Simulated ratchet at two pool sizes against MOAT (level 1).
-    for (pool, millis) in [(256usize, 8u64), (1024, 12)] {
+    // Simulated ratchet at two pool sizes against MOAT (level 1), swept
+    // in parallel through the shared harness.
+    let pools = [(256usize, 8u64), (1024, 12)];
+    let reports = run_security_cells(pools.to_vec(), |(pool, millis)| {
         let mut sim = SecuritySim::new(
             SecurityConfig::paper_default(),
             Box::new(MoatEngine::new(MoatConfig::paper_default())),
         );
         let mut attacker = RatchetAttacker::new(64, pool);
-        let r = sim.run(&mut attacker, Nanos::from_millis(millis));
-        let bound = 64.0 + (pool as f64).ln() / (4.0f64 / 3.0).ln() + 4.0;
+        sim.run(&mut attacker, Nanos::from_millis(millis))
+    });
+    for ((pool, _), r) in pools.iter().zip(reports) {
+        let bound = 64.0 + (*pool as f64).ln() / (4.0f64 / 3.0).ln() + 4.0;
         out.push_str(&format!(
             "  simulated ratchet (ATH 64, pool {pool}): max ACT {} (model bound for this pool: {bound:.0})\n",
             r.max_pressure
@@ -165,7 +200,8 @@ pub fn fig10_fig15() -> String {
 pub fn fig16() -> String {
     let mut out =
         String::from("Fig. 16: refresh postponement vs Panopticon drain-on-REF (threshold 128)\n");
-    for budget in [0u32, 1, 2] {
+    let budgets = [0u32, 1, 2];
+    let reports = run_security_cells(budgets.to_vec(), |budget| {
         let mut cfg = SecurityConfig::paper_default();
         cfg.dram = DramConfig::builder().max_postponed_refs(budget).build();
         let mut sim = SecuritySim::new(
@@ -173,7 +209,9 @@ pub fn fig16() -> String {
             Box::new(PanopticonEngine::new(PanopticonConfig::drain_variant())),
         );
         let mut attacker = PostponementAttacker::new(20_000, 128);
-        let r = sim.run(&mut attacker, Nanos::from_millis(1));
+        sim.run(&mut attacker, Nanos::from_millis(1))
+    });
+    for (budget, r) in budgets.iter().zip(reports) {
         out.push_str(&format!(
             "  postponement budget {budget}: max ACTs = {} (paper at budget 2: ~328 = 2.6x)\n",
             r.max_pressure
@@ -224,12 +262,24 @@ mod tests {
 
     #[test]
     fn unsafe_reset_worse_than_safe() {
-        let unsafe_p = reset_policy_pressure(ResetPolicy::Unsafe);
-        let safe_p = reset_policy_pressure(ResetPolicy::Safe);
+        let unsafe_p = reset_policy_report(ResetPolicy::Unsafe).max_pressure;
+        let safe_p = reset_policy_report(ResetPolicy::Safe).max_pressure;
         assert!(
             unsafe_p > safe_p + 30,
             "unsafe {unsafe_p} should clearly exceed safe {safe_p}"
         );
+    }
+
+    #[test]
+    fn security_sweep_matches_serial_run() {
+        // Routing the reset-policy sweep through the parallel harness
+        // must not change any report relative to serial calls, and must
+        // keep input ordering.
+        let policies = vec![ResetPolicy::Unsafe, ResetPolicy::Safe, ResetPolicy::None];
+        let parallel = run_security_cells(policies.clone(), reset_policy_report);
+        for (policy, report) in policies.into_iter().zip(parallel) {
+            assert_eq!(report, reset_policy_report(policy), "{policy:?}");
+        }
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! The parallel (profile × configuration) sweep runner.
+//! The parallel sweep runner shared by every figure and table.
 //!
-//! Every performance table in the paper is a grid of independent cells —
-//! a workload stream run under one MOAT configuration. The runner fans
-//! those cells across cores with [`rayon`], after precomputing the
-//! per-workload ALERT-free baselines (also in parallel, since they are
-//! engine-independent and shared by every cell of a profile). Results
-//! come back **in input order** regardless of scheduling, and each cell
-//! is seeded identically to a serial run, so the parallel sweep is
-//! bit-for-bit reproducible.
+//! Every experiment in the paper is a grid of independent cells. For the
+//! performance tables a cell is a workload stream run under one MOAT
+//! configuration ([`run_sweep`]); for the security figures it is one
+//! attacker/configuration pair on [`SecuritySim`](moat_sim::SecuritySim)
+//! (routed through [`run_cells`] by `security_experiments`). Both fan
+//! their cells across cores with [`rayon`] — the performance sweeps after
+//! precomputing the per-workload ALERT-free baselines (also in parallel,
+//! since they are engine-independent and shared by every cell of a
+//! profile). Results come back **in input order** regardless of
+//! scheduling, and each cell is seeded identically to a serial run, so
+//! every parallel sweep is bit-for-bit reproducible.
 
 use std::time::Instant;
 
@@ -80,12 +83,51 @@ impl SweepStats {
     }
 }
 
-/// Runs `cells` in parallel against `lab`, returning outcomes in input
-/// order plus aggregate timing.
+/// Runs independent experiment cells in parallel, returning results in
+/// input order plus aggregate timing.
+///
+/// This is the one parallel harness behind every figure and table: `run`
+/// maps a cell to `(result, simulated_acts)` — the activation count feeds
+/// [`SweepStats`] — and must be a pure function of the cell (each cell
+/// seeds its own simulators), which is what makes the parallel run
+/// bit-identical to a serial loop over `cells` in order. Results are
+/// collected through the chunked lock-free queue of the [`rayon`] shim,
+/// so ordering is deterministic regardless of scheduling. Each result
+/// comes back paired with its cell's wall-clock seconds (the same
+/// measurements `cell_seconds` sums), so callers never need a second,
+/// nested timer.
+pub fn run_cells<C, R, F>(cells: Vec<C>, run: F) -> (Vec<(R, f64)>, SweepStats)
+where
+    C: Send,
+    R: Send,
+    F: Fn(C) -> (R, u64) + Sync,
+{
+    let start = Instant::now();
+    let timed: Vec<(R, u64, f64)> = cells
+        .into_par_iter()
+        .map(|cell| {
+            let cell_start = Instant::now();
+            let (result, acts) = run(cell);
+            (result, acts, cell_start.elapsed().as_secs_f64())
+        })
+        .collect();
+
+    let stats = SweepStats {
+        wall_seconds: start.elapsed().as_secs_f64(),
+        cell_seconds: timed.iter().map(|t| t.2).sum(),
+        total_acts: timed.iter().map(|t| t.1).sum(),
+        threads: rayon::current_num_threads(),
+    };
+    (timed.into_iter().map(|t| (t.0, t.2)).collect(), stats)
+}
+
+/// Runs performance-sweep `cells` in parallel against `lab`, returning
+/// outcomes in input order plus aggregate timing.
 ///
 /// Baselines for every distinct profile are computed first (in
-/// parallel); the cells then fan out across cores. Results are
-/// bit-identical to running each cell serially in order.
+/// parallel); the cells then fan out across cores through
+/// [`run_cells`]. Results are bit-identical to running each cell
+/// serially in order.
 pub fn run_sweep(lab: &mut PerfLab, cells: &[SweepCell]) -> (Vec<SweepOutcome>, SweepStats) {
     let start = Instant::now();
 
@@ -95,27 +137,25 @@ pub fn run_sweep(lab: &mut PerfLab, cells: &[SweepCell]) -> (Vec<SweepOutcome>, 
     lab.precompute_baselines(&profiles);
 
     let shared: &PerfLab = lab;
-    let outcomes: Vec<SweepOutcome> = cells
-        .to_vec()
-        .into_par_iter()
-        .map(|cell| {
-            let cell_start = Instant::now();
-            let (slowdown, report) = shared.run_moat_shared(cell.profile, cell.moat, cell.budget);
-            SweepOutcome {
-                cell,
-                slowdown,
-                report,
-                wall_seconds: cell_start.elapsed().as_secs_f64(),
-            }
+    let (timed, mut stats) = run_cells(cells.to_vec(), |cell| {
+        let (slowdown, report) = shared.run_moat_shared(cell.profile, cell.moat, cell.budget);
+        let outcome = SweepOutcome {
+            cell,
+            slowdown,
+            report,
+            wall_seconds: 0.0, // filled from the harness's measurement below
+        };
+        (outcome, report.total_acts)
+    });
+    let outcomes = timed
+        .into_iter()
+        .map(|(mut outcome, wall_seconds)| {
+            outcome.wall_seconds = wall_seconds;
+            outcome
         })
         .collect();
-
-    let stats = SweepStats {
-        wall_seconds: start.elapsed().as_secs_f64(),
-        cell_seconds: outcomes.iter().map(|o| o.wall_seconds).sum(),
-        total_acts: outcomes.iter().map(|o| o.report.total_acts).sum(),
-        threads: rayon::current_num_threads(),
-    };
+    // The sweep's wall clock includes the baseline precompute.
+    stats.wall_seconds = start.elapsed().as_secs_f64();
     (outcomes, stats)
 }
 
@@ -151,6 +191,22 @@ mod tests {
             parallel.iter().map(|o| o.report.total_acts).sum::<u64>()
         );
         assert!(stats.wall_seconds > 0.0);
+        assert!(stats.threads >= 1);
+    }
+
+    #[test]
+    fn run_cells_is_deterministic_and_ordered() {
+        let cells: Vec<u32> = (0..64).collect();
+        let (a, stats) = run_cells(cells.clone(), |c| (c * 7, u64::from(c)));
+        let (b, _) = run_cells(cells.clone(), |c| (c * 7, u64::from(c)));
+        let results = |v: &[(u32, f64)]| v.iter().map(|t| t.0).collect::<Vec<_>>();
+        assert_eq!(results(&a), results(&b), "same cells, same results");
+        assert_eq!(results(&a), cells.iter().map(|c| c * 7).collect::<Vec<_>>());
+        assert_eq!(stats.total_acts, cells.iter().map(|&c| u64::from(c)).sum());
+        // The per-cell walls the harness hands back are the ones
+        // cell_seconds aggregates.
+        let summed: f64 = a.iter().map(|t| t.1).sum();
+        assert!((summed - stats.cell_seconds).abs() < 1e-12);
         assert!(stats.threads >= 1);
     }
 

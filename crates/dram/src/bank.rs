@@ -90,6 +90,17 @@ impl Bank {
         self.next_ready
     }
 
+    /// Hints the cache to load the PRAC counter of `row`. Called by the
+    /// batched issue pipeline ahead of the actual
+    /// [`activate`](Self::activate); out-of-range rows are ignored (the
+    /// activation itself still reports the error).
+    #[inline]
+    pub fn prefetch_counter(&self, row: RowId) {
+        if let Some(c) = self.counters.get(row.as_usize()) {
+            crate::hint::prefetch_read(c);
+        }
+    }
+
     /// Blocks the bank until `until` (used when the sub-channel is stalled
     /// by an ALERT or a REF occupies the bank).
     pub fn occupy_until(&mut self, until: Nanos) {

@@ -18,7 +18,22 @@
 use core::ops::Range;
 
 use crate::config::DramConfig;
+use crate::hint::prefetch_read;
 use crate::types::RowId;
+
+/// Per-row ledger state, interleaved so one activation touches one run of
+/// adjacent cells instead of two parallel arrays. The victim range
+/// `row ± blast_radius` plus the aggressor's own epoch then span one or
+/// two cache lines rather than three or four — a measurable difference
+/// once the row space outgrows the last-level cache.
+#[derive(Debug, Clone, Copy, Default)]
+struct LedgerCell {
+    /// Hammer pressure absorbed as a victim since the last refresh.
+    pressure: u32,
+    /// Activations as an aggressor since the last mitigation/neighborhood
+    /// refresh.
+    epoch: u32,
+}
 
 /// Per-bank ground-truth hammer-pressure ledger.
 ///
@@ -42,21 +57,23 @@ use crate::types::RowId;
 pub struct SecurityLedger {
     rows_per_bank: u32,
     blast_radius: u32,
-    /// Hammer pressure per victim row since its last refresh.
-    pressure: Vec<u32>,
+    /// Per-row pressure and epoch, interleaved (see [`LedgerCell`]).
+    ///
+    /// The *pressure* half tracks hammer pressure per victim row since its
+    /// last refresh. The *epoch* half is the aggressor-centric count:
+    /// activations of each row since it was last mitigated or since its
+    /// neighborhood was covered by the refresh sweep — the paper's
+    /// threat-model metric ("any row receives more than the threshold
+    /// number of activations without any intervening mitigation or
+    /// refresh", §2.1). Unlike victim pressure, the epoch cannot be
+    /// inflated by two independent aggressors sharing a victim, which
+    /// activation-counting designs inherently do not bound.
+    cells: Vec<LedgerCell>,
     /// Highest pressure ever observed on any row (the "max ACTs on attack
     /// row" metric of Figs. 5 and 10).
     max_ever: u32,
     /// Row achieving `max_ever`.
     max_row: RowId,
-    /// Aggressor-centric epoch: activations of each row since it was last
-    /// mitigated or since its neighborhood was covered by the refresh
-    /// sweep — the paper's threat-model metric ("any row receives more
-    /// than the threshold number of activations without any intervening
-    /// mitigation or refresh", §2.1). Unlike victim pressure, this cannot
-    /// be inflated by two independent aggressors sharing a victim, which
-    /// activation-counting designs inherently do not bound.
-    epoch: Vec<u32>,
     /// Highest epoch ever observed.
     max_epoch: u32,
 }
@@ -67,10 +84,9 @@ impl SecurityLedger {
         SecurityLedger {
             rows_per_bank: config.rows_per_bank,
             blast_radius: config.blast_radius,
-            pressure: vec![0; config.rows_per_bank as usize],
+            cells: vec![LedgerCell::default(); config.rows_per_bank as usize],
             max_ever: 0,
             max_row: RowId::new(0),
-            epoch: vec![0; config.rows_per_bank as usize],
             max_epoch: 0,
         }
     }
@@ -92,7 +108,7 @@ impl SecurityLedger {
         let mut max = self.max_ever;
         let mut max_row = self.max_row;
         for v in lo..center {
-            let p = &mut self.pressure[v];
+            let p = &mut self.cells[v].pressure;
             *p += 1;
             if *p > max {
                 max = *p;
@@ -100,7 +116,7 @@ impl SecurityLedger {
             }
         }
         for v in (center + 1)..=hi {
-            let p = &mut self.pressure[v];
+            let p = &mut self.cells[v].pressure;
             *p += 1;
             if *p > max {
                 max = *p;
@@ -110,11 +126,24 @@ impl SecurityLedger {
         self.max_ever = max;
         self.max_row = max_row;
 
-        let e = &mut self.epoch[center];
+        let e = &mut self.cells[center].epoch;
         *e += 1;
         if *e > self.max_epoch {
             self.max_epoch = *e;
         }
+    }
+
+    /// Hints the cache to load the ledger cells [`on_activate`]
+    /// (Self::on_activate) for `row` will touch. Called by the batched
+    /// issue pipeline a few requests ahead of the activation so the loads
+    /// overlap; has no observable effect on ledger state.
+    #[inline]
+    pub fn prefetch(&self, row: RowId) {
+        let center = row.index().min(self.rows_per_bank - 1);
+        let lo = center.saturating_sub(self.blast_radius) as usize;
+        let hi = (center + self.blast_radius).min(self.rows_per_bank - 1) as usize;
+        prefetch_read(&self.cells[lo]);
+        prefetch_read(&self.cells[hi]);
     }
 
     /// Records a refresh of every row in `rows` (the regular refresh sweep):
@@ -124,12 +153,12 @@ impl SecurityLedger {
     /// when row `r + blast_radius` is refreshed.
     pub fn on_refresh_rows(&mut self, rows: Range<u32>) {
         for r in rows.clone() {
-            self.pressure[r as usize] = 0;
+            self.cells[r as usize].pressure = 0;
         }
         let lo = rows.start.saturating_sub(self.blast_radius);
         let hi = rows.end.saturating_sub(self.blast_radius);
         for r in lo..hi {
-            self.epoch[r as usize] = 0;
+            self.cells[r as usize].epoch = 0;
         }
     }
 
@@ -138,15 +167,15 @@ impl SecurityLedger {
     /// resets.
     pub fn on_victim_refresh(&mut self, row: RowId) {
         for v in row.victims(self.blast_radius, self.rows_per_bank) {
-            self.pressure[v.as_usize()] = 0;
+            self.cells[v.as_usize()].pressure = 0;
         }
-        self.epoch[row.as_usize()] = 0;
+        self.cells[row.as_usize()].epoch = 0;
     }
 
     /// Records a refresh of a single victim row (partial, slot-by-slot
     /// mitigation during REF refreshes one victim at a time).
     pub fn on_refresh_single(&mut self, row: RowId) {
-        self.pressure[row.as_usize()] = 0;
+        self.cells[row.as_usize()].pressure = 0;
     }
 
     /// Current pressure on `row`.
@@ -155,7 +184,7 @@ impl SecurityLedger {
     ///
     /// Panics if `row` is outside the bank.
     pub fn pressure(&self, row: RowId) -> u32 {
-        self.pressure[row.as_usize()]
+        self.cells[row.as_usize()].pressure
     }
 
     /// Highest pressure ever observed on any row. A defense tolerating
@@ -172,7 +201,7 @@ impl SecurityLedger {
 
     /// Current maximum pressure across all rows (not the historical max).
     pub fn current_max_pressure(&self) -> u32 {
-        self.pressure.iter().copied().max().unwrap_or(0)
+        self.cells.iter().map(|c| c.pressure).max().unwrap_or(0)
     }
 
     /// Current epoch (activations since last mitigation/neighborhood
@@ -182,7 +211,7 @@ impl SecurityLedger {
     ///
     /// Panics if `row` is outside the bank.
     pub fn epoch(&self, row: RowId) -> u32 {
-        self.epoch[row.as_usize()]
+        self.cells[row.as_usize()].epoch
     }
 
     /// Highest per-aggressor epoch ever observed — the paper's

@@ -37,6 +37,7 @@ mod abo;
 mod bank;
 mod config;
 mod error;
+mod hint;
 mod ledger;
 mod mapping;
 mod mitigation;
@@ -48,6 +49,7 @@ pub use abo::{AboLevel, AboPhase, AboProtocol};
 pub use bank::Bank;
 pub use config::{DramConfig, DramConfigBuilder, RefreshOrder};
 pub use error::DramError;
+pub use hint::prefetch_read;
 pub use ledger::SecurityLedger;
 pub use mapping::{AddressMapping, DramAddress};
 pub use mitigation::{MitigationEngine, NullEngine, RefMitigationMode};

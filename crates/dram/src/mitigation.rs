@@ -127,16 +127,34 @@ pub trait MitigationEngine: fmt::Debug {
     /// attacker knows the defense algorithm, including which row has been
     /// selected for mitigation") can inspect concrete engine state.
     fn as_any(&self) -> &dyn Any;
+
+    /// The innermost trait object for this engine.
+    ///
+    /// Type-erased views (e.g. the simulators'
+    /// `BankUnitView`) are built through this hook instead of coercing
+    /// `&E` directly: for a concrete engine the two are the same, but for
+    /// `E = Box<dyn MitigationEngine>` the coercion would stack a second
+    /// vtable hop through the forwarding `Box` impl, while `as_dyn`
+    /// unwraps straight to the inner object.
+    fn as_dyn(&self) -> &dyn MitigationEngine
+    where
+        Self: Sized,
+    {
+        self
+    }
 }
 
-/// Forwarding implementation so `Box<E>` (including the fully erased
-/// `Box<dyn MitigationEngine>`) is itself a [`MitigationEngine`].
+/// Forwarding implementation so a boxed concrete engine `Box<E>` is
+/// itself a [`MitigationEngine`].
 ///
-/// This is what lets the simulators be generic over `E: MitigationEngine`
-/// — monomorphizing and inlining a concrete engine into the per-ACT hot
+/// Together with the `Box<dyn MitigationEngine>` impl below, this is what
+/// lets the simulators be generic over `E: MitigationEngine` —
+/// monomorphizing and inlining a concrete engine into the per-ACT hot
 /// path — while heterogeneous-engine experiments keep passing boxed trait
-/// objects exactly as before.
-impl<E: MitigationEngine + ?Sized> MitigationEngine for Box<E> {
+/// objects exactly as before. The impls are split (sized vs. erased)
+/// rather than a single `E: ?Sized` blanket so each can unwrap to the
+/// innermost trait object in [`MitigationEngine::as_dyn`].
+impl<E: MitigationEngine> MitigationEngine for Box<E> {
     fn name(&self) -> &str {
         (**self).name()
     }
@@ -195,6 +213,80 @@ impl<E: MitigationEngine + ?Sized> MitigationEngine for Box<E> {
 
     fn as_any(&self) -> &dyn Any {
         (**self).as_any()
+    }
+
+    fn as_dyn(&self) -> &dyn MitigationEngine {
+        (**self).as_dyn()
+    }
+}
+
+/// Forwarding implementation for the fully erased `Box<dyn
+/// MitigationEngine>` — the boxed-path engine type the simulators default
+/// to. [`MitigationEngine::as_dyn`] returns the *inner* trait object, so
+/// type-erased views dispatch through one vtable, not two.
+impl<'e> MitigationEngine for Box<dyn MitigationEngine + 'e> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_precharge_update(&mut self, row: RowId, counter: ActCount) {
+        (**self).on_precharge_update(row, counter);
+    }
+
+    fn alert_pending(&self) -> bool {
+        (**self).alert_pending()
+    }
+
+    fn select_ref_mitigation(&mut self) -> Option<RowId> {
+        (**self).select_ref_mitigation()
+    }
+
+    fn select_alert_mitigation(&mut self) -> Option<RowId> {
+        (**self).select_alert_mitigation()
+    }
+
+    fn on_mitigation_complete(&mut self, row: RowId) {
+        (**self).on_mitigation_complete(row);
+    }
+
+    fn on_refresh_group(
+        &mut self,
+        rows: Range<u32>,
+        counter_of: &mut dyn FnMut(RowId) -> ActCount,
+    ) {
+        (**self).on_refresh_group(rows, counter_of);
+    }
+
+    fn resets_counters_on_refresh(&self) -> bool {
+        (**self).resets_counters_on_refresh()
+    }
+
+    fn resets_counter_on_mitigation(&self) -> bool {
+        (**self).resets_counter_on_mitigation()
+    }
+
+    fn ops_per_mitigation(&self) -> u32 {
+        (**self).ops_per_mitigation()
+    }
+
+    fn ref_mitigation_mode(&self) -> RefMitigationMode {
+        (**self).ref_mitigation_mode()
+    }
+
+    fn sram_bytes_per_bank(&self) -> usize {
+        (**self).sram_bytes_per_bank()
+    }
+
+    fn effective_counter(&self, row: RowId, in_array: ActCount) -> ActCount {
+        (**self).effective_counter(row, in_array)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        (**self).as_any()
+    }
+
+    fn as_dyn(&self) -> &dyn MitigationEngine {
+        &**self
     }
 }
 
@@ -273,6 +365,25 @@ mod tests {
         assert_eq!(e.ops_per_mitigation(), 5);
         assert!(!e.resets_counters_on_refresh());
         assert_eq!(e.ref_mitigation_mode(), RefMitigationMode::Gradual);
+    }
+
+    #[test]
+    fn as_dyn_unwraps_to_the_innermost_object() {
+        let concrete = NullEngine::new();
+        // Concrete engine: as_dyn is a plain coercion.
+        assert_eq!(concrete.as_dyn().name(), "none");
+        // Boxed trait object: as_dyn strips the box, so the returned
+        // reference points at the NullEngine itself, not the Box.
+        let boxed: Box<dyn MitigationEngine> = Box::new(NullEngine::new());
+        let inner = boxed.as_dyn();
+        assert_eq!(inner.name(), "none");
+        assert!(std::ptr::eq(
+            inner as *const dyn MitigationEngine as *const u8,
+            boxed.as_any().downcast_ref::<NullEngine>().unwrap() as *const NullEngine as *const u8,
+        ));
+        // Double boxing unwraps recursively through the sized impl.
+        let double: Box<Box<dyn MitigationEngine>> = Box::new(Box::new(NullEngine::new()));
+        assert_eq!(double.as_dyn().name(), "none");
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod unit;
 pub use budget::SlotBudget;
 pub use faw::FawTracker;
 pub use frontend::{hammer_address, AddressAccess, AddressStream};
-pub use perf::{PerfConfig, PerfReport, PerfSim, Request, RequestStream};
+pub use perf::{PerfConfig, PerfReport, PerfSim, Request, RequestStream, DEFAULT_CHUNK};
 pub use security::{
     hammer_attacker, round_robin_attacker, AttackStep, Attacker, DefenseView, SecurityConfig,
     SecurityReport, SecuritySim,

@@ -30,10 +30,52 @@ pub struct Request {
     pub row: RowId,
 }
 
+/// Default number of requests per batch of the chunked front-end (the
+/// chunk-size knob; see [`PerfSim::set_chunk_size`]).
+///
+/// Large enough to amortize the per-chunk bookkeeping and give the issue
+/// loop a deep prefetch window, small enough that a chunk of `Request`s
+/// (12 bytes each) stays within L1.
+pub const DEFAULT_CHUNK: usize = 1024;
+
+/// How many requests ahead of the issue point the batched loop starts
+/// loading counter/ledger state. At ~4 cache lines per request this keeps
+/// well under the outstanding-miss budget of current cores while covering
+/// several hundred nanoseconds of issue work.
+const PREFETCH_DISTANCE: usize = 12;
+
 /// A source of requests (workload generators implement this).
 pub trait RequestStream {
     /// The next request, or `None` when the workload is complete.
     fn next_request(&mut self) -> Option<Request>;
+
+    /// Refills `buf` with the next batch of requests and returns how many
+    /// were written; `0` means the stream is exhausted.
+    ///
+    /// `buf` is cleared and filled up to its *capacity* — the caller
+    /// chooses the chunk size by pre-reserving (an unallocated buffer
+    /// gets [`DEFAULT_CHUNK`]) and reuses the same buffer across calls,
+    /// so a steady-state simulation allocates nothing per batch.
+    ///
+    /// The concatenation of all chunks is exactly the sequence repeated
+    /// [`next_request`](Self::next_request) calls would produce, for any
+    /// buffer capacity. Implementations override the default only to
+    /// amortize per-request overhead (hoisting RNG state, heap handles,
+    /// or dispatch out of the per-request path) — never to change the
+    /// sequence.
+    fn next_chunk(&mut self, buf: &mut Vec<Request>) -> usize {
+        buf.clear();
+        if buf.capacity() == 0 {
+            buf.reserve(DEFAULT_CHUNK);
+        }
+        while buf.len() < buf.capacity() {
+            match self.next_request() {
+                Some(r) => buf.push(r),
+                None => break,
+            }
+        }
+        buf.len()
+    }
 }
 
 impl<I: Iterator<Item = Request>> RequestStream for I {
@@ -96,7 +138,13 @@ pub struct PerfReport {
     pub alerts: u64,
     /// RFMs issued.
     pub rfms: u64,
-    /// REF commands performed (per bank; REFs are all-bank).
+    /// REF commands performed on the sub-channel.
+    ///
+    /// REF is an *all-bank* command: every [`BankUnit`] performs the same
+    /// REFs at the same instants and therefore carries an identical
+    /// per-unit `refs` counter. This field is that shared per-bank count
+    /// — **not** a sum over banks, unlike `total_acts` and the mitigation
+    /// counters, which genuinely differ per bank and are summed.
     pub refs: u64,
     /// Aggressor mitigations completed during REF, summed over banks.
     pub proactive_mitigations: u64,
@@ -160,6 +208,18 @@ pub struct PerfSim<E: MitigationEngine = Box<dyn MitigationEngine>> {
     /// maintained incrementally so the per-ACT loop never rescans all
     /// banks.
     pending_alerts: usize,
+    /// Requests fetched per batch by [`run`](Self::run).
+    chunk_size: usize,
+}
+
+/// Issue-loop state that persists across request chunks: the closed-loop
+/// arrival clock plus the pre-resolved next-REF deadline (which only
+/// moves when a REF is performed).
+#[derive(Debug, Clone, Copy)]
+struct IssueState {
+    intent: Nanos,
+    shift: Nanos,
+    ref_due: Nanos,
 }
 
 /// Folds the change in a unit's `alert_pending` across `op` into the
@@ -198,12 +258,21 @@ impl<E: MitigationEngine> PerfSim<E> {
             stall_until: Nanos::ZERO,
             last_end: Nanos::ZERO,
             pending_alerts: 0,
+            chunk_size: DEFAULT_CHUNK,
         }
     }
 
     /// The simulated bank units.
     pub fn units(&self) -> &[BankUnit<E>] {
         &self.units
+    }
+
+    /// Sets the number of requests [`run`](Self::run) fetches per batch
+    /// (default [`DEFAULT_CHUNK`]). The chunk size is a pure host-side
+    /// performance knob: reports are bit-identical for every value,
+    /// including `1`.
+    pub fn set_chunk_size(&mut self, requests: usize) {
+        self.chunk_size = requests.max(1);
     }
 
     /// Runs the stream to completion and reports.
@@ -214,69 +283,161 @@ impl<E: MitigationEngine> PerfSim<E> {
     /// rate-mode cores slip together when the memory system falls behind.
     /// This is what makes ALERT stalls visible in the completion-time
     /// ratio the paper reports as slowdown.
+    ///
+    /// Requests are pulled in batches of
+    /// [`set_chunk_size`](Self::set_chunk_size) through
+    /// [`RequestStream::next_chunk`] into one reusable buffer, and the
+    /// issue loop uses the chunk as a lookahead window: the counter and
+    /// ledger cache lines of upcoming requests are prefetched while the
+    /// current request is scheduled, and the REF/ALERT retry loop is only
+    /// entered for requests that actually straddle an episode boundary.
+    /// The batching is purely host-side: reports are bit-identical to
+    /// [`run_per_request`](Self::run_per_request) on the same stream.
     pub fn run<S: RequestStream>(&mut self, mut stream: S) -> PerfReport {
-        let t_rc = self.config.dram.timing.t_rc;
-        let mut intent = Nanos::ZERO;
-        let mut shift = Nanos::ZERO;
-        // Hoisted out of the retry loop: the next REF deadline only moves
-        // when a REF is performed, and a bank's ready time only moves when
-        // the sub-channel state changes — recompute them exactly at those
-        // points instead of on every retry iteration.
-        let mut ref_due = self.units[0].refresh().next_due();
+        let mut st = IssueState {
+            intent: Nanos::ZERO,
+            shift: Nanos::ZERO,
+            // Hoisted out of the issue loop: the next REF deadline only
+            // moves when a REF is performed.
+            ref_due: self.units[0].refresh().next_due(),
+        };
+        let mut chunk: Vec<Request> = Vec::with_capacity(self.chunk_size);
+        while stream.next_chunk(&mut chunk) > 0 {
+            self.issue_chunk(&chunk, &mut st);
+        }
+        self.drain_trailing_alert();
+        self.report()
+    }
 
+    /// The per-request reference implementation of [`run`](Self::run):
+    /// one `next_request` pull and one full scheduling pass per request,
+    /// no batching, no prefetch. Kept as the semantic baseline the
+    /// batched pipeline is regression-tested against (and measured
+    /// against in the throughput benchmark).
+    pub fn run_per_request<S: RequestStream>(&mut self, mut stream: S) -> PerfReport {
+        let mut st = IssueState {
+            intent: Nanos::ZERO,
+            shift: Nanos::ZERO,
+            ref_due: self.units[0].refresh().next_due(),
+        };
         while let Some(req) = stream.next_request() {
-            intent += req.gap;
-            let eff_intent = intent + shift;
-            let bank_idx = req.bank.as_usize();
-            assert!(bank_idx < self.units.len(), "request to unknown bank");
-            let mut bank_ready = self.units[bank_idx].bank().next_ready();
+            self.issue_request(&req, &mut st);
+        }
+        self.drain_trailing_alert();
+        self.report()
+    }
 
-            let t = loop {
-                let t_cand = eff_intent.max(self.stall_until).max(bank_ready);
+    /// Issues one chunk of requests. The fast path — no REF due, no ALERT
+    /// activity window closing — is a straight line; requests that
+    /// straddle an episode boundary drop into
+    /// [`resolve_straddle`](Self::resolve_straddle).
+    fn issue_chunk(&mut self, chunk: &[Request], st: &mut IssueState) {
+        let n_units = self.units.len();
+        let mut last_hint: Option<(BankId, RowId)> = None;
+        for (i, req) in chunk.iter().enumerate() {
+            // The chunk is the lookahead window: start loading the
+            // row-indexed state of a request several positions ahead so
+            // its cache misses overlap with the scheduling work in
+            // between. Consecutive duplicates (hammer kernels revisiting
+            // one row) are skipped — their lines are already inbound.
+            // Out-of-range banks are skipped too; the issue itself still
+            // panics on them below.
+            if let Some(ahead) = chunk.get(i + PREFETCH_DISTANCE) {
+                let hint = (ahead.bank, ahead.row);
+                let b = ahead.bank.as_usize();
+                if last_hint != Some(hint) && b < n_units {
+                    self.units[b].prefetch_activate(ahead.row);
+                }
+                last_hint = Some(hint);
+            }
+            self.issue_request(req, st);
+        }
+    }
 
-                // All-bank REF when due (and no ALERT episode in flight).
-                if matches!(self.abo.phase(), AboPhase::Idle) && ref_due <= t_cand {
-                    self.do_ref(ref_due.max(self.stall_until));
-                    ref_due = self.units[0].refresh().next_due();
+    /// Schedules and performs one activation request.
+    #[inline]
+    fn issue_request(&mut self, req: &Request, st: &mut IssueState) {
+        let t_rc = self.config.dram.timing.t_rc;
+        st.intent += req.gap;
+        let eff_intent = st.intent + st.shift;
+        let bank_idx = req.bank.as_usize();
+        assert!(bank_idx < self.units.len(), "request to unknown bank");
+        let bank_ready = self.units[bank_idx].bank().next_ready();
+
+        let t_cand = eff_intent.max(self.stall_until).max(bank_ready);
+        // Pre-resolved episode boundaries: a candidate slot that stays
+        // before the next REF deadline (Idle) or finishes inside the
+        // ALERT activity window needs no retry.
+        let fast = match self.abo.phase() {
+            AboPhase::Idle => t_cand < st.ref_due,
+            AboPhase::ActWindow { stall_at } => t_cand + t_rc <= stall_at,
+            _ => false,
+        };
+        let t = if fast {
+            t_cand
+        } else {
+            self.resolve_straddle(bank_idx, eff_intent, st)
+        };
+
+        track_alert(&mut self.units[bank_idx], &mut self.pending_alerts, |u| {
+            u.activate(req.row, t)
+                .expect("issue time respects bank timing");
+        });
+        self.abo.on_act();
+        st.shift += t - eff_intent;
+        self.last_end = t + t_rc;
+
+        // Assert ALERT at the precharge that crossed the threshold.
+        if self.config.alerts_enabled && self.pending_alerts > 0 && self.abo.can_assert() {
+            self.abo
+                .assert_alert(self.last_end)
+                .expect("can_assert checked");
+        }
+    }
+
+    /// The retry loop for requests that straddle an episode boundary:
+    /// performs due REFs and closing ALERT episodes until a clean issue
+    /// slot exists, and returns it. Cold by construction — benign streams
+    /// enter it roughly once per tREFI.
+    #[cold]
+    fn resolve_straddle(
+        &mut self,
+        bank_idx: usize,
+        eff_intent: Nanos,
+        st: &mut IssueState,
+    ) -> Nanos {
+        let t_rc = self.config.dram.timing.t_rc;
+        let mut bank_ready = self.units[bank_idx].bank().next_ready();
+        loop {
+            let t_cand = eff_intent.max(self.stall_until).max(bank_ready);
+
+            // All-bank REF when due (and no ALERT episode in flight).
+            if matches!(self.abo.phase(), AboPhase::Idle) && st.ref_due <= t_cand {
+                self.do_ref(st.ref_due.max(self.stall_until));
+                st.ref_due = self.units[0].refresh().next_due();
+                bank_ready = self.units[bank_idx].bank().next_ready();
+                continue;
+            }
+
+            // If the ALERT activity window closes before this request
+            // could finish, the RFMs run first.
+            if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
+                if t_cand + t_rc > stall_at {
+                    self.do_rfms(stall_at);
                     bank_ready = self.units[bank_idx].bank().next_ready();
                     continue;
                 }
-
-                // If the ALERT activity window closes before this request
-                // could finish, the RFMs run first.
-                if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
-                    if t_cand + t_rc > stall_at {
-                        self.do_rfms(stall_at);
-                        bank_ready = self.units[bank_idx].bank().next_ready();
-                        continue;
-                    }
-                }
-                break t_cand;
-            };
-
-            track_alert(&mut self.units[bank_idx], &mut self.pending_alerts, |u| {
-                u.activate(req.row, t)
-                    .expect("issue time respects bank timing");
-            });
-            self.abo.on_act();
-            shift += t - eff_intent;
-            self.last_end = t + t_rc;
-
-            // Assert ALERT at the precharge that crossed the threshold.
-            if self.config.alerts_enabled && self.pending_alerts > 0 && self.abo.can_assert() {
-                self.abo
-                    .assert_alert(self.last_end)
-                    .expect("can_assert checked");
             }
+            break t_cand;
         }
+    }
 
-        // Drain a trailing ALERT episode.
+    /// Drains a trailing ALERT episode after the stream ends.
+    fn drain_trailing_alert(&mut self) {
         if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
             self.do_rfms(stall_at);
             self.last_end = self.last_end.max(self.stall_until);
         }
-
-        self.report()
     }
 
     fn do_ref(&mut self, start: Nanos) {
@@ -322,6 +483,16 @@ impl<E: MitigationEngine> PerfSim<E> {
         for u in &self.units {
             let s = u.stats();
             acts += s.acts;
+            // REF is an all-bank command, so every unit's `refs` counter
+            // is identical; `max` here selects that shared per-bank count
+            // rather than summing it `banks` times over (acts and the
+            // mitigation counters, by contrast, differ per bank and are
+            // summed). Pinned by the `refs_are_per_bank_not_summed` test.
+            debug_assert!(
+                refs == 0 || s.refs == refs,
+                "all-bank REF invariant violated: {} vs {refs}",
+                s.refs
+            );
             refs = refs.max(s.refs);
             proactive += s.proactive_mitigations;
             reactive += s.reactive_mitigations;
@@ -437,6 +608,79 @@ mod tests {
         let r = sim.run(hot);
         assert_eq!(r.alerts, 0);
         assert_eq!(r.rfms, 0);
+    }
+
+    #[test]
+    fn refs_are_per_bank_not_summed() {
+        // REF is all-bank: every unit performs the same REFs, and the
+        // report exposes that shared per-bank count (while acts are
+        // summed across banks). This test pins the intended semantics of
+        // the acts-sum / refs-max asymmetry in `report`.
+        let mut sim = PerfSim::new(small_cfg(4, true), moat_factory);
+        let r = sim.run(uniform_stream(40_000, 4, 60));
+        assert!(r.refs > 0);
+        for u in sim.units() {
+            assert_eq!(
+                u.stats().refs,
+                r.refs,
+                "every bank performs the same all-bank REFs"
+            );
+        }
+        assert_eq!(
+            r.total_acts,
+            sim.units().iter().map(|u| u.stats().acts).sum::<u64>(),
+            "acts genuinely differ per bank and are summed"
+        );
+    }
+
+    #[test]
+    fn batched_run_matches_per_request_run() {
+        // The chunked pipeline is a host-side optimization only: for any
+        // chunk size (including degenerate ones), the report must be
+        // bit-identical to the unbatched reference loop.
+        let streams: [&dyn Fn() -> Box<dyn Iterator<Item = Request>>; 2] =
+            [&|| Box::new(uniform_stream(30_000, 4, 25)), &|| {
+                Box::new((0..20_000u32).map(|_| Request {
+                    gap: Nanos::new(52),
+                    bank: BankId::new(0),
+                    row: RowId::new(9),
+                }))
+            }];
+        for (si, mk) in streams.iter().enumerate() {
+            let banks = if si == 0 { 4 } else { 1 };
+            let mut reference = PerfSim::new(small_cfg(banks, true), moat_factory);
+            let expect = reference.run_per_request(mk());
+            for chunk in [1usize, 7, 256, DEFAULT_CHUNK] {
+                let mut sim = PerfSim::new(small_cfg(banks, true), moat_factory);
+                sim.set_chunk_size(chunk);
+                let got = sim.run(mk());
+                assert_eq!(got, expect, "stream {si}, chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn default_next_chunk_respects_capacity_and_order() {
+        let mut s = uniform_stream(100, 2, 10);
+        let mut buf = Vec::with_capacity(32);
+        let mut seen = Vec::new();
+        loop {
+            // UFCS: on iterator streams the method name would otherwise
+            // collide with the unstable `Iterator::next_chunk`.
+            let n = RequestStream::next_chunk(&mut s, &mut buf);
+            if n == 0 {
+                break;
+            }
+            assert!(n <= buf.capacity());
+            seen.extend_from_slice(&buf);
+        }
+        let all: Vec<Request> = uniform_stream(100, 2, 10).collect();
+        assert_eq!(seen, all);
+        // An unallocated buffer gets the default chunk capacity.
+        let mut empty_buf = Vec::new();
+        let mut s2 = uniform_stream(10, 2, 10);
+        assert_eq!(RequestStream::next_chunk(&mut s2, &mut empty_buf), 10);
+        assert!(empty_buf.capacity() >= DEFAULT_CHUNK);
     }
 
     #[test]

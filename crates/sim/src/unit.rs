@@ -116,11 +116,15 @@ impl<E: MitigationEngine> BankUnit<E> {
     /// A type-erased read-only view of this unit, used to hand the full
     /// defense state to adaptive attackers without making them generic
     /// over the engine type.
+    ///
+    /// The engine is erased via [`MitigationEngine::as_dyn`], so even when
+    /// `E` is itself `Box<dyn MitigationEngine>` the view dispatches
+    /// through a single vtable — not through the forwarding `Box` impl.
     pub fn as_view(&self) -> BankUnitView<'_> {
         BankUnitView {
             config: &self.config,
             bank: &self.bank,
-            engine: &self.engine,
+            engine: self.engine.as_dyn(),
             ledger: &self.ledger,
             refresh: &self.refresh,
             inflight: self.inflight.as_ref().map(|m| m.row),
@@ -172,6 +176,18 @@ impl<E: MitigationEngine> BankUnit<E> {
     #[inline]
     pub fn alert_pending(&self) -> bool {
         self.engine.alert_pending()
+    }
+
+    /// Hints the cache to load the row-indexed state a future
+    /// [`activate`](Self::activate) of `row` will touch — the PRAC
+    /// counter and the ledger's victim/epoch cells. The batched issue
+    /// pipeline calls this a few requests ahead so the (otherwise
+    /// serialized) cache misses of consecutive activations overlap.
+    /// Purely a hint: no simulation state changes.
+    #[inline]
+    pub fn prefetch_activate(&self, row: RowId) {
+        self.bank.prefetch_counter(row);
+        self.ledger.prefetch(row);
     }
 
     /// Performs one REF at `now`: refreshes the due group, runs the

@@ -16,7 +16,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use moat_dram::{BankId, DramConfig, Nanos, RowId};
-use moat_sim::{Request, RequestStream};
+use moat_sim::{Request, RequestStream, DEFAULT_CHUNK};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -265,6 +265,40 @@ impl RequestStream for WorkloadStream {
             self.heap.push(Reverse((t + interval, idx)));
         }
         Some(request)
+    }
+
+    /// Batched generation: one merged pass over the campaign heap per
+    /// chunk, with the arrival clock and emission counter held in locals
+    /// instead of being written back through `&mut self` per request.
+    /// Yields exactly the sequence repeated
+    /// [`next_request`](RequestStream::next_request) calls would (pinned
+    /// by the `chunk_equivalence` proptest).
+    fn next_chunk(&mut self, buf: &mut Vec<Request>) -> usize {
+        buf.clear();
+        if buf.capacity() == 0 {
+            buf.reserve(DEFAULT_CHUNK);
+        }
+        let cap = buf.capacity();
+        let mut last_time = self.last_time;
+        while buf.len() < cap {
+            let Some(Reverse((t, idx))) = self.heap.pop() else {
+                break;
+            };
+            let c = &mut self.campaigns[idx as usize];
+            buf.push(Request {
+                gap: Nanos::new(t.saturating_sub(last_time)),
+                bank: BankId::new(c.bank),
+                row: RowId::new(c.row),
+            });
+            last_time = t;
+            c.remaining -= 1;
+            if c.remaining > 0 {
+                self.heap.push(Reverse((t + c.interval, idx)));
+            }
+        }
+        self.last_time = last_time;
+        self.total_emitted += buf.len() as u64;
+        buf.len()
     }
 }
 
