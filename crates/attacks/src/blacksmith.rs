@@ -11,6 +11,8 @@
 //! The decoy schedule is randomized (frequency-domain style) so simple
 //! pattern-matching defenses cannot lock onto it.
 
+use std::borrow::Cow;
+
 use moat_dram::RowId;
 use moat_sim::{AttackStep, Attacker, DefenseView};
 use rand::rngs::StdRng;
@@ -94,12 +96,12 @@ impl Attacker for BlacksmithAttacker {
         AttackStep::Act(row)
     }
 
-    fn name(&self) -> String {
-        format!(
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Owned(format!(
             "blacksmith({}+{} decoys)",
             self.aggressors.len(),
             self.decoys.len()
-        )
+        ))
     }
 }
 

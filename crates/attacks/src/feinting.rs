@@ -13,6 +13,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use std::borrow::Cow;
+
 use moat_dram::RowId;
 use moat_sim::{AttackStep, Attacker, DefenseView};
 
@@ -91,8 +93,8 @@ impl Attacker for FeintingAttacker {
         AttackStep::Stop
     }
 
-    fn name(&self) -> String {
-        format!("feinting(pool={})", self.initial_pool)
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Owned(format!("feinting(pool={})", self.initial_pool))
     }
 }
 

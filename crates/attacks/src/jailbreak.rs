@@ -17,6 +17,8 @@
 //! "heavy-weight" (within 32 activations of a threshold crossing, ~1/4
 //! each), which happens once in 2¹⁶ iterations on average.
 
+use std::borrow::Cow;
+
 use moat_dram::{Nanos, RowId};
 use moat_sim::{AttackStep, Attacker, DefenseView};
 use moat_trackers::PanopticonEngine;
@@ -147,8 +149,8 @@ impl Attacker for JailbreakAttacker {
         }
     }
 
-    fn name(&self) -> String {
-        format!("jailbreak(t={})", self.threshold)
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Owned(format!("jailbreak(t={})", self.threshold))
     }
 }
 

@@ -9,8 +9,10 @@
 //! kept for call sites that want to inspect or splice the pattern. Both
 //! forms emit identical sequences.
 
+use std::borrow::Cow;
+
 use moat_dram::{BankId, Nanos, RowId};
-use moat_sim::{Request, RequestStream, DEFAULT_CHUNK};
+use moat_sim::{Request, RequestStream, ScriptedAttacker, DEFAULT_CHUNK};
 
 /// Streaming attack kernel: a repeating (bank, row) pattern emitted
 /// gap-free for a fixed number of requests.
@@ -97,6 +99,34 @@ impl RequestStream for KernelStream {
         self.pos = pos;
         self.remaining -= n as u64;
         n
+    }
+}
+
+/// A kernel is also a script for the batched security simulator
+/// ([`SecuritySim::run_batched`](moat_sim::SecuritySim::run_batched)):
+/// the pattern's rows are handed out run-by-run. The security simulator
+/// models a single bank, so the pattern's bank ids are ignored here — a
+/// multi-bank kernel collapses onto the one bank under attack.
+impl ScriptedAttacker for KernelStream {
+    fn next_run(&mut self, buf: &mut Vec<RowId>, max: usize) -> usize {
+        let n = (max as u64).min(self.remaining) as usize;
+        let pattern = &self.pattern;
+        let mut pos = self.pos;
+        for _ in 0..n {
+            let (_bank, row) = pattern[pos];
+            pos += 1;
+            if pos == pattern.len() {
+                pos = 0;
+            }
+            buf.push(row);
+        }
+        self.pos = pos;
+        self.remaining -= n as u64;
+        n
+    }
+
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("kernel")
     }
 }
 
@@ -211,6 +241,28 @@ mod tests {
             }
             assert_eq!(got, vec_form);
         }
+    }
+
+    #[test]
+    fn kernel_scripts_run_batched_like_per_step() {
+        // A kernel driven through the batched security fast path is
+        // bit-identical to the same kernel stepped per-slot through the
+        // adaptive reference — the multi-row Fig. 13(b) shape, which
+        // exercises REF straddles, ALERT episodes, and script exhaustion.
+        use moat_dram::Nanos;
+        use moat_sim::{Scripted, SecurityConfig, SecuritySim};
+        let mk = || {
+            SecuritySim::new(
+                SecurityConfig::paper_default(),
+                MoatEngine::new(MoatConfig::paper_default()),
+            )
+        };
+        let rows = [30_000u32, 30_006, 30_012];
+        let script = || multi_row_stream(4_000, 0, &rows);
+        let expect = mk().run(&mut Scripted::new(script()), Nanos::from_millis(2));
+        let got = mk().run_batched(&mut script(), Nanos::from_millis(2));
+        assert_eq!(got, expect);
+        assert!(expect.alerts > 0, "must exercise episodes");
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!    absorbing up to ~201 further activations before the REF batch drains
 //!    it — 128 + 200 ≈ 328 total, 2.6× the queueing threshold.
 
+use std::borrow::Cow;
+
 use moat_dram::RowId;
 use moat_sim::{AttackStep, Attacker, DefenseView};
 use moat_trackers::PanopticonEngine;
@@ -118,8 +120,8 @@ impl Attacker for PostponementAttacker {
         }
     }
 
-    fn name(&self) -> String {
-        format!("postponement(t={})", self.threshold)
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Owned(format!("postponement(t={})", self.threshold))
     }
 }
 

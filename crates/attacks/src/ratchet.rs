@@ -21,6 +21,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
+use std::borrow::Cow;
+
 use moat_dram::RowId;
 use moat_sim::{AttackStep, Attacker, DefenseView};
 
@@ -193,8 +195,11 @@ impl Attacker for RatchetAttacker {
         }
     }
 
-    fn name(&self) -> String {
-        format!("ratchet(ath={}, pool={})", self.ath, self.pool_target)
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Owned(format!(
+            "ratchet(ath={}, pool={})",
+            self.ath, self.pool_target
+        ))
     }
 }
 

@@ -13,6 +13,8 @@
 //! ([`SlotBudget::disabled`](moat_sim::SlotBudget::disabled)) to isolate
 //! the reset-policy effect.
 
+use std::borrow::Cow;
+
 use moat_dram::RowId;
 use moat_sim::{AttackStep, Attacker, DefenseView};
 
@@ -100,8 +102,8 @@ impl Attacker for StraddleAttacker {
         }
     }
 
-    fn name(&self) -> String {
-        format!("straddle(ath={})", self.ath)
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Owned(format!("straddle(ath={})", self.ath))
     }
 }
 

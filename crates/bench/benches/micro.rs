@@ -12,14 +12,22 @@
 //! 4. `request_gen/*` — `WorkloadStream` generation through the batched
 //!    `next_chunk` front-end versus per-request pulls,
 //! 5. `work_queue/*` — the rayon shim's chunked lock-free queue versus
-//!    the retired per-index-mutex queue, at a pinned worker count.
+//!    the retired per-index-mutex queue, at a pinned worker count,
+//! 6. `security_step/*` — the security simulator's per-step priority
+//!    match versus the event-horizon batched path, and the flattened ABO
+//!    episode versus the stateful per-RFM state machine.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
 use moat_core::{MoatConfig, MoatEngine};
-use moat_dram::{ActCount, Bank, DramConfig, MitigationEngine, Nanos, RowId, SecurityLedger};
-use moat_sim::{hammer_attacker, PerfConfig, PerfSim, RequestStream, SecurityConfig, SecuritySim};
+use moat_dram::{
+    AboLevel, AboProtocol, ActCount, Bank, DramConfig, DramTiming, MitigationEngine, Nanos, RowId,
+    SecurityLedger,
+};
+use moat_sim::{
+    hammer_attacker, PerfConfig, PerfSim, RequestStream, Scripted, SecurityConfig, SecuritySim,
+};
 use moat_trackers::{PanopticonConfig, PanopticonEngine};
 use moat_workloads::{GeneratorConfig, WorkloadProfile, WorkloadStream};
 
@@ -246,6 +254,66 @@ fn bench_security_sim(c: &mut Criterion) {
     g.finish();
 }
 
+// Hot kernel 6: the security simulator's per-step priority match versus
+// the event-horizon batched path on the same scripted attack, plus the
+// flattened ABO episode against the stateful per-RFM state machine.
+fn bench_security_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("security_step");
+    g.sample_size(10);
+    const DURATION: Nanos = Nanos::from_millis(1);
+    // ~1 ms of hammering at 52 ns/ACT minus episode stalls.
+    g.throughput(Throughput::Elements(16_500));
+
+    g.bench_function("per_step_hammer_1ms", |b| {
+        b.iter(|| {
+            let mut sim = SecuritySim::new(
+                SecurityConfig::paper_default(),
+                MoatEngine::new(MoatConfig::paper_default()),
+            );
+            sim.run(&mut Scripted::new(hammer_attacker(30_000)), DURATION)
+        });
+    });
+    g.bench_function("batched_hammer_1ms", |b| {
+        b.iter(|| {
+            let mut sim = SecuritySim::new(
+                SecurityConfig::paper_default(),
+                MoatEngine::new(MoatConfig::paper_default()),
+            );
+            sim.run_batched(&mut hammer_attacker(30_000), DURATION)
+        });
+    });
+
+    // One complete L4 episode (assert → window → 4 RFMs) per element:
+    // the stateful per-RFM chain against the flattened arithmetic step.
+    let timing = DramTiming::ddr5_prac();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("abo_episode_stateful", |b| {
+        let mut abo = AboProtocol::new(AboLevel::L4, timing);
+        let mut now = Nanos::ZERO;
+        b.iter(|| {
+            let mut t = abo.assert_alert(black_box(now)).unwrap();
+            for _ in 0..4 {
+                t = black_box(&mut abo).start_rfm(t).unwrap();
+            }
+            abo.on_acts(4);
+            now = black_box(t) + Nanos::new(208);
+            now
+        });
+    });
+    g.bench_function("abo_episode_flattened", |b| {
+        let mut abo = AboProtocol::new(AboLevel::L4, timing);
+        let mut now = Nanos::ZERO;
+        b.iter(|| {
+            let stall = abo.assert_alert(black_box(now)).unwrap();
+            let t = black_box(&mut abo).complete_episode(stall).unwrap();
+            abo.on_acts(4);
+            now = black_box(t) + Nanos::new(208);
+            now
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_engines,
@@ -253,6 +321,7 @@ criterion_group!(
     bench_perf_sim,
     bench_request_gen,
     bench_work_queue,
-    bench_security_sim
+    bench_security_sim,
+    bench_security_step
 );
 criterion_main!(benches);

@@ -11,8 +11,10 @@
 //!   repro --json --baseline <file>
 //!                               perf smoke: additionally compare against
 //!                               a committed BENCH_perf.json and exit
-//!                               non-zero if uniform_mono_acts_per_sec
-//!                               regressed by more than 20%
+//!                               non-zero if uniform_mono_acts_per_sec,
+//!                               sweep_acts_per_sec, or
+//!                               security_batched_acts_per_sec regressed
+//!                               by more than 20%
 //!
 //! The performance sweeps fan their (profile × config) cells across all
 //! cores; `--full` selects the paper-size configuration (32 banks,
@@ -20,7 +22,8 @@
 
 use moat_bench::{bench_perf, run_experiment, Scale, ALL_EXPERIMENTS};
 
-/// Allowed fractional drop of `uniform_mono_acts_per_sec` before the
+/// Allowed fractional drop of any gated metric (`uniform_mono_acts_per_sec`,
+/// `sweep_acts_per_sec`, `security_batched_acts_per_sec`) before the
 /// `--baseline` perf smoke fails the run.
 const MAX_PERF_REGRESSION: f64 = 0.20;
 

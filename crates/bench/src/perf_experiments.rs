@@ -19,22 +19,39 @@ use moat_analysis::RatchetModel;
 use moat_attacks::{multi_row_kernel, single_row_kernel, tsa_stream};
 use moat_core::{MoatConfig, MoatEngine};
 use moat_dram::{AboLevel, DramConfig, Nanos};
-use moat_sim::{PerfConfig, PerfReport, PerfSim, Request, SlotBudget};
+use moat_sim::{
+    PerfConfig, PerfReport, PerfSim, Request, RequestStream, SlotBudget, DEFAULT_CHUNK,
+};
 use moat_workloads::{HistogramCheck, WorkloadProfile, WorkloadStream, PROFILES};
 use rayon::prelude::*;
 
 use crate::scale::Scale;
 use crate::sweep::{run_sweep, SweepCell};
 
+/// Default budget of cached requests across all materialized workload
+/// streams: 16 M requests ≈ 192 MB. The scaled configuration's 21
+/// profiles sum to ~9 M requests and fit comfortably; at paper scale the
+/// estimates blow past the budget and the lab falls back to live
+/// generation per cell.
+const STREAM_CACHE_BUDGET: u64 = 16_000_000;
+
 /// Shared context for the performance sweeps: caches the per-workload
-/// ALERT-free baseline completion times. Once the baselines are
-/// precomputed (see [`Self::precompute_baselines`]) the lab can be shared
+/// ALERT-free baseline completion times, and — within a request budget —
+/// the *materialized request streams* themselves, so every sweep cell
+/// replays a flat `Vec<Request>` instead of re-running the heap-merge
+/// generator (which otherwise dominates a cell's wall time). Once
+/// [`Self::precompute_baselines`] has run, the lab can be shared
 /// immutably across worker threads.
 #[derive(Debug)]
 pub struct PerfLab {
     scale: Scale,
     dram: DramConfig,
     baselines: HashMap<&'static str, Nanos>,
+    /// Materialized per-profile request sequences (identical to what the
+    /// live generator emits, pinned by the sweep-equality tests).
+    materialized: HashMap<&'static str, Vec<Request>>,
+    /// Remaining request budget for materialization.
+    cache_budget: u64,
 }
 
 impl PerfLab {
@@ -44,7 +61,16 @@ impl PerfLab {
             scale,
             dram: DramConfig::paper_baseline(),
             baselines: HashMap::new(),
+            materialized: HashMap::new(),
+            cache_budget: STREAM_CACHE_BUDGET,
         }
+    }
+
+    /// Overrides the stream-materialization budget (in requests). `0`
+    /// disables materialization — every run regenerates its stream, the
+    /// pre-cache behaviour the equality tests compare against.
+    pub fn set_stream_cache_budget(&mut self, requests: u64) {
+        self.cache_budget = requests;
     }
 
     fn perf_config(&self, level: AboLevel, budget: SlotBudget, alerts: bool) -> PerfConfig {
@@ -65,9 +91,7 @@ impl PerfLab {
     /// without touching the cache. Engine-independent: with ALERTs
     /// disabled only REF timing shapes the completion time.
     fn compute_baseline(&self, profile: &WorkloadProfile) -> Nanos {
-        let cfg = self.perf_config(AboLevel::L1, SlotBudget::paper_default(), false);
-        let mut sim = PerfSim::new(cfg, moat_factory(MoatConfig::paper_default()));
-        sim.run(self.stream(profile)).completion_time
+        self.baseline_of(self.stream(profile))
     }
 
     /// The ALERT-free baseline completion time for `profile` (cached; it
@@ -84,6 +108,12 @@ impl PerfLab {
     /// Fills the baseline cache for `profiles`, computing the missing
     /// entries **in parallel** (the sweep runner calls this before
     /// fanning cells out, so cells only ever read the cache).
+    ///
+    /// Profiles whose estimated stream size fits the remaining
+    /// materialization budget are generated **once** here into a flat
+    /// request vector; their baseline runs replay that vector, and so
+    /// does every subsequent sweep cell — the generation cost leaves the
+    /// per-cell hot path entirely.
     pub fn precompute_baselines(&mut self, profiles: &[&'static WorkloadProfile]) {
         let missing: Vec<&'static WorkloadProfile> = profiles
             .iter()
@@ -93,12 +123,61 @@ impl PerfLab {
         if missing.is_empty() {
             return;
         }
+        // Greedy admission in input order, against the size the generator
+        // itself budgets per bank-window (the emitted count can exceed
+        // the estimate slightly; the budget is a guide, not a cap).
+        let mut admitted: Vec<bool> = Vec::with_capacity(missing.len());
+        for p in &missing {
+            let est = WorkloadStream::acts_per_bank_per_window(p, &self.dram)
+                * u64::from(self.scale.banks)
+                * u64::from(self.scale.windows);
+            let fits = est <= self.cache_budget;
+            if fits {
+                self.cache_budget -= est;
+            }
+            admitted.push(fits);
+        }
         let shared: &PerfLab = self;
-        let computed: Vec<(&'static str, Nanos)> = missing
+        let jobs: Vec<(&'static WorkloadProfile, bool)> =
+            missing.into_iter().zip(admitted).collect();
+        #[allow(clippy::type_complexity)]
+        let computed: Vec<(&'static str, Option<Vec<Request>>, Nanos)> = jobs
             .into_par_iter()
-            .map(|p| (p.name, shared.compute_baseline(p)))
+            .map(|(p, materialize)| {
+                if materialize {
+                    let requests = shared.materialize(p);
+                    let base = shared.baseline_of(requests.iter().copied());
+                    (p.name, Some(requests), base)
+                } else {
+                    (p.name, None, shared.compute_baseline(p))
+                }
+            })
             .collect();
-        self.baselines.extend(computed);
+        for (name, requests, base) in computed {
+            if let Some(requests) = requests {
+                self.materialized.insert(name, requests);
+            }
+            self.baselines.insert(name, base);
+        }
+    }
+
+    /// Drains `profile`'s generator into a flat request vector — exactly
+    /// the sequence the live stream emits, in chunk-sized passes.
+    fn materialize(&self, profile: &WorkloadProfile) -> Vec<Request> {
+        let mut stream = self.stream(profile);
+        let mut out = Vec::new();
+        let mut chunk = Vec::with_capacity(DEFAULT_CHUNK);
+        while stream.next_chunk(&mut chunk) > 0 {
+            out.extend_from_slice(&chunk);
+        }
+        out
+    }
+
+    /// The ALERT-free baseline completion time over an arbitrary stream.
+    fn baseline_of<S: RequestStream>(&self, stream: S) -> Nanos {
+        let cfg = self.perf_config(AboLevel::L1, SlotBudget::paper_default(), false);
+        let mut sim = PerfSim::new(cfg, moat_factory(MoatConfig::paper_default()));
+        sim.run(stream).completion_time
     }
 
     /// Runs `profile` under a MOAT configuration and returns
@@ -128,7 +207,12 @@ impl PerfLab {
         };
         let cfg = self.perf_config(moat.level, budget, true);
         let mut sim = PerfSim::new(cfg, moat_factory(moat));
-        let report = sim.run(self.stream(profile));
+        // Replay the materialized stream when available — identical
+        // sequence, none of the generator's per-request heap traffic.
+        let report = match self.materialized.get(profile.name) {
+            Some(requests) => sim.run(requests.iter().copied()),
+            None => sim.run(self.stream(profile)),
+        };
         let slowdown = report.completion_time.as_u64() as f64 / base.as_u64() as f64 - 1.0;
         (slowdown.max(0.0), report)
     }
@@ -491,6 +575,36 @@ mod tests {
         let mut serial = PerfLab::new(scale);
         for p in &profiles {
             assert_eq!(serial.baseline(p), parallel.baselines[p.name], "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn materialized_sweep_matches_live_generation() {
+        // Stream materialization is a host-side cache only: cells replay
+        // the exact sequence the live generator emits, so slowdowns and
+        // reports are bit-identical with the cache on or off.
+        let scale = Scale {
+            banks: 1,
+            windows: 1,
+        };
+        let profiles: Vec<&'static WorkloadProfile> = ["x264", "gcc", "roms"]
+            .iter()
+            .map(|n| WorkloadProfile::by_name(n).unwrap())
+            .collect();
+        let mut cached = PerfLab::new(scale);
+        cached.precompute_baselines(&profiles);
+        assert_eq!(cached.materialized.len(), 3, "all profiles fit the budget");
+        let mut live = PerfLab::new(scale);
+        live.set_stream_cache_budget(0);
+        live.precompute_baselines(&profiles);
+        assert!(live.materialized.is_empty());
+        for p in &profiles {
+            assert_eq!(cached.baselines[p.name], live.baselines[p.name]);
+            let moat = MoatConfig::with_ath(64);
+            let (s_c, r_c) = cached.run_moat_shared(p, moat, SlotBudget::paper_default());
+            let (s_l, r_l) = live.run_moat_shared(p, moat, SlotBudget::paper_default());
+            assert_eq!(r_c, r_l, "{}", p.name);
+            assert_eq!(s_c.to_bits(), s_l.to_bits());
         }
     }
 

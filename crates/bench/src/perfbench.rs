@@ -7,7 +7,10 @@ use std::time::Instant;
 
 use moat_core::{MoatConfig, MoatEngine};
 use moat_dram::{AboLevel, BankId, DramConfig, MitigationEngine, Nanos, RowId};
-use moat_sim::{PerfConfig, PerfSim, Request, SlotBudget};
+use moat_sim::{
+    hammer_attacker, PerfConfig, PerfSim, Request, Scripted, SecurityConfig, SecuritySim,
+    SlotBudget,
+};
 use moat_workloads::PROFILES;
 
 use crate::scale::Scale;
@@ -41,6 +44,26 @@ impl HotPathResult {
     }
 }
 
+/// Throughput of the security simulator on a scripted attack, per-step
+/// versus the event-horizon batched path.
+#[derive(Debug, Clone, Copy)]
+pub struct SecurityPathResult {
+    /// Simulated ACTs per host second through the per-step reference
+    /// (`SecuritySim::run` over the `Scripted` adapter).
+    pub step_acts_per_sec: f64,
+    /// Simulated ACTs per host second through `SecuritySim::run_batched`.
+    pub batched_acts_per_sec: f64,
+    /// Attacker activations simulated per run.
+    pub acts: u64,
+}
+
+impl SecurityPathResult {
+    /// Batched over per-step speedup.
+    pub fn speedup(&self) -> f64 {
+        self.batched_acts_per_sec / self.step_acts_per_sec.max(1e-9)
+    }
+}
+
 /// The full benchmark report serialized into `BENCH_perf.json`.
 #[derive(Debug, Clone)]
 pub struct PerfBenchReport {
@@ -48,6 +71,9 @@ pub struct PerfBenchReport {
     pub uniform: HotPathResult,
     /// Single-bank single-row hammer (ALERT-heavy).
     pub hammer: HotPathResult,
+    /// Security simulator on the single-row hammer attack, per-step vs
+    /// event-horizon batched.
+    pub security: SecurityPathResult,
     /// Wall seconds for the (profile × ATH) sweep run serially.
     pub sweep_serial_seconds: f64,
     /// Wall seconds for the same sweep through the parallel runner.
@@ -78,6 +104,9 @@ impl PerfBenchReport {
              \"hammer_boxed_acts_per_sec\": {:.0},\n  \
              \"hammer_legacy_acts_per_sec\": {:.0},\n  \
              \"hammer_speedup_vs_legacy\": {:.3},\n  \
+             \"security_step_acts_per_sec\": {:.0},\n  \
+             \"security_batched_acts_per_sec\": {:.0},\n  \
+             \"security_batched_speedup\": {:.3},\n  \
              \"sweep_cells\": {},\n  \
              \"sweep_serial_seconds\": {:.3},\n  \
              \"sweep_parallel_seconds\": {:.3},\n  \
@@ -92,6 +121,9 @@ impl PerfBenchReport {
             self.hammer.boxed_acts_per_sec,
             self.hammer.legacy_acts_per_sec,
             self.hammer.speedup_vs_legacy(),
+            self.security.step_acts_per_sec,
+            self.security.batched_acts_per_sec,
+            self.security.speedup(),
             self.cells,
             self.sweep_serial_seconds,
             self.sweep_parallel_seconds,
@@ -102,34 +134,61 @@ impl PerfBenchReport {
     }
 
     /// Compares this run against a previously committed `BENCH_perf.json`
-    /// and reports a perf-smoke verdict: `Err` when
-    /// `uniform_mono_acts_per_sec` dropped by more than
-    /// `max_regression` (e.g. `0.20` for the CI gate's 20%), `Ok` with a
-    /// one-line summary otherwise.
+    /// and reports a perf-smoke verdict: `Err` when any gated metric
+    /// dropped by more than `max_regression` (e.g. `0.20` for the CI
+    /// gate's 20%), `Ok` with a per-metric summary otherwise.
     ///
-    /// The uniform 32-bank stream is the gated metric because it is the
-    /// steady-state hot path every experiment rides on; the other fields
-    /// are informational and machine-sensitive.
+    /// Three metrics are gated: `uniform_mono_acts_per_sec` (the
+    /// steady-state hot path every experiment rides on — required in the
+    /// baseline), plus `sweep_acts_per_sec` and
+    /// `security_batched_acts_per_sec` (the sweep harness and the batched
+    /// security path; skipped with a note when a pre-batching baseline
+    /// lacks them). The remaining fields are informational and
+    /// machine-sensitive.
     pub fn check_regression(
         &self,
         baseline_json: &str,
         max_regression: f64,
     ) -> Result<String, String> {
-        let key = "uniform_mono_acts_per_sec";
-        let Some(baseline) = json_number(baseline_json, key) else {
-            return Err(format!("baseline JSON has no numeric \"{key}\" field"));
-        };
-        let current = self.uniform.mono_acts_per_sec;
-        let ratio = current / baseline.max(1e-9);
-        let line =
-            format!("perf smoke: {key} {current:.0} vs baseline {baseline:.0} ({ratio:.2}x)");
-        if ratio < 1.0 - max_regression {
-            Err(format!(
-                "{line} — regressed more than {:.0}%",
-                max_regression * 100.0
-            ))
+        let gated: [(&str, f64, bool); 3] = [
+            (
+                "uniform_mono_acts_per_sec",
+                self.uniform.mono_acts_per_sec,
+                true,
+            ),
+            ("sweep_acts_per_sec", self.sweep_acts_per_sec, false),
+            (
+                "security_batched_acts_per_sec",
+                self.security.batched_acts_per_sec,
+                false,
+            ),
+        ];
+        let mut lines = Vec::new();
+        let mut failures = Vec::new();
+        for (key, current, required) in gated {
+            let Some(baseline) = json_number(baseline_json, key) else {
+                if required {
+                    return Err(format!("baseline JSON has no numeric \"{key}\" field"));
+                }
+                lines.push(format!("perf smoke: {key} absent from baseline — skipped"));
+                continue;
+            };
+            let ratio = current / baseline.max(1e-9);
+            let line =
+                format!("perf smoke: {key} {current:.0} vs baseline {baseline:.0} ({ratio:.2}x)");
+            if ratio < 1.0 - max_regression {
+                failures.push(format!(
+                    "{line} — regressed more than {:.0}%",
+                    max_regression * 100.0
+                ));
+            } else {
+                lines.push(line);
+            }
+        }
+        if failures.is_empty() {
+            Ok(lines.join("\n"))
         } else {
-            Ok(line)
+            Err(failures.join("\n"))
         }
     }
 
@@ -139,7 +198,8 @@ impl PerfBenchReport {
             "Simulator performance\n  \
              uniform 32-bank stream : {:>6.1} M ACTs/s mono, {:>6.1} M boxed, {:>6.1} M seed loop ({:.2}x vs seed)\n  \
              single-row hammer      : {:>6.1} M ACTs/s mono, {:>6.1} M boxed, {:>6.1} M seed loop ({:.2}x vs seed)\n  \
-             sweep ({} cells)       : serial {:.2}s, parallel {:.2}s ({:.2}x on {} threads)\n",
+             security hammer sim    : {:>6.1} M ACTs/s batched, {:>6.1} M per-step ({:.2}x)\n  \
+             sweep ({} cells)       : serial {:.2}s, parallel {:.2}s ({:.2}x on {} threads), {:.1} M ACTs/s\n",
             self.uniform.mono_acts_per_sec / 1e6,
             self.uniform.boxed_acts_per_sec / 1e6,
             self.uniform.legacy_acts_per_sec / 1e6,
@@ -148,11 +208,15 @@ impl PerfBenchReport {
             self.hammer.boxed_acts_per_sec / 1e6,
             self.hammer.legacy_acts_per_sec / 1e6,
             self.hammer.speedup_vs_legacy(),
+            self.security.batched_acts_per_sec / 1e6,
+            self.security.step_acts_per_sec / 1e6,
+            self.security.speedup(),
             self.cells,
             self.sweep_serial_seconds,
             self.sweep_parallel_seconds,
             self.sweep_speedup(),
             self.threads,
+            self.sweep_acts_per_sec / 1e6,
         )
     }
 }
@@ -623,12 +687,59 @@ where
     }
 }
 
+/// Measures the security simulator on the single-row hammer attack:
+/// the per-step reference (`run` over the `Scripted` adapter) against
+/// the event-horizon batched path (`run_batched`), asserting along the
+/// way that both produce bit-identical reports.
+fn measure_security(duration: Nanos) -> SecurityPathResult {
+    let mk = || {
+        SecuritySim::new(
+            SecurityConfig::paper_default(),
+            MoatEngine::new(MoatConfig::paper_default()),
+        )
+    };
+    let run_step = || {
+        let start = Instant::now();
+        let report = mk().run(&mut Scripted::new(hammer_attacker(30_000)), duration);
+        (report, start.elapsed().as_secs_f64())
+    };
+    let run_batched = || {
+        let start = Instant::now();
+        let report = mk().run_batched(&mut hammer_attacker(30_000), duration);
+        (report, start.elapsed().as_secs_f64())
+    };
+
+    // Warm-up + equivalence check, then best-of-3 interleaved.
+    let (step_report, _) = run_step();
+    let (batched_report, _) = run_batched();
+    assert_eq!(
+        step_report, batched_report,
+        "event-horizon batching changed the security report"
+    );
+    let acts = step_report.total_acts;
+
+    let mut step_secs = f64::INFINITY;
+    let mut batched_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let (_, s) = run_step();
+        let (_, b) = run_batched();
+        step_secs = step_secs.min(s);
+        batched_secs = batched_secs.min(b);
+    }
+    SecurityPathResult {
+        step_acts_per_sec: acts as f64 / step_secs.max(1e-9),
+        batched_acts_per_sec: acts as f64 / batched_secs.max(1e-9),
+        acts,
+    }
+}
+
 /// Runs the full benchmark at the given scale.
 pub fn bench_perf(scale: Scale) -> PerfBenchReport {
     let uniform_n: u32 = 400_000;
     let hammer_n: u32 = 200_000;
     let uniform = measure(uniform_stream(uniform_n, 32), 32, u64::from(uniform_n));
     let hammer = measure(hammer_stream(hammer_n), 1, u64::from(hammer_n));
+    let security = measure_security(Nanos::from_millis(20));
 
     // Sweep scaling: one ATH-64 cell per workload profile.
     let cells: Vec<SweepCell> = PROFILES
@@ -654,6 +765,7 @@ pub fn bench_perf(scale: Scale) -> PerfBenchReport {
     PerfBenchReport {
         uniform,
         hammer,
+        security,
         sweep_serial_seconds,
         sweep_parallel_seconds,
         sweep_acts_per_sec: stats.acts_per_sec(),
@@ -673,9 +785,8 @@ mod tests {
         assert!(r.boxed_acts_per_sec > 0.0);
     }
 
-    #[test]
-    fn json_shape_is_valid_enough() {
-        let report = PerfBenchReport {
+    fn sample_report() -> PerfBenchReport {
+        PerfBenchReport {
             uniform: HotPathResult {
                 mono_acts_per_sec: 2.0e7,
                 boxed_acts_per_sec: 1.5e7,
@@ -688,33 +799,78 @@ mod tests {
                 legacy_acts_per_sec: 1.5e7,
                 acts: 100,
             },
+            security: SecurityPathResult {
+                step_acts_per_sec: 1.1e7,
+                batched_acts_per_sec: 3.3e7,
+                acts: 100,
+            },
             sweep_serial_seconds: 2.0,
             sweep_parallel_seconds: 0.5,
-            sweep_acts_per_sec: 1e8,
+            sweep_acts_per_sec: 1.6e7,
             threads: 4,
             cells: 21,
-        };
+        }
+    }
+
+    #[test]
+    fn json_shape_is_valid_enough() {
+        let report = sample_report();
         let json = report.to_json();
         assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
         assert!(json.contains("\"uniform_speedup_vs_legacy\": 2.000"));
         assert!(json.contains("\"hammer_speedup_vs_legacy\": 2.000"));
+        assert!(json.contains("\"security_batched_speedup\": 3.000"));
         assert!(json.contains("\"sweep_speedup\": 4.000"));
-        assert_eq!(json.matches(':').count(), 14);
+        assert_eq!(json.matches(':').count(), 17);
         assert!(report.summary().contains("Simulator performance"));
+        assert!(report.summary().contains("security hammer sim"));
 
         // The perf-smoke gate reads its own serialization back.
         assert_eq!(json_number(&json, "uniform_mono_acts_per_sec"), Some(2.0e7));
+        assert_eq!(
+            json_number(&json, "security_batched_acts_per_sec"),
+            Some(3.3e7)
+        );
         assert_eq!(json_number(&json, "threads"), Some(4.0));
         assert_eq!(json_number(&json, "missing"), None);
         report
             .check_regression(&json, 0.20)
             .expect("identical run is not a regression");
-        // A baseline 2x faster than this run trips the 20% gate.
+        // A baseline 2x faster on the uniform metric trips the 20% gate.
         let fast_baseline = json.replace("20000000", "40000000");
         assert!(report.check_regression(&fast_baseline, 0.20).is_err());
         // ...but is within a 60% tolerance.
         report
             .check_regression(&fast_baseline, 0.60)
             .expect("50% drop within 60% tolerance");
+    }
+
+    #[test]
+    fn regression_gate_covers_sweep_and_security_metrics() {
+        let report = sample_report();
+        let json = report.to_json();
+        // Sweep regression: baseline sweeps 2x faster than this run.
+        let sweep_fast = json.replace(
+            "\"sweep_acts_per_sec\": 16000000",
+            "\"sweep_acts_per_sec\": 32000000",
+        );
+        let err = report.check_regression(&sweep_fast, 0.20).unwrap_err();
+        assert!(err.contains("sweep_acts_per_sec"), "{err}");
+        // Security regression: baseline batched path 2x faster.
+        let sec_fast = json.replace(
+            "\"security_batched_acts_per_sec\": 33000000",
+            "\"security_batched_acts_per_sec\": 66000000",
+        );
+        let err = report.check_regression(&sec_fast, 0.20).unwrap_err();
+        assert!(err.contains("security_batched_acts_per_sec"), "{err}");
+        // Pre-batching baselines lack the new keys: skipped with a note,
+        // the uniform gate still applies.
+        let old_baseline = "{\n  \"uniform_mono_acts_per_sec\": 20000000\n}\n";
+        let ok = report.check_regression(old_baseline, 0.20).unwrap();
+        assert!(ok.contains("skipped"), "{ok}");
+        // A baseline missing the required uniform key is an error.
+        assert!(report
+            .check_regression("{\"sweep_acts_per_sec\": 1}", 0.20)
+            .is_err());
     }
 }

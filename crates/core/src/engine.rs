@@ -80,6 +80,17 @@ pub struct MoatEngine {
     /// Trailing-row shadows for safe reset (§4.3).
     shadows: Vec<ShadowCounter>,
     alert_pending: bool,
+    /// The single untracked row with the highest known standing count —
+    /// attributed so a mitigation of exactly that row can retire the
+    /// hazard (see [`min_acts_to_alert`](MitigationEngine::min_acts_to_alert)).
+    hazard_row: Option<RowId>,
+    /// Upper bound on `hazard_row`'s current effective count.
+    hazard_count: u32,
+    /// Upper bound on the effective count of every *other* untracked row
+    /// (starts at ETH − 1: below ETH a row is never tracked, and raised
+    /// whenever an attributed hazard is demoted or a count leaves the
+    /// tracker unattributed). Never decays — conservative.
+    hazard_base: u32,
     stats: MoatStats,
 }
 
@@ -100,6 +111,9 @@ impl MoatEngine {
             cma: None,
             shadows: Vec::with_capacity(config.shadow_slots as usize),
             alert_pending: false,
+            hazard_row: None,
+            hazard_count: 0,
+            hazard_base: config.eth.saturating_sub(1),
             stats: MoatStats::default(),
         }
     }
@@ -188,8 +202,48 @@ impl MoatEngine {
             return None;
         }
         let entry = self.tracker.swap_remove(self.max_idx);
+        // The removed count now stands on an untracked row (the CMA row
+        // keeps absorbing ACTs until its mitigation completes — the very
+        // window Jailbreak exploits), so the horizon must account for it.
+        self.note_untracked(entry.row, entry.count);
         self.resync();
         Some(entry)
+    }
+
+    /// Records that `row` currently stands untracked at up to `count`
+    /// activations, keeping the event-horizon watermark sound: the
+    /// highest such count stays attributed to its row (so completing that
+    /// row's mitigation can retire it), everything else folds into the
+    /// unattributed base.
+    #[inline]
+    fn note_untracked(&mut self, row: RowId, count: u32) {
+        if count <= self.hazard_base {
+            return;
+        }
+        match self.hazard_row {
+            Some(r) if r == row => self.hazard_count = self.hazard_count.max(count),
+            _ => {
+                if count > self.hazard_count {
+                    self.hazard_base = self.hazard_base.max(self.hazard_count);
+                    self.hazard_row = Some(row);
+                    self.hazard_count = count;
+                } else {
+                    self.hazard_base = self.hazard_base.max(count);
+                }
+            }
+        }
+    }
+
+    /// Retires the attributed hazard when `row` stops being a standing
+    /// threat — it was (re-)inserted into the tracker (the CTA maximum
+    /// covers it again) or its counter was just reset by a completed
+    /// mitigation.
+    #[inline]
+    fn clear_hazard_if(&mut self, row: RowId) {
+        if self.hazard_row == Some(row) {
+            self.hazard_row = None;
+            self.hazard_count = 0;
+        }
     }
 }
 
@@ -235,21 +289,42 @@ impl MitigationEngine for MoatEngine {
                 });
                 self.stats.insertions += 1;
                 self.note_count(self.tracker.len() - 1, effective);
+                self.clear_hazard_if(row);
             } else if effective > min_count {
                 // Appendix D: replace the minimum-count entry if the
                 // accessed row has a higher count.
+                let displaced = self.tracker[min_idx];
+                self.note_untracked(displaced.row, displaced.count);
                 self.tracker[min_idx] = TrackedEntry {
                     row,
                     count: effective,
                 };
                 self.stats.insertions += 1;
                 self.note_count(min_idx, effective);
+                self.clear_hazard_if(row);
+            } else {
+                // Above ETH but not admitted: the row stands untracked at
+                // `effective` and the horizon must remember it.
+                self.note_untracked(row, effective);
             }
         }
     }
 
     fn alert_pending(&self) -> bool {
         self.alert_pending
+    }
+
+    /// MOAT's event horizon: every tracked count is bounded by the CTA
+    /// maximum, every untracked standing count by the hazard watermark,
+    /// and a count can only grow by one per ACT — so no row can exceed
+    /// ATH before `ATH + 1 − max(CTA, watermark)` further activations.
+    fn min_acts_to_alert(&self) -> u64 {
+        if self.alert_pending {
+            return 0;
+        }
+        let tracked = self.tracker.get(self.max_idx).map_or(0, |e| e.count);
+        let standing = tracked.max(self.hazard_count).max(self.hazard_base);
+        u64::from((self.config.ath + 1).saturating_sub(standing)).max(1)
     }
 
     fn select_ref_mitigation(&mut self) -> Option<RowId> {
@@ -275,6 +350,10 @@ impl MitigationEngine for MoatEngine {
         if let Some(s) = self.shadows.iter_mut().find(|s| s.row == row) {
             s.count = 0;
         }
+        // Counter and shadow are back to zero (MOAT spends a slot on the
+        // reset), so an attributed hazard on this row is retired — this is
+        // what restores a wide horizon after each ALERT episode.
+        self.clear_hazard_if(row);
         self.resync();
     }
 
@@ -530,5 +609,110 @@ mod tests {
     fn name_mentions_config() {
         let m = MoatEngine::new(MoatConfig::with_ath(128));
         assert_eq!(m.name(), "moat-L1-ath128-eth64");
+    }
+
+    #[test]
+    fn horizon_starts_at_ath_minus_eth_slack() {
+        // Fresh engine: no row can stand above ETH − 1, so the horizon is
+        // ATH + 1 − (ETH − 1) = 34 for the paper's 64/32.
+        let m = engine();
+        assert_eq!(m.min_acts_to_alert(), 34);
+    }
+
+    #[test]
+    fn horizon_shrinks_with_the_tracked_maximum() {
+        let mut m = engine();
+        m.on_precharge_update(RowId::new(5), ActCount::new(50));
+        assert_eq!(m.min_acts_to_alert(), 65 - 50);
+        m.on_precharge_update(RowId::new(5), ActCount::new(64));
+        assert_eq!(m.min_acts_to_alert(), 1, "one more ACT may alert");
+        m.on_precharge_update(RowId::new(5), ActCount::new(65));
+        assert!(m.alert_pending());
+        assert_eq!(m.min_acts_to_alert(), 0);
+    }
+
+    #[test]
+    fn horizon_recovers_after_alert_mitigation() {
+        // The hammer cadence: alert at 65, RFM mitigates the row (counter
+        // reset) — the hazard retires and the horizon re-opens.
+        let mut m = engine();
+        m.on_precharge_update(RowId::new(5), ActCount::new(65));
+        let row = m.select_alert_mitigation().unwrap();
+        assert_eq!(
+            m.min_acts_to_alert(),
+            1,
+            "between select and completion the CMA row still stands at 65, \
+             so the horizon collapses to the no-guarantee single step"
+        );
+        m.on_mitigation_complete(row);
+        assert_eq!(m.min_acts_to_alert(), 34);
+    }
+
+    #[test]
+    fn horizon_remembers_rows_the_tracker_let_go() {
+        // L1: row A tracked at 63 gets displaced by row B at 64; B is then
+        // mitigated. A still stands untracked at 63, and the horizon must
+        // not forget it — 2 ACTs on A would alert (64, then 65 > ATH).
+        let mut m = engine();
+        m.on_precharge_update(RowId::new(1), ActCount::new(63));
+        m.on_precharge_update(RowId::new(2), ActCount::new(64));
+        let row = m.select_alert_mitigation().unwrap();
+        assert_eq!(row, RowId::new(2));
+        m.on_mitigation_complete(row);
+        assert!(!m.alert_pending());
+        assert!(
+            m.min_acts_to_alert() <= 2,
+            "horizon {} must cover row 1 standing at 63",
+            m.min_acts_to_alert()
+        );
+    }
+
+    #[test]
+    fn horizon_covers_rejected_insertions() {
+        // L1 with a full tracker: a row above ETH that fails to displace
+        // the entry still stands at its count.
+        let mut m = engine();
+        m.on_precharge_update(RowId::new(1), ActCount::new(60));
+        m.on_precharge_update(RowId::new(2), ActCount::new(55)); // rejected
+        let row = m.select_ref_mitigation().unwrap();
+        assert_eq!(row, RowId::new(1));
+        m.on_mitigation_complete(row);
+        // Row 2 still stands at 55 → at most 10 ACTs to an alert.
+        assert!(
+            m.min_acts_to_alert() <= 10,
+            "horizon {} must cover the rejected row at 55",
+            m.min_acts_to_alert()
+        );
+    }
+
+    #[test]
+    fn horizon_is_sound_under_a_simulated_act_replay() {
+        // Adversarial replay: repeatedly ask for the horizon, then issue
+        // exactly that many ACTs concentrated on one row — alert_pending
+        // must never fire before the promised count is exhausted.
+        let mut m = MoatEngine::new(MoatConfig::with_ath(64).level(AboLevel::L2));
+        let mut counts = [0u32; 8];
+        let mut step = 0u32;
+        for round in 0..200 {
+            let n = m.min_acts_to_alert();
+            if n == 0 {
+                // Drain the alert like an RFM would.
+                let row = m.select_alert_mitigation().expect("alerting entry");
+                counts[row.as_usize()] = 0;
+                m.on_mitigation_complete(row);
+                continue;
+            }
+            let target = RowId::new(step % 3); // rotate hot rows
+            step += 1;
+            for k in 0..n {
+                let c = &mut counts[target.as_usize()];
+                *c += 1;
+                m.on_precharge_update(target, ActCount::new(*c));
+                assert!(
+                    k + 1 >= n || !m.alert_pending(),
+                    "round {round}: alert after {k} acts, horizon promised {n}"
+                );
+            }
+        }
     }
 }

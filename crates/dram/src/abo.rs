@@ -63,6 +63,56 @@ impl fmt::Display for AboLevel {
     }
 }
 
+/// The pre-resolved arithmetic of one complete ALERT episode: assert →
+/// 180 ns activity window → stall → `L` back-to-back RFMs.
+///
+/// Both simulators resolve episode boundaries against this schedule
+/// instead of stepping the [`AboProtocol`] through `L` individual
+/// [`start_rfm`](AboProtocol::start_rfm) round-trips: once the activity
+/// window has closed, the whole RFM phase is a single addition (see
+/// [`AboProtocol::complete_episode`]), bit-identical to the stepped form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpisodeSchedule {
+    /// Normal-operation window after assertion (180 ns).
+    act_window: Nanos,
+    /// RFMs issued per episode (the level `L`).
+    rfms: u8,
+    /// Total stall time of the RFM phase: `L` × tRFM.
+    rfm_total: Nanos,
+}
+
+impl EpisodeSchedule {
+    /// Pre-resolves the episode arithmetic for `level` under `timing`.
+    pub const fn new(level: AboLevel, timing: DramTiming) -> Self {
+        EpisodeSchedule {
+            act_window: timing.t_abo_act_window,
+            rfms: level.as_u8(),
+            rfm_total: Nanos::new(timing.t_rfm.as_u64() * level.as_u8() as u64),
+        }
+    }
+
+    /// The stall point of an episode asserted at `assert_at`.
+    pub fn stall_at(&self, assert_at: Nanos) -> Nanos {
+        assert_at + self.act_window
+    }
+
+    /// Completion time of the RFM phase when the stall begins at
+    /// `stall_start`.
+    pub fn done_at(&self, stall_start: Nanos) -> Nanos {
+        stall_start + self.rfm_total
+    }
+
+    /// RFMs issued per episode.
+    pub const fn rfms(&self) -> u8 {
+        self.rfms
+    }
+
+    /// Total episode duration (tALERT): activity window plus RFM phase.
+    pub fn t_alert(&self) -> Nanos {
+        self.act_window + self.rfm_total
+    }
+}
+
 /// Where the protocol currently is within an ALERT episode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AboPhase {
@@ -106,6 +156,8 @@ pub enum AboPhase {
 pub struct AboProtocol {
     level: AboLevel,
     timing: DramTiming,
+    /// Pre-resolved episode arithmetic for this level.
+    schedule: EpisodeSchedule,
     phase: AboPhase,
     /// Activations since the last ALERT episode completed.
     acts_since_episode: u64,
@@ -122,6 +174,7 @@ impl AboProtocol {
         AboProtocol {
             level,
             timing,
+            schedule: EpisodeSchedule::new(level, timing),
             phase: AboPhase::Idle,
             acts_since_episode: 0,
             had_episode: false,
@@ -150,10 +203,29 @@ impl AboProtocol {
         self.rfms
     }
 
+    /// The pre-resolved episode schedule for this level.
+    pub fn schedule(&self) -> EpisodeSchedule {
+        self.schedule
+    }
+
+    /// Activations recorded since the last ALERT episode completed.
+    pub fn acts_since_episode(&self) -> u64 {
+        self.acts_since_episode
+    }
+
     /// Records a normal activation on the sub-channel (used to satisfy the
-    /// minimum inter-ALERT activation rule).
+    /// minimum inter-ALERT activation rule). Saturating: a counter pinned
+    /// at `u64::MAX` keeps satisfying the spacing rule instead of wrapping
+    /// to zero and spuriously blocking ALERTs.
     pub fn on_act(&mut self) {
-        self.acts_since_episode += 1;
+        self.acts_since_episode = self.acts_since_episode.saturating_add(1);
+    }
+
+    /// Records `n` activations at once — the batched form of
+    /// [`on_act`](Self::on_act) used when a whole event-free run of ACTs
+    /// is issued in one step. Saturating like `on_act`.
+    pub fn on_acts(&mut self, n: u64) {
+        self.acts_since_episode = self.acts_since_episode.saturating_add(n);
     }
 
     /// Whether an ALERT may be asserted now: the protocol must be idle and,
@@ -177,8 +249,34 @@ impl AboProtocol {
         }
         let stall_at = now + self.timing.t_abo_act_window;
         self.phase = AboPhase::ActWindow { stall_at };
-        self.alerts += 1;
+        self.alerts = self.alerts.saturating_add(1);
         Ok(stall_at)
+    }
+
+    /// Executes the entire RFM phase of the current episode as one
+    /// arithmetic step: `L` back-to-back RFMs starting at `now`, per the
+    /// pre-resolved [`EpisodeSchedule`]. Returns the completion time,
+    /// `now + L·tRFM` — exactly what chaining `L`
+    /// [`start_rfm`](Self::start_rfm) calls from `now` would return, with
+    /// identical end state (idle, spacing counter reset, totals bumped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::AlertNotPermitted`] unless the protocol is in
+    /// the activity window of an episode and the window has elapsed
+    /// (`now ≥ stall_at`). A partially drained RFM phase must be finished
+    /// with `start_rfm`.
+    pub fn complete_episode(&mut self, now: Nanos) -> Result<Nanos, DramError> {
+        match self.phase {
+            AboPhase::ActWindow { stall_at } if now >= stall_at => {
+                self.rfms = self.rfms.saturating_add(u64::from(self.schedule.rfms()));
+                self.phase = AboPhase::Idle;
+                self.had_episode = true;
+                self.acts_since_episode = 0;
+                Ok(self.schedule.done_at(now))
+            }
+            _ => Err(DramError::AlertNotPermitted),
+        }
     }
 
     /// Issues the next RFM at `now`. Returns its completion time. When the
@@ -210,7 +308,7 @@ impl AboProtocol {
             AboPhase::Idle => return Err(DramError::AlertNotPermitted),
         };
         let busy_until = now + self.timing.t_rfm;
-        self.rfms += 1;
+        self.rfms = self.rfms.saturating_add(1);
         let remaining = remaining - 1;
         if remaining == 0 {
             // Episode completes when this RFM finishes; record it now so the
@@ -321,5 +419,102 @@ mod tests {
     fn rfm_without_alert_rejected() {
         let mut a = abo(AboLevel::L1);
         assert!(a.start_rfm(Nanos::ZERO).is_err());
+    }
+
+    #[test]
+    fn complete_episode_matches_stepped_rfms() {
+        // The flattened episode is bit-identical to chaining L start_rfm
+        // calls: same completion time, same end state, same totals.
+        for level in AboLevel::ALL {
+            let mut stepped = abo(level);
+            let mut flat = abo(level);
+            for episode in 0..3u64 {
+                let at = Nanos::new(10_000 * (episode + 1));
+                let stall_s = stepped.assert_alert(at).unwrap();
+                let stall_f = flat.assert_alert(at).unwrap();
+                assert_eq!(stall_s, stall_f);
+                let mut t = stall_s;
+                for _ in 0..level.as_u8() {
+                    t = stepped.start_rfm(t).unwrap();
+                }
+                let done = flat.complete_episode(stall_f).unwrap();
+                assert_eq!(done, t, "level {level}, episode {episode}");
+                assert_eq!(flat.phase(), stepped.phase());
+                assert_eq!(flat.rfms(), stepped.rfms());
+                assert_eq!(flat.acts_since_episode(), stepped.acts_since_episode());
+                for _ in 0..level.as_u8() {
+                    stepped.on_act();
+                    flat.on_act();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complete_episode_requires_closed_window() {
+        let mut a = abo(AboLevel::L4);
+        assert!(a.complete_episode(Nanos::ZERO).is_err(), "idle");
+        let stall = a.assert_alert(Nanos::ZERO).unwrap();
+        assert!(
+            a.complete_episode(stall - Nanos::new(1)).is_err(),
+            "window still open"
+        );
+        // A partially drained RFM phase must be finished per-step.
+        let t = a.start_rfm(stall).unwrap();
+        assert!(a.complete_episode(t).is_err(), "mid-RFM");
+    }
+
+    #[test]
+    fn schedule_matches_timing_table() {
+        let t = DramTiming::ddr5_prac();
+        for level in AboLevel::ALL {
+            let s = EpisodeSchedule::new(level, t);
+            assert_eq!(s.rfms(), level.as_u8());
+            assert_eq!(s.t_alert(), t.t_alert(level.as_u8()));
+            assert_eq!(s.stall_at(Nanos::new(100)), Nanos::new(280));
+            assert_eq!(
+                s.done_at(Nanos::new(280)),
+                Nanos::new(280 + 350 * u64::from(level.as_u8()))
+            );
+            assert_eq!(abo(level).schedule(), s);
+        }
+    }
+
+    #[test]
+    fn act_counter_saturates_instead_of_wrapping() {
+        // Regression: a multi-hour virtual-time run keeps calling on_act /
+        // on_acts; the spacing counter must pin at u64::MAX rather than
+        // wrap to zero (which would spuriously forbid the next ALERT).
+        let mut a = abo(AboLevel::L4);
+        let stall = a.assert_alert(Nanos::ZERO).unwrap();
+        a.complete_episode(stall).unwrap();
+        a.on_acts(u64::MAX);
+        assert!(a.can_assert());
+        a.on_act(); // would wrap to 0 without saturation
+        a.on_acts(u64::MAX);
+        assert!(a.can_assert(), "saturated counter keeps satisfying spacing");
+        assert_eq!(a.acts_since_episode(), u64::MAX);
+    }
+
+    #[test]
+    fn episode_totals_accumulate_across_many_episodes() {
+        // The alerts/rfms totals ride saturating adds; drive enough
+        // episodes through both the stepped and flattened paths to pin
+        // the accounting (one alert, L RFMs each).
+        let mut a = abo(AboLevel::L2);
+        let mut now = Nanos::ZERO;
+        for i in 0..10_000u64 {
+            let stall = a.assert_alert(now).unwrap();
+            now = if i % 2 == 0 {
+                a.complete_episode(stall).unwrap()
+            } else {
+                let t = a.start_rfm(stall).unwrap();
+                a.start_rfm(t).unwrap()
+            };
+            a.on_acts(2);
+            now += Nanos::new(104);
+        }
+        assert_eq!(a.alerts(), 10_000);
+        assert_eq!(a.rfms(), 20_000);
     }
 }

@@ -45,7 +45,7 @@ mod refresh;
 mod timing;
 mod types;
 
-pub use abo::{AboLevel, AboPhase, AboProtocol};
+pub use abo::{AboLevel, AboPhase, AboProtocol, EpisodeSchedule};
 pub use bank::Bank;
 pub use config::{DramConfig, DramConfigBuilder, RefreshOrder};
 pub use error::DramError;

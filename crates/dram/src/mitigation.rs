@@ -67,6 +67,32 @@ pub trait MitigationEngine: fmt::Debug {
     /// permits.
     fn alert_pending(&self) -> bool;
 
+    /// A sound lower bound on how many further activations this bank can
+    /// absorb before [`alert_pending`](Self::alert_pending) could become
+    /// true — the *event-horizon* hint the batched security simulator
+    /// sizes attacker runs with.
+    ///
+    /// # The horizon invariant
+    ///
+    /// A return value of `n` guarantees that `alert_pending` stays false
+    /// until at least `n` further activations have completed: for every
+    /// `k < n`, after `k` more ACTs (on any rows) the flag is still
+    /// false. The bound must be **sound** (never overestimate) but may be
+    /// arbitrarily conservative; `0` means "no guarantee" (in particular
+    /// when an ALERT is already pending), and the batched simulator then
+    /// falls back to stepping one ACT at a time. Since the flag can only
+    /// flip inside [`on_precharge_update`](Self::on_precharge_update),
+    /// returning `1` while the flag is false is always sound — the
+    /// default. Engines that never alert may return `u64::MAX`.
+    ///
+    /// The guarantee assumes counters mutate only through this trait's
+    /// hooks and the substrate's refresh/mitigation resets; out-of-band
+    /// writes (e.g. [`Bank::set_counter`](crate::Bank::set_counter) after
+    /// simulation start) void it.
+    fn min_acts_to_alert(&self) -> u64 {
+        u64::from(!self.alert_pending())
+    }
+
     /// Selects the next aggressor row for proactive (REF-time) mitigation,
     /// or `None` if nothing currently warrants mitigation.
     fn select_ref_mitigation(&mut self) -> Option<RowId>;
@@ -167,6 +193,10 @@ impl<E: MitigationEngine> MitigationEngine for Box<E> {
         (**self).alert_pending()
     }
 
+    fn min_acts_to_alert(&self) -> u64 {
+        (**self).min_acts_to_alert()
+    }
+
     fn select_ref_mitigation(&mut self) -> Option<RowId> {
         (**self).select_ref_mitigation()
     }
@@ -235,6 +265,10 @@ impl<'e> MitigationEngine for Box<dyn MitigationEngine + 'e> {
 
     fn alert_pending(&self) -> bool {
         (**self).alert_pending()
+    }
+
+    fn min_acts_to_alert(&self) -> u64 {
+        (**self).min_acts_to_alert()
     }
 
     fn select_ref_mitigation(&mut self) -> Option<RowId> {
@@ -315,6 +349,10 @@ impl MitigationEngine for NullEngine {
         false
     }
 
+    fn min_acts_to_alert(&self) -> u64 {
+        u64::MAX // never alerts: the horizon is unbounded
+    }
+
     fn select_ref_mitigation(&mut self) -> Option<RowId> {
         None
     }
@@ -352,6 +390,7 @@ mod tests {
             e.on_precharge_update(RowId::new(i % 4), ActCount::new(i));
         }
         assert!(!e.alert_pending());
+        assert_eq!(e.min_acts_to_alert(), u64::MAX);
         assert_eq!(e.select_ref_mitigation(), None);
         assert_eq!(e.select_alert_mitigation(), None);
         assert_eq!(e.sram_bytes_per_bank(), 0);
@@ -365,6 +404,49 @@ mod tests {
         assert_eq!(e.ops_per_mitigation(), 5);
         assert!(!e.resets_counters_on_refresh());
         assert_eq!(e.ref_mitigation_mode(), RefMitigationMode::Gradual);
+    }
+
+    #[test]
+    fn default_horizon_hint_is_one_act() {
+        // A bare impl inherits the always-sound default: one ACT of
+        // horizon while idle, none once an ALERT is pending.
+        #[derive(Debug)]
+        struct Flag(bool);
+        impl MitigationEngine for Flag {
+            fn name(&self) -> &str {
+                "flag"
+            }
+            fn on_precharge_update(&mut self, _row: RowId, _counter: ActCount) {}
+            fn alert_pending(&self) -> bool {
+                self.0
+            }
+            fn select_ref_mitigation(&mut self) -> Option<RowId> {
+                None
+            }
+            fn select_alert_mitigation(&mut self) -> Option<RowId> {
+                None
+            }
+            fn on_mitigation_complete(&mut self, _row: RowId) {}
+            fn on_refresh_group(
+                &mut self,
+                _rows: Range<u32>,
+                _counter_of: &mut dyn FnMut(RowId) -> ActCount,
+            ) {
+            }
+            fn sram_bytes_per_bank(&self) -> usize {
+                0
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        assert_eq!(Flag(false).min_acts_to_alert(), 1);
+        assert_eq!(Flag(true).min_acts_to_alert(), 0);
+        // The hint forwards through both boxed impls.
+        let boxed: Box<dyn MitigationEngine> = Box::new(NullEngine::new());
+        assert_eq!(boxed.min_acts_to_alert(), u64::MAX);
+        let sized = Box::new(NullEngine::new());
+        assert_eq!(MitigationEngine::min_acts_to_alert(&sized), u64::MAX);
     }
 
     #[test]

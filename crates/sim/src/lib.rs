@@ -41,7 +41,7 @@ pub use faw::FawTracker;
 pub use frontend::{hammer_address, AddressAccess, AddressStream};
 pub use perf::{PerfConfig, PerfReport, PerfSim, Request, RequestStream, DEFAULT_CHUNK};
 pub use security::{
-    hammer_attacker, round_robin_attacker, AttackStep, Attacker, DefenseView, SecurityConfig,
-    SecurityReport, SecuritySim,
+    hammer_attacker, round_robin_attacker, AttackStep, Attacker, DefenseView, HammerAttacker,
+    RoundRobinAttacker, Scripted, ScriptedAttacker, SecurityConfig, SecurityReport, SecuritySim,
 };
 pub use unit::{BankUnit, BankUnitStats, BankUnitView};

@@ -16,7 +16,7 @@ use moat_dram::{
 };
 
 use crate::budget::SlotBudget;
-use crate::unit::BankUnit;
+use crate::unit::{BankUnit, PREFETCH_DISTANCE};
 
 /// One activation request: issue `gap` after the previous request's
 /// intended issue point, to `bank`/`row`.
@@ -37,12 +37,6 @@ pub struct Request {
 /// loop a deep prefetch window, small enough that a chunk of `Request`s
 /// (12 bytes each) stays within L1.
 pub const DEFAULT_CHUNK: usize = 1024;
-
-/// How many requests ahead of the issue point the batched loop starts
-/// loading counter/ledger state. At ~4 cache lines per request this keeps
-/// well under the outstanding-miss budget of current cores while covering
-/// several hundred nanoseconds of issue work.
-const PREFETCH_DISTANCE: usize = 12;
 
 /// A source of requests (workload generators implement this).
 pub trait RequestStream {
@@ -452,9 +446,12 @@ impl<E: MitigationEngine> PerfSim<E> {
     }
 
     fn do_rfms(&mut self, stall_at: Nanos) {
-        let mut t = stall_at.max(self.stall_until);
+        // The whole RFM phase is one arithmetic step against the
+        // pre-resolved episode schedule instead of per-RFM protocol
+        // round-trips; completion time and state are identical.
+        let start = stall_at.max(self.stall_until);
+        let t = self.abo.complete_episode(start).expect("rfm sequencing");
         for _ in 0..self.config.abo_level.as_u8() {
-            t = self.abo.start_rfm(t).expect("rfm sequencing");
             // Each RFM mitigates one row from every bank (§7.2).
             for u in &mut self.units {
                 track_alert(u, &mut self.pending_alerts, BankUnit::rfm_mitigate);

@@ -7,11 +7,31 @@
 //! [`SecurityLedger`](moat_dram::SecurityLedger) outside the reach of the
 //! defense. The attacker sees the complete defense state each step (threat
 //! model §2.1) and decides the next activation.
+//!
+//! Two execution modes share the same state machine:
+//!
+//! * [`SecuritySim::run`] steps an adaptive [`Attacker`] one ACT slot at a
+//!   time — the bit-identical reference every experiment can fall back to.
+//! * [`SecuritySim::run_batched`] drives a non-adaptive
+//!   [`ScriptedAttacker`] between *event horizons*: between two
+//!   state-changing events (next REF deadline, ABO activity-window close,
+//!   earliest possible ALERT per
+//!   [`MitigationEngine::min_acts_to_alert`]) the defense is inert, so a
+//!   whole run of scripted ACTs issues as one batched pass through the
+//!   bank unit instead of re-entering the four-way priority match per
+//!   slot.
+
+use std::borrow::Cow;
 
 use moat_dram::{AboLevel, AboPhase, AboProtocol, DramConfig, MitigationEngine, Nanos, RowId};
 
 use crate::budget::SlotBudget;
 use crate::unit::{BankUnit, BankUnitView};
+
+/// Upper bound on the rows fetched per scripted run. The REF cadence caps
+/// useful runs near tREFI/tRC (~75 ACTs) anyway; this only bounds the
+/// reusable buffer.
+const MAX_RUN: usize = 1024;
 
 /// What the attacker does with its next ACT slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,9 +77,77 @@ pub trait Attacker {
     /// Chooses the next step given full visibility of the defense.
     fn step(&mut self, view: &DefenseView<'_>) -> AttackStep;
 
+    /// A short name for reports. Returned as a [`Cow`] so implementations
+    /// with a fixed or construction-time-cached name hand out a borrow —
+    /// report formatting no longer allocates a `String` per cell.
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("attacker")
+    }
+}
+
+/// A non-adaptive single-bank attacker: a script of activations that does
+/// not depend on the defense state.
+///
+/// Scripted attackers are what [`SecuritySim::run_batched`] drives: the
+/// simulator asks for a run of upcoming rows sized to the current event
+/// horizon and issues the whole run through the bank unit in one batched
+/// pass. Wrapping the same script in [`Scripted`] yields the equivalent
+/// adaptive [`Attacker`] (one [`AttackStep::Act`] per step,
+/// [`AttackStep::Stop`] at exhaustion), which is how the per-step
+/// reference path executes it — both produce bit-identical
+/// [`SecurityReport`]s.
+pub trait ScriptedAttacker {
+    /// Appends up to `max` upcoming activations to `buf` (the caller
+    /// clears it) and returns how many were appended. `0` means the
+    /// script is exhausted and the attack stops. Rows handed out are
+    /// consumed: a row the simulator has to drop at an ALERT stall point
+    /// is *not* replayed, matching the per-step semantics where a step's
+    /// decision is spent whether or not its ACT lands.
+    fn next_run(&mut self, buf: &mut Vec<RowId>, max: usize) -> usize;
+
     /// A short name for reports.
-    fn name(&self) -> String {
-        "attacker".to_string()
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("scripted")
+    }
+}
+
+/// Adapter running a [`ScriptedAttacker`] as an adaptive [`Attacker`]:
+/// one scripted row per step, [`AttackStep::Stop`] at exhaustion. This is
+/// the per-step reference form of a script — the equivalence oracle the
+/// batched path is regression-tested against.
+#[derive(Debug)]
+pub struct Scripted<A> {
+    inner: A,
+    buf: Vec<RowId>,
+}
+
+impl<A: ScriptedAttacker> Scripted<A> {
+    /// Wraps a script.
+    pub fn new(inner: A) -> Self {
+        Scripted {
+            inner,
+            buf: Vec::with_capacity(1),
+        }
+    }
+
+    /// Returns the wrapped script.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A: ScriptedAttacker> Attacker for Scripted<A> {
+    fn step(&mut self, _view: &DefenseView<'_>) -> AttackStep {
+        self.buf.clear();
+        if self.inner.next_run(&mut self.buf, 1) == 0 {
+            AttackStep::Stop
+        } else {
+            AttackStep::Act(self.buf[0])
+        }
+    }
+
+    fn name(&self) -> Cow<'_, str> {
+        self.inner.name()
     }
 }
 
@@ -273,6 +361,143 @@ impl<E: MitigationEngine> SecuritySim<E> {
         self.report()
     }
 
+    /// Runs a non-adaptive `attacker` for `duration` of virtual time (or
+    /// until its script ends) — the event-horizon batched fast path.
+    ///
+    /// Between two state-changing events the defense is inert, so instead
+    /// of re-entering the per-slot priority match of [`run`](Self::run),
+    /// the simulator computes how many ACTs are provably event-free — the
+    /// minimum over the next REF deadline, the remaining duration, and
+    /// the engine's [`MitigationEngine::min_acts_to_alert`] horizon — and
+    /// issues that whole run through the bank unit in one batched,
+    /// prefetching pass. ALERT episodes resolve against the pre-resolved
+    /// [`EpisodeSchedule`](moat_dram::EpisodeSchedule) (assert → stall →
+    /// `L` RFMs as one arithmetic step) instead of per-RFM protocol
+    /// round-trips. The in-window ACTs of an episode and any
+    /// spacing-stalled ALERT run per-step.
+    ///
+    /// Purely a host-side optimization: the report is bit-identical to
+    /// `run` over [`Scripted::new`] of the same script (pinned by the
+    /// `batched_matches_per_step` proptest). Like `run`, it can be called
+    /// repeatedly and time continues.
+    pub fn run_batched<A: ScriptedAttacker + ?Sized>(
+        &mut self,
+        attacker: &mut A,
+        duration: Nanos,
+    ) -> SecurityReport {
+        let end = self.now + duration;
+        let t_rc = self.config.dram.timing.t_rc;
+        let t_rfc = self.config.dram.timing.t_rfc;
+        let mut run: Vec<RowId> = Vec::with_capacity(MAX_RUN);
+
+        while self.now < end {
+            // 1. ABO RFM phase has priority once the activity window
+            //    closes — flattened into one arithmetic step.
+            match self.abo.phase() {
+                AboPhase::ActWindow { stall_at } if self.now >= stall_at => {
+                    let done = self
+                        .abo
+                        .complete_episode(self.now)
+                        .expect("episode after window");
+                    for _ in 0..self.abo.level().as_u8() {
+                        self.unit.rfm_mitigate();
+                    }
+                    self.now = done;
+                    continue;
+                }
+                AboPhase::Rfm { busy_until, .. } => {
+                    // Only reachable when a per-step `run` left off inside
+                    // an episode; drain it per-step.
+                    let t = self.now.max(busy_until);
+                    let done = self.abo.start_rfm(t).expect("chained rfm");
+                    self.unit.rfm_mitigate();
+                    self.now = done;
+                    continue;
+                }
+                _ => {}
+            }
+
+            // 2. REF when due and the sub-channel is not in an ALERT.
+            if matches!(self.abo.phase(), AboPhase::Idle) && self.unit.refresh().is_due(self.now) {
+                self.unit.perform_ref(self.now);
+                self.now += t_rfc;
+                continue;
+            }
+
+            // 3. Assert ALERT as soon as requested and permitted.
+            if self.config.alerts_enabled && self.unit.alert_pending() && self.abo.can_assert() {
+                self.abo.assert_alert(self.now).expect("can_assert checked");
+            }
+
+            // 4. Issue the next event-free run (or a single guarded step).
+            let horizon = self.act_horizon(end, t_rc);
+            run.clear();
+            if horizon > 1 {
+                let n = attacker.next_run(&mut run, horizon);
+                if n == 0 {
+                    break;
+                }
+                self.unit.activate_run(&run[..n], self.now, t_rc);
+                self.abo.on_acts(n as u64);
+                self.now += t_rc * (n as u64);
+            } else {
+                // Per-step fallback: inside an ALERT window, under a
+                // spacing-stalled ALERT, or with no engine guarantee.
+                if attacker.next_run(&mut run, 1) == 0 {
+                    break;
+                }
+                let row = run[0];
+                // Inside an ALERT activity window, an ACT must finish
+                // before the stall point; the slot (and its row) is
+                // otherwise dropped, as in the per-step reference.
+                if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
+                    if self.now + t_rc > stall_at {
+                        self.now = stall_at;
+                        continue;
+                    }
+                }
+                let t = self.now.max(self.unit.bank().next_ready());
+                self.unit
+                    .activate(row, t)
+                    .expect("scripted row within the bank");
+                self.abo.on_act();
+                self.now = t + t_rc;
+            }
+        }
+
+        self.report()
+    }
+
+    /// How many ACTs are provably free of state-changing events from
+    /// `self.now`: the defense is inert until the next REF deadline, the
+    /// end of the run, and the engine's earliest possible ALERT request.
+    /// `1` (or `0`) means "no batching guarantee — step one slot".
+    fn act_horizon(&self, end: Nanos, t_rc: Nanos) -> usize {
+        if !matches!(self.abo.phase(), AboPhase::Idle) {
+            return 1;
+        }
+        // A pending ALERT that is merely spacing-stalled can assert after
+        // any step; resolve it per-step.
+        if self.config.alerts_enabled && self.unit.alert_pending() {
+            return 1;
+        }
+        let now = self.now;
+        if self.unit.bank().next_ready() > now {
+            return 1;
+        }
+        let ceil_div = |d: Nanos| d.as_u64().div_ceil(t_rc.as_u64());
+        // Acts land at now + i·tRC; each bound counts the slots strictly
+        // before its deadline (the per-step loop re-checks at ≥).
+        let n_ref = ceil_div(self.unit.refresh().next_due().saturating_sub(now));
+        let n_end = ceil_div(end.saturating_sub(now));
+        let n_alert = if self.config.alerts_enabled {
+            self.unit.min_acts_to_alert()
+        } else {
+            u64::MAX
+        };
+        n_ref.min(n_end).min(n_alert).min(MAX_RUN as u64) as usize
+    }
+
     /// The report for everything simulated so far.
     pub fn report(&self) -> SecurityReport {
         let stats = self.unit.stats();
@@ -292,39 +517,100 @@ impl<E: MitigationEngine> SecuritySim<E> {
 }
 
 /// A trivial attacker that hammers a single row forever — the
-/// single-row kernel of Fig. 13(a).
-pub fn hammer_attacker(row: u32) -> impl Attacker {
-    struct Hammer(RowId);
-    impl Attacker for Hammer {
-        fn step(&mut self, _view: &DefenseView<'_>) -> AttackStep {
-            AttackStep::Act(self.0)
-        }
-        fn name(&self) -> String {
-            format!("hammer({})", self.0)
-        }
+/// single-row kernel of Fig. 13(a). Implements both [`Attacker`] (one
+/// ACT per step) and [`ScriptedAttacker`] (whole event-horizon runs).
+#[derive(Debug, Clone)]
+pub struct HammerAttacker {
+    row: RowId,
+    /// Cached display name (formatted once — `name()` is allocation-free).
+    name: String,
+}
+
+impl Attacker for HammerAttacker {
+    fn step(&mut self, _view: &DefenseView<'_>) -> AttackStep {
+        AttackStep::Act(self.row)
     }
-    Hammer(RowId::new(row))
+
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
+    }
+}
+
+impl ScriptedAttacker for HammerAttacker {
+    fn next_run(&mut self, buf: &mut Vec<RowId>, max: usize) -> usize {
+        buf.extend(std::iter::repeat_n(self.row, max));
+        max
+    }
+
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
+    }
+}
+
+/// Builds a [`HammerAttacker`] on `row`.
+pub fn hammer_attacker(row: u32) -> HammerAttacker {
+    HammerAttacker {
+        row: RowId::new(row),
+        name: format!("hammer({row})"),
+    }
 }
 
 /// An attacker that cycles through a fixed set of rows — the multi-row
-/// kernel of Fig. 13(b).
-pub fn round_robin_attacker(rows: Vec<u32>) -> impl Attacker {
-    struct RoundRobin {
-        rows: Vec<RowId>,
-        next: usize,
+/// kernel of Fig. 13(b). Implements both [`Attacker`] and
+/// [`ScriptedAttacker`].
+#[derive(Debug, Clone)]
+pub struct RoundRobinAttacker {
+    rows: Vec<RowId>,
+    next: usize,
+    /// Cached display name (formatted once — `name()` is allocation-free).
+    name: String,
+}
+
+impl RoundRobinAttacker {
+    /// Advances the cursor with a branchless wrap (a compare/select
+    /// instead of the integer division a `%` would cost per step).
+    #[inline]
+    fn advance(&mut self) -> RowId {
+        let row = self.rows[self.next];
+        let next = self.next + 1;
+        self.next = if next == self.rows.len() { 0 } else { next };
+        row
     }
-    impl Attacker for RoundRobin {
-        fn step(&mut self, _view: &DefenseView<'_>) -> AttackStep {
-            let row = self.rows[self.next];
-            self.next = (self.next + 1) % self.rows.len();
-            AttackStep::Act(row)
-        }
-        fn name(&self) -> String {
-            format!("round-robin({} rows)", self.rows.len())
-        }
+}
+
+impl Attacker for RoundRobinAttacker {
+    fn step(&mut self, _view: &DefenseView<'_>) -> AttackStep {
+        AttackStep::Act(self.advance())
     }
+
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
+    }
+}
+
+impl ScriptedAttacker for RoundRobinAttacker {
+    fn next_run(&mut self, buf: &mut Vec<RowId>, max: usize) -> usize {
+        for _ in 0..max {
+            let row = self.advance();
+            buf.push(row);
+        }
+        max
+    }
+
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed(&self.name)
+    }
+}
+
+/// Builds a [`RoundRobinAttacker`] over `rows`.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty.
+pub fn round_robin_attacker(rows: Vec<u32>) -> RoundRobinAttacker {
     assert!(!rows.is_empty(), "need at least one row");
-    RoundRobin {
+    RoundRobinAttacker {
+        name: format!("round-robin({} rows)", rows.len()),
         rows: rows.into_iter().map(RowId::new).collect(),
         next: 0,
     }
@@ -439,5 +725,138 @@ mod tests {
             "pressure {}",
             report.max_pressure
         );
+    }
+
+    #[test]
+    fn batched_hammer_matches_per_step() {
+        // The event-horizon batched path is a host-side optimization
+        // only: bit-identical reports to the per-step reference.
+        for millis in [1u64, 4] {
+            let mut per_step = moat_sim();
+            let expect = per_step.run(
+                &mut Scripted::new(hammer_attacker(10_000)),
+                Nanos::from_millis(millis),
+            );
+            let mut batched = moat_sim();
+            let got = batched.run_batched(&mut hammer_attacker(10_000), Nanos::from_millis(millis));
+            assert_eq!(got, expect, "{millis} ms");
+            assert!(got.alerts > 0, "the comparison must exercise episodes");
+        }
+    }
+
+    #[test]
+    fn batched_round_robin_matches_per_step() {
+        let rows = vec![20_000, 20_006, 20_012, 20_018, 20_024];
+        let mut per_step = moat_sim();
+        let expect = per_step.run(
+            &mut Scripted::new(round_robin_attacker(rows.clone())),
+            Nanos::from_millis(2),
+        );
+        let mut batched = moat_sim();
+        let got = batched.run_batched(&mut round_robin_attacker(rows), Nanos::from_millis(2));
+        assert_eq!(got, expect);
+        assert!(expect.refs > 0 && expect.alerts > 0);
+    }
+
+    #[test]
+    fn batched_run_continues_across_calls() {
+        // Time continues across calls exactly like the per-step mode:
+        // splitting at the same instants, a batched pair of runs matches
+        // a per-step pair, and the two modes can trade off mid-attack.
+        let mut batched = moat_sim();
+        batched.run_batched(&mut hammer_attacker(77), Nanos::from_millis(1));
+        let batched_report = batched.run_batched(&mut hammer_attacker(77), Nanos::from_millis(1));
+        let mut per_step = moat_sim();
+        per_step.run(
+            &mut Scripted::new(hammer_attacker(77)),
+            Nanos::from_millis(1),
+        );
+        let per_step_report = per_step.run(
+            &mut Scripted::new(hammer_attacker(77)),
+            Nanos::from_millis(1),
+        );
+        assert_eq!(batched_report, per_step_report);
+        // And a mode switch mid-attack stays on the same trajectory.
+        let mut mixed = moat_sim();
+        mixed.run_batched(&mut hammer_attacker(77), Nanos::from_millis(1));
+        let mixed_report = mixed.run(
+            &mut Scripted::new(hammer_attacker(77)),
+            Nanos::from_millis(1),
+        );
+        assert_eq!(mixed_report, per_step_report);
+    }
+
+    #[test]
+    fn batched_run_stops_at_script_end() {
+        // A finite script ends the batched run early, exactly like an
+        // adaptive attacker returning Stop.
+        #[derive(Debug)]
+        struct Finite(u64, RowId);
+        impl ScriptedAttacker for Finite {
+            fn next_run(&mut self, buf: &mut Vec<RowId>, max: usize) -> usize {
+                let n = (max as u64).min(self.0) as usize;
+                buf.extend(std::iter::repeat_n(self.1, n));
+                self.0 -= n as u64;
+                n
+            }
+        }
+        let mut batched = moat_sim();
+        let got = batched.run_batched(&mut Finite(1000, RowId::new(9)), Nanos::from_millis(50));
+        let mut per_step = moat_sim();
+        let expect = per_step.run(
+            &mut Scripted::new(Finite(1000, RowId::new(9))),
+            Nanos::from_millis(50),
+        );
+        assert_eq!(got, expect);
+        // The script hands out exactly 1000 rows; a handful are dropped
+        // at ALERT stall points (consumed without landing) in both modes.
+        assert!(
+            (900..=1000).contains(&got.total_acts),
+            "acts {}",
+            got.total_acts
+        );
+        assert!(got.elapsed < Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn batched_moat_bound_matches_per_step_invariant() {
+        let mut sim = moat_sim();
+        let report = sim.run_batched(&mut hammer_attacker(10_000), Nanos::from_millis(2));
+        assert!(report.alerts > 0);
+        assert!(
+            report.max_pressure <= 64 + 5,
+            "pressure {} exceeds ATH plus the in-window slack",
+            report.max_pressure
+        );
+    }
+
+    #[test]
+    fn attacker_names_are_cached_borrows() {
+        let h = hammer_attacker(5);
+        assert_eq!(Attacker::name(&h), "hammer(5)");
+        assert!(
+            matches!(Attacker::name(&h), Cow::Borrowed(_)),
+            "name() must not allocate per call"
+        );
+        let rr = round_robin_attacker(vec![1, 2, 3]);
+        assert_eq!(ScriptedAttacker::name(&rr), "round-robin(3 rows)");
+        assert!(matches!(ScriptedAttacker::name(&rr), Cow::Borrowed(_)));
+        let wrapped = Scripted::new(hammer_attacker(9));
+        assert_eq!(wrapped.name(), "hammer(9)");
+    }
+
+    #[test]
+    fn round_robin_wrap_matches_modulo() {
+        let mut a = round_robin_attacker(vec![7, 8, 9]);
+        let mut seen = Vec::new();
+        let mut buf = Vec::new();
+        // Mix single steps and runs to cross the wrap both ways.
+        for chunk in [1usize, 4, 2, 7, 3] {
+            buf.clear();
+            assert_eq!(ScriptedAttacker::next_run(&mut a, &mut buf, chunk), chunk);
+            seen.extend(buf.iter().map(|r| r.index()));
+        }
+        let expect: Vec<u32> = (0..17).map(|i| 7 + i % 3).collect();
+        assert_eq!(seen, expect);
     }
 }

@@ -10,6 +10,13 @@ use moat_dram::{
 
 use crate::budget::SlotBudget;
 
+/// How many requests ahead of the issue point the batched loops start
+/// loading counter/ledger state. At ~4 cache lines per request this keeps
+/// well under the outstanding-miss budget of current cores while covering
+/// several hundred nanoseconds of issue work. Shared by the performance
+/// simulator's chunked issue loop and [`BankUnit::activate_run`].
+pub(crate) const PREFETCH_DISTANCE: usize = 12;
+
 /// An aggressor mitigation in flight under gradual REF-time mitigation:
 /// one REF slot is consumed per victim row (plus one for the counter
 /// reset), and the full effect — victim refreshes and counter reset —
@@ -176,6 +183,45 @@ impl<E: MitigationEngine> BankUnit<E> {
     #[inline]
     pub fn alert_pending(&self) -> bool {
         self.engine.alert_pending()
+    }
+
+    /// The engine's event-horizon hint: a sound lower bound on how many
+    /// further activations this bank absorbs before
+    /// [`alert_pending`](Self::alert_pending) could become true (see
+    /// [`MitigationEngine::min_acts_to_alert`]).
+    #[inline]
+    pub fn min_acts_to_alert(&self) -> u64 {
+        self.engine.min_acts_to_alert()
+    }
+
+    /// Activates an event-free run of rows back-to-back: `rows[i]` issues
+    /// at `start + i·tRC`, with the chunk-prefetch scheme of the batched
+    /// performance pipeline overlapping the counter/ledger cache misses of
+    /// upcoming rows with the current activation's work. The caller
+    /// guarantees the bank is ready at `start` and that no REF, ALERT, or
+    /// episode boundary falls inside the run — exactly what the security
+    /// simulator's event-horizon computation establishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row is outside the bank or the bank is not ready at
+    /// `start` (the caller's horizon contract was violated).
+    pub fn activate_run(&mut self, rows: &[RowId], start: Nanos, t_rc: Nanos) {
+        let mut last_hint: Option<RowId> = None;
+        let mut t = start;
+        for (i, &row) in rows.iter().enumerate() {
+            // Consecutive duplicates (hammer runs revisiting one row) are
+            // skipped — their lines are already inbound.
+            if let Some(&ahead) = rows.get(i + PREFETCH_DISTANCE) {
+                if last_hint != Some(ahead) {
+                    self.prefetch_activate(ahead);
+                }
+                last_hint = Some(ahead);
+            }
+            self.activate(row, t)
+                .expect("event-free run respects bank timing");
+            t += t_rc;
+        }
     }
 
     /// Hints the cache to load the row-indexed state a future

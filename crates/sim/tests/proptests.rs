@@ -1,13 +1,39 @@
-//! Property-based tests of the simulators: conservation laws and the
-//! MOAT security invariant under randomized adaptive attackers.
+//! Property-based tests of the simulators: conservation laws, the MOAT
+//! security invariant under randomized adaptive attackers, and the
+//! equivalence of the event-horizon batched security path with the
+//! per-step reference.
 
 use moat_core::{MoatConfig, MoatEngine};
-use moat_dram::{BankId, Nanos, RowId};
+use moat_dram::{AboLevel, BankId, Nanos, RowId};
 use moat_sim::{
-    AttackStep, Attacker, DefenseView, PerfConfig, PerfSim, Request, SecurityConfig, SecuritySim,
-    SlotBudget,
+    AttackStep, Attacker, DefenseView, PerfConfig, PerfSim, Request, Scripted, ScriptedAttacker,
+    SecurityConfig, SecuritySim, SlotBudget,
 };
 use proptest::prelude::*;
+
+/// A finite scripted kernel: cycle over a row pattern for a fixed number
+/// of activations — the non-adaptive shape `run_batched` accelerates.
+#[derive(Debug, Clone)]
+struct PatternScript {
+    rows: Vec<RowId>,
+    pos: usize,
+    remaining: u64,
+}
+
+impl ScriptedAttacker for PatternScript {
+    fn next_run(&mut self, buf: &mut Vec<RowId>, max: usize) -> usize {
+        let n = (max as u64).min(self.remaining) as usize;
+        for _ in 0..n {
+            buf.push(self.rows[self.pos]);
+            self.pos += 1;
+            if self.pos == self.rows.len() {
+                self.pos = 0;
+            }
+        }
+        self.remaining -= n as u64;
+        n
+    }
+}
 
 /// A randomized attacker that replays a fixed decision tape: act on one
 /// of a few rows, idle, or postpone.
@@ -146,5 +172,56 @@ proptest! {
         })
         .run(stream(0));
         prop_assert!(with.completion_time >= without.completion_time);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SecuritySim analogue of `chunk_equivalence`: for random
+    /// kernels, ABO levels, mitigation budgets, thresholds, and horizons,
+    /// the event-horizon batched path produces a `SecurityReport`
+    /// bit-identical to the per-step reference over the same script.
+    #[test]
+    fn batched_matches_per_step(
+        base in 100u32..60_000,
+        spacings in prop::collection::vec(1u32..12, 1..6),
+        total in 500u64..6_000,
+        level_idx in 0usize..3,
+        budget_kind in 0u8..3,
+        budget_trefi in 1u32..10,
+        ath_idx in 0usize..3,
+        alerts_coin in 0u8..2,
+        micros in 100u64..1500,
+    ) {
+        let level = AboLevel::ALL[level_idx];
+        let ath = [32u32, 64, 128][ath_idx];
+        let budget = match budget_kind {
+            0 => SlotBudget::paper_default(),
+            1 => SlotBudget::disabled(),
+            _ => SlotBudget::per_aggressor(5, budget_trefi),
+        };
+        let mut cfg = SecurityConfig::paper_default();
+        cfg.abo_level = level;
+        cfg.budget = budget;
+        cfg.alerts_enabled = alerts_coin == 1;
+
+        // Clustered rows (cumulative small spacings) stress the ledger's
+        // blast radius and the tracker's displacement paths.
+        let mut rows = Vec::new();
+        let mut row = base;
+        for s in &spacings {
+            rows.push(RowId::new(row));
+            row += s;
+        }
+        let script = PatternScript { rows, pos: 0, remaining: total };
+        let duration = Nanos::from_micros(micros);
+
+        let engine = || MoatEngine::new(MoatConfig::with_ath(ath).level(level));
+        let mut per_step = SecuritySim::new(cfg, engine());
+        let expect = per_step.run(&mut Scripted::new(script.clone()), duration);
+        let mut batched = SecuritySim::new(cfg, engine());
+        let got = batched.run_batched(&mut script.clone(), duration);
+        prop_assert_eq!(got, expect);
     }
 }
