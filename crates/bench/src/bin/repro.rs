@@ -6,25 +6,37 @@
 //!   repro all [--full]          run everything
 //!   repro `<name>`... [--full]  run selected experiments
 //!   repro bench                 run the simulator-throughput benchmark
+//!   repro trace record [profile ...] [--full]
+//!                               record workload streams into the binary
+//!                               trace cache (see `moat-trace`)
+//!   repro trace info|verify <file>
+//!                               inspect / fully validate a v2 trace
+//!   repro trace convert <in> <out>
+//!                               convert text v1 <-> binary v2 traces
 //!   repro --json [names...]     also write BENCH_perf.json (ACTs/sec,
 //!                               sweep wall time, mono-vs-boxed speedup)
 //!   repro --json --baseline <file>
 //!                               perf smoke: additionally compare against
 //!                               a committed BENCH_perf.json and exit
 //!                               non-zero if uniform_mono_acts_per_sec,
-//!                               sweep_acts_per_sec, or
-//!                               security_batched_acts_per_sec regressed
-//!                               by more than 20%
+//!                               sweep_acts_per_sec,
+//!                               security_batched_acts_per_sec, or
+//!                               full_sweep_acts_per_sec regressed by
+//!                               more than 20%
 //!
 //! The performance sweeps fan their (profile × config) cells across all
 //! cores; `--full` selects the paper-size configuration (32 banks,
-//! 2 tREFW windows).
+//! 2 tREFW windows). At `--full` the materialized streams exceed the
+//! in-memory budget and ride the on-disk trace cache: the first run
+//! records every stream once, every later sweep cell (and every later
+//! run) replays the mmap'd bytes.
 
-use moat_bench::{bench_perf, run_experiment, Scale, ALL_EXPERIMENTS};
+use moat_bench::{bench_perf, run_experiment, run_trace_command, Scale, ALL_EXPERIMENTS};
 
 /// Allowed fractional drop of any gated metric (`uniform_mono_acts_per_sec`,
-/// `sweep_acts_per_sec`, `security_batched_acts_per_sec`) before the
-/// `--baseline` perf smoke fails the run.
+/// `sweep_acts_per_sec`, `security_batched_acts_per_sec`,
+/// `full_sweep_acts_per_sec`) before the `--baseline` perf smoke fails
+/// the run.
 const MAX_PERF_REGRESSION: f64 = 0.20;
 
 fn main() {
@@ -43,7 +55,7 @@ fn main() {
     args.retain(|a| a != "--full" && a != "--json");
     let scale = if full { Scale::full() } else { Scale::scaled() };
 
-    let usage = "usage: repro <list|all|bench|experiment...> [--full] [--json] [--baseline <file>]";
+    let usage = "usage: repro <list|all|bench|trace ...|experiment...> [--full] [--json] [--baseline <file>]";
     if args.is_empty() && !json && baseline.is_none() {
         eprintln!("{usage}");
         std::process::exit(2);
@@ -56,7 +68,17 @@ fn main() {
         for name in ALL_EXPERIMENTS {
             println!("{name}");
         }
-        println!("fig13\nstorage\nbench");
+        println!("fig13\nstorage\nbench\ntrace");
+        return;
+    }
+    if args.first().is_some_and(|a| a == "trace") {
+        match run_trace_command(&args[1..], scale) {
+            Ok(out) => print!("{out}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
         return;
     }
 

@@ -16,6 +16,7 @@ mod perfbench;
 mod scale;
 mod security_experiments;
 mod sweep;
+mod trace_cmd;
 
 pub use ablation_experiments::{ablation_refresh_order, ablation_tracker_class, energy};
 pub use perf_experiments::{
@@ -27,6 +28,7 @@ pub use security_experiments::{
     fig10_fig15, fig16, fig5, fig7, fig8, moat_bound_check, run_security, table2,
 };
 pub use sweep::{run_cells, run_sweep, SweepCell, SweepOutcome, SweepStats};
+pub use trace_cmd::run_trace_command;
 
 /// The storage table (§6.5 / Appendix D).
 pub fn storage() -> String {

@@ -22,23 +22,41 @@ use moat_dram::{AboLevel, DramConfig, Nanos};
 use moat_sim::{
     PerfConfig, PerfReport, PerfSim, Request, RequestStream, SlotBudget, DEFAULT_CHUNK,
 };
-use moat_workloads::{HistogramCheck, WorkloadProfile, WorkloadStream, PROFILES};
+use moat_trace::{TraceCache, TraceFile};
+use moat_workloads::{trace_key, HistogramCheck, WorkloadProfile, WorkloadStream, PROFILES};
 use rayon::prelude::*;
 
 use crate::scale::Scale;
 use crate::sweep::{run_sweep, SweepCell};
 
-/// Default budget of cached requests across all materialized workload
-/// streams: 16 M requests ≈ 192 MB. The scaled configuration's 21
-/// profiles sum to ~9 M requests and fit comfortably; at paper scale the
-/// estimates blow past the budget and the lab falls back to live
-/// generation per cell.
+/// Default budget of cached requests across all in-memory materialized
+/// workload streams: 16 M requests ≈ 192 MB. The scaled configuration's
+/// 21 profiles sum to ~9 M requests and fit comfortably; at paper scale
+/// the estimates blow past the budget and the lab **spills to the
+/// mmap-backed trace cache** instead — recorded once, replayed zero-copy
+/// by every subsequent cell (and every subsequent run, via the on-disk
+/// [`TraceCache`]).
 const STREAM_CACHE_BUDGET: u64 = 16_000_000;
 
+/// The generator seed every performance experiment runs with (part of
+/// each stream's trace-cache content address).
+pub(crate) const STREAM_SEED: u64 = 0xA0A7;
+
+/// One profile's materialized request stream: either a flat in-memory
+/// vector (fits the request budget) or a validated mmap-backed trace
+/// from the on-disk cache (paper scale). Both replay the exact sequence
+/// the live generator emits, pinned by the sweep-equality tests.
+#[derive(Debug)]
+enum CachedStream {
+    Memory(Vec<Request>),
+    Mapped(TraceFile),
+}
+
 /// Shared context for the performance sweeps: caches the per-workload
-/// ALERT-free baseline completion times, and — within a request budget —
-/// the *materialized request streams* themselves, so every sweep cell
-/// replays a flat `Vec<Request>` instead of re-running the heap-merge
+/// ALERT-free baseline completion times, and the *materialized request
+/// streams* themselves, so every sweep cell replays flat requests —
+/// from memory within the request budget, from the mmap-backed
+/// [`TraceCache`] beyond it — instead of re-running the heap-merge
 /// generator (which otherwise dominates a cell's wall time). Once
 /// [`Self::precompute_baselines`] has run, the lab can be shared
 /// immutably across worker threads.
@@ -49,9 +67,13 @@ pub struct PerfLab {
     baselines: HashMap<&'static str, Nanos>,
     /// Materialized per-profile request sequences (identical to what the
     /// live generator emits, pinned by the sweep-equality tests).
-    materialized: HashMap<&'static str, Vec<Request>>,
-    /// Remaining request budget for materialization.
+    streams: HashMap<&'static str, CachedStream>,
+    /// Remaining request budget for in-memory materialization.
     cache_budget: u64,
+    /// Whether over-budget profiles may spill to the on-disk trace cache.
+    use_trace_cache: bool,
+    /// The on-disk cache, opened lazily on the first spill.
+    trace_cache: Option<TraceCache>,
 }
 
 impl PerfLab {
@@ -61,16 +83,53 @@ impl PerfLab {
             scale,
             dram: DramConfig::paper_baseline(),
             baselines: HashMap::new(),
-            materialized: HashMap::new(),
+            streams: HashMap::new(),
             cache_budget: STREAM_CACHE_BUDGET,
+            use_trace_cache: true,
+            trace_cache: None,
         }
     }
 
-    /// Overrides the stream-materialization budget (in requests). `0`
-    /// disables materialization — every run regenerates its stream, the
-    /// pre-cache behaviour the equality tests compare against.
+    /// Overrides the in-memory stream-materialization budget (in
+    /// requests). `0` disables materialization entirely — every run
+    /// regenerates its stream, the pre-cache behaviour the equality
+    /// tests compare against. Profiles whose streams exceed the
+    /// remaining budget spill to the on-disk trace cache instead (unless
+    /// [`set_trace_cache_enabled`](Self::set_trace_cache_enabled) turned
+    /// that off).
     pub fn set_stream_cache_budget(&mut self, requests: u64) {
         self.cache_budget = requests;
+    }
+
+    /// Enables or disables the on-disk trace cache for over-budget
+    /// profiles (enabled by default; disabling restores the pure
+    /// in-memory-or-live behaviour).
+    pub fn set_trace_cache_enabled(&mut self, enabled: bool) {
+        self.use_trace_cache = enabled;
+        if !enabled {
+            self.trace_cache = None;
+        }
+    }
+
+    /// Points the lab's trace cache at a specific directory (mainly for
+    /// tests; the default is [`TraceCache::default_dir`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation errors.
+    pub fn set_trace_dir(&mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<()> {
+        self.trace_cache = Some(TraceCache::open(dir)?);
+        self.use_trace_cache = true;
+        Ok(())
+    }
+
+    /// How many profiles currently replay from the mmap-backed cache (as
+    /// opposed to in-memory vectors or live generation).
+    pub fn mapped_streams(&self) -> usize {
+        self.streams
+            .values()
+            .filter(|s| matches!(s, CachedStream::Mapped(_)))
+            .count()
     }
 
     fn perf_config(&self, level: AboLevel, budget: SlotBudget, alerts: bool) -> PerfConfig {
@@ -84,7 +143,7 @@ impl PerfLab {
     }
 
     fn stream(&self, profile: &WorkloadProfile) -> WorkloadStream {
-        WorkloadStream::new(profile, &self.dram, self.scale.generator(0xA0A7))
+        WorkloadStream::new(profile, &self.dram, self.scale.generator(STREAM_SEED))
     }
 
     /// Computes the ALERT-free baseline completion time for `profile`
@@ -111,10 +170,27 @@ impl PerfLab {
     ///
     /// Profiles whose estimated stream size fits the remaining
     /// materialization budget are generated **once** here into a flat
-    /// request vector; their baseline runs replay that vector, and so
-    /// does every subsequent sweep cell — the generation cost leaves the
-    /// per-cell hot path entirely.
+    /// request vector. Profiles beyond the budget go through the on-disk
+    /// [`TraceCache`] instead: a cache hit replays the mmap'd trace
+    /// directly, a miss generates once while spilling to disk — either
+    /// way, their baseline runs and every subsequent sweep cell replay
+    /// flat requests, and the generation cost leaves the per-cell hot
+    /// path entirely (across *runs*, too, since the trace cache
+    /// persists). If the disk is unavailable, the over-budget profile
+    /// falls back to live generation per run, the pre-trace behaviour.
     pub fn precompute_baselines(&mut self, profiles: &[&'static WorkloadProfile]) {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Plan {
+            Memory,
+            Disk,
+            Live,
+        }
+        enum Loaded {
+            Memory(Vec<Request>),
+            Mapped(TraceFile),
+            Live,
+        }
+
         let missing: Vec<&'static WorkloadProfile> = profiles
             .iter()
             .copied()
@@ -123,39 +199,84 @@ impl PerfLab {
         if missing.is_empty() {
             return;
         }
-        // Greedy admission in input order, against the size the generator
-        // itself budgets per bank-window (the emitted count can exceed
-        // the estimate slightly; the budget is a guide, not a cap).
-        let mut admitted: Vec<bool> = Vec::with_capacity(missing.len());
+        // Greedy in-memory admission in input order, against the size the
+        // generator itself budgets per bank-window (the emitted count can
+        // exceed the estimate slightly; the budget is a guide, not a
+        // cap). A zero budget disables materialization entirely.
+        let mut plans: Vec<Plan> = Vec::with_capacity(missing.len());
         for p in &missing {
             let est = WorkloadStream::acts_per_bank_per_window(p, &self.dram)
                 * u64::from(self.scale.banks)
                 * u64::from(self.scale.windows);
-            let fits = est <= self.cache_budget;
-            if fits {
+            let plan = if self.cache_budget == 0 {
+                Plan::Live
+            } else if est <= self.cache_budget {
                 self.cache_budget -= est;
-            }
-            admitted.push(fits);
+                Plan::Memory
+            } else if self.use_trace_cache {
+                Plan::Disk
+            } else {
+                Plan::Live
+            };
+            plans.push(plan);
         }
+        // Open the disk cache lazily, only when something actually spills.
+        if plans.contains(&Plan::Disk) && self.trace_cache.is_none() {
+            match TraceCache::open_default() {
+                Ok(cache) => self.trace_cache = Some(cache),
+                Err(e) => {
+                    eprintln!(
+                        "moat-bench: trace cache unavailable ({e}); over-budget streams \
+                         regenerate live"
+                    );
+                    for plan in &mut plans {
+                        if *plan == Plan::Disk {
+                            *plan = Plan::Live;
+                        }
+                    }
+                }
+            }
+        }
+
         let shared: &PerfLab = self;
-        let jobs: Vec<(&'static WorkloadProfile, bool)> =
-            missing.into_iter().zip(admitted).collect();
-        #[allow(clippy::type_complexity)]
-        let computed: Vec<(&'static str, Option<Vec<Request>>, Nanos)> = jobs
+        let jobs: Vec<(&'static WorkloadProfile, Plan)> = missing.into_iter().zip(plans).collect();
+        let computed: Vec<(&'static str, Loaded, Nanos)> = jobs
             .into_par_iter()
-            .map(|(p, materialize)| {
-                if materialize {
+            .map(|(p, plan)| match plan {
+                Plan::Memory => {
                     let requests = shared.materialize(p);
                     let base = shared.baseline_of(requests.iter().copied());
-                    (p.name, Some(requests), base)
-                } else {
-                    (p.name, None, shared.compute_baseline(p))
+                    (p.name, Loaded::Memory(requests), base)
                 }
+                Plan::Disk => {
+                    let cache = shared.trace_cache.as_ref().expect("opened above");
+                    let key = trace_key(p, &shared.dram, shared.scale.generator(STREAM_SEED));
+                    match cache.open_or_record(&key, || shared.stream(p)) {
+                        Ok(trace) => {
+                            let base = shared.baseline_of(trace.replay());
+                            (p.name, Loaded::Mapped(trace), base)
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "moat-bench: recording {} failed ({e}); regenerating live",
+                                p.name
+                            );
+                            (p.name, Loaded::Live, shared.compute_baseline(p))
+                        }
+                    }
+                }
+                Plan::Live => (p.name, Loaded::Live, shared.compute_baseline(p)),
             })
             .collect();
-        for (name, requests, base) in computed {
-            if let Some(requests) = requests {
-                self.materialized.insert(name, requests);
+        for (name, loaded, base) in computed {
+            match loaded {
+                Loaded::Memory(requests) => {
+                    self.streams.insert(name, CachedStream::Memory(requests));
+                }
+                Loaded::Mapped(trace) => {
+                    self.streams.insert(name, CachedStream::Mapped(trace));
+                }
+                Loaded::Live => {}
             }
             self.baselines.insert(name, base);
         }
@@ -209,8 +330,11 @@ impl PerfLab {
         let mut sim = PerfSim::new(cfg, moat_factory(moat));
         // Replay the materialized stream when available — identical
         // sequence, none of the generator's per-request heap traffic.
-        let report = match self.materialized.get(profile.name) {
-            Some(requests) => sim.run(requests.iter().copied()),
+        // The mmap-backed form decodes records straight out of the
+        // mapped cache file.
+        let report = match self.streams.get(profile.name) {
+            Some(CachedStream::Memory(requests)) => sim.run(requests.iter().copied()),
+            Some(CachedStream::Mapped(trace)) => sim.run(trace.replay()),
             None => sim.run(self.stream(profile)),
         };
         let slowdown = report.completion_time.as_u64() as f64 / base.as_u64() as f64 - 1.0;
@@ -593,11 +717,12 @@ mod tests {
             .collect();
         let mut cached = PerfLab::new(scale);
         cached.precompute_baselines(&profiles);
-        assert_eq!(cached.materialized.len(), 3, "all profiles fit the budget");
+        assert_eq!(cached.streams.len(), 3, "all profiles fit the budget");
+        assert_eq!(cached.mapped_streams(), 0, "nothing spills at this scale");
         let mut live = PerfLab::new(scale);
         live.set_stream_cache_budget(0);
         live.precompute_baselines(&profiles);
-        assert!(live.materialized.is_empty());
+        assert!(live.streams.is_empty());
         for p in &profiles {
             assert_eq!(cached.baselines[p.name], live.baselines[p.name]);
             let moat = MoatConfig::with_ath(64);
@@ -606,6 +731,71 @@ mod tests {
             assert_eq!(r_c, r_l, "{}", p.name);
             assert_eq!(s_c.to_bits(), s_l.to_bits());
         }
+    }
+
+    #[test]
+    fn mmap_trace_sweep_matches_live_generation() {
+        // The disk route of the stream cache: with a tiny in-memory
+        // budget every profile spills to the mmap-backed trace cache,
+        // and replayed cells stay bit-identical to live generation. A
+        // second lab on the same directory replays without recording.
+        let scale = Scale {
+            banks: 1,
+            windows: 1,
+        };
+        let dir = std::env::temp_dir().join(format!("moat-lab-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let profiles: Vec<&'static WorkloadProfile> = ["x264", "tc"]
+            .iter()
+            .map(|n| WorkloadProfile::by_name(n).unwrap())
+            .collect();
+
+        let mut mapped = PerfLab::new(scale);
+        mapped.set_stream_cache_budget(1); // everything exceeds one request
+        mapped.set_trace_dir(&dir).unwrap();
+        mapped.precompute_baselines(&profiles);
+        assert_eq!(mapped.mapped_streams(), 2, "both profiles spilled to disk");
+
+        let mut live = PerfLab::new(scale);
+        live.set_stream_cache_budget(0);
+        live.precompute_baselines(&profiles);
+
+        let mut replayed = PerfLab::new(scale);
+        replayed.set_stream_cache_budget(1);
+        replayed.set_trace_dir(&dir).unwrap();
+        replayed.precompute_baselines(&profiles); // pure cache hits now
+        assert_eq!(replayed.mapped_streams(), 2);
+
+        for p in &profiles {
+            assert_eq!(mapped.baselines[p.name], live.baselines[p.name]);
+            let moat = MoatConfig::with_ath(64);
+            let (s_m, r_m) = mapped.run_moat_shared(p, moat, SlotBudget::paper_default());
+            let (s_l, r_l) = live.run_moat_shared(p, moat, SlotBudget::paper_default());
+            let (s_r, r_r) = replayed.run_moat_shared(p, moat, SlotBudget::paper_default());
+            assert_eq!(r_m, r_l, "{}", p.name);
+            assert_eq!(r_r, r_l, "{}", p.name);
+            assert_eq!(s_m.to_bits(), s_l.to_bits());
+            assert_eq!(s_r.to_bits(), s_l.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disabled_trace_cache_regenerates_live() {
+        let scale = Scale {
+            banks: 1,
+            windows: 1,
+        };
+        let p = WorkloadProfile::by_name("x264").unwrap();
+        let mut lab = PerfLab::new(scale);
+        lab.set_stream_cache_budget(1);
+        lab.set_trace_cache_enabled(false);
+        lab.precompute_baselines(&[p]);
+        assert!(lab.streams.is_empty(), "no memory fit, no disk: live");
+        let mut reference = PerfLab::new(scale);
+        reference.set_stream_cache_budget(0);
+        reference.precompute_baselines(&[p]);
+        assert_eq!(lab.baselines[p.name], reference.baselines[p.name]);
     }
 
     #[test]

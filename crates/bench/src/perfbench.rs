@@ -8,14 +8,22 @@ use std::time::Instant;
 use moat_core::{MoatConfig, MoatEngine};
 use moat_dram::{AboLevel, BankId, DramConfig, MitigationEngine, Nanos, RowId};
 use moat_sim::{
-    hammer_attacker, PerfConfig, PerfSim, Request, Scripted, SecurityConfig, SecuritySim,
-    SlotBudget,
+    hammer_attacker, PerfConfig, PerfSim, Request, RequestStream, Scripted, SecurityConfig,
+    SecuritySim, SlotBudget, DEFAULT_CHUNK,
 };
-use moat_workloads::PROFILES;
+use moat_trace::{Fingerprint, TraceCache, TraceKey};
+use moat_workloads::{WorkloadProfile, PROFILES};
 
 use crate::scale::Scale;
 use crate::sweep::{run_sweep, SweepCell};
 use crate::PerfLab;
+
+/// The profiles the paper-scale trace-backed sweep measurement runs:
+/// moderate ACT-PKI SPEC workloads, big enough that their full-scale
+/// streams genuinely exceed the in-memory budget's purpose (a few
+/// million requests each) but small enough that the one-time recording
+/// pass stays in seconds.
+const FULL_SWEEP_PROFILES: [&str; 3] = ["cactuBSSN", "cam4", "blender"];
 
 /// Throughput of one hot-path measurement.
 #[derive(Debug, Clone, Copy)]
@@ -64,6 +72,20 @@ impl SecurityPathResult {
     }
 }
 
+/// Throughput of the mmap-backed trace store.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceStoreResult {
+    /// Raw mmap replay decode rate: requests per host second drained
+    /// through `TraceReplay::next_chunk` (no simulation attached).
+    pub replay_acts_per_sec: f64,
+    /// Aggregate simulated ACTs per host second of a paper-scale
+    /// (32 banks × 2 tREFW) sweep whose cells replay mmap'd traces from
+    /// the cache — the `--full` configuration's sweep hot path.
+    pub full_sweep_acts_per_sec: f64,
+    /// Cells in the paper-scale sweep measurement.
+    pub full_sweep_cells: usize,
+}
+
 /// The full benchmark report serialized into `BENCH_perf.json`.
 #[derive(Debug, Clone)]
 pub struct PerfBenchReport {
@@ -74,6 +96,9 @@ pub struct PerfBenchReport {
     /// Security simulator on the single-row hammer attack, per-step vs
     /// event-horizon batched.
     pub security: SecurityPathResult,
+    /// The mmap-backed trace store: raw replay decode rate and the
+    /// paper-scale trace-backed sweep.
+    pub trace: TraceStoreResult,
     /// Wall seconds for the (profile × ATH) sweep run serially.
     pub sweep_serial_seconds: f64,
     /// Wall seconds for the same sweep through the parallel runner.
@@ -107,6 +132,9 @@ impl PerfBenchReport {
              \"security_step_acts_per_sec\": {:.0},\n  \
              \"security_batched_acts_per_sec\": {:.0},\n  \
              \"security_batched_speedup\": {:.3},\n  \
+             \"trace_replay_acts_per_sec\": {:.0},\n  \
+             \"full_sweep_cells\": {},\n  \
+             \"full_sweep_acts_per_sec\": {:.0},\n  \
              \"sweep_cells\": {},\n  \
              \"sweep_serial_seconds\": {:.3},\n  \
              \"sweep_parallel_seconds\": {:.3},\n  \
@@ -124,6 +152,9 @@ impl PerfBenchReport {
             self.security.step_acts_per_sec,
             self.security.batched_acts_per_sec,
             self.security.speedup(),
+            self.trace.replay_acts_per_sec,
+            self.trace.full_sweep_cells,
+            self.trace.full_sweep_acts_per_sec,
             self.cells,
             self.sweep_serial_seconds,
             self.sweep_parallel_seconds,
@@ -138,19 +169,20 @@ impl PerfBenchReport {
     /// dropped by more than `max_regression` (e.g. `0.20` for the CI
     /// gate's 20%), `Ok` with a per-metric summary otherwise.
     ///
-    /// Three metrics are gated: `uniform_mono_acts_per_sec` (the
+    /// Four metrics are gated: `uniform_mono_acts_per_sec` (the
     /// steady-state hot path every experiment rides on — required in the
-    /// baseline), plus `sweep_acts_per_sec` and
-    /// `security_batched_acts_per_sec` (the sweep harness and the batched
-    /// security path; skipped with a note when a pre-batching baseline
-    /// lacks them). The remaining fields are informational and
+    /// baseline), plus `sweep_acts_per_sec`,
+    /// `security_batched_acts_per_sec`, and `full_sweep_acts_per_sec`
+    /// (the sweep harness, the batched security path, and the
+    /// trace-backed paper-scale sweep; skipped with a note when an older
+    /// baseline lacks them). The remaining fields are informational and
     /// machine-sensitive.
     pub fn check_regression(
         &self,
         baseline_json: &str,
         max_regression: f64,
     ) -> Result<String, String> {
-        let gated: [(&str, f64, bool); 3] = [
+        let gated: [(&str, f64, bool); 4] = [
             (
                 "uniform_mono_acts_per_sec",
                 self.uniform.mono_acts_per_sec,
@@ -162,10 +194,22 @@ impl PerfBenchReport {
                 self.security.batched_acts_per_sec,
                 false,
             ),
+            (
+                "full_sweep_acts_per_sec",
+                self.trace.full_sweep_acts_per_sec,
+                false,
+            ),
         ];
         let mut lines = Vec::new();
         let mut failures = Vec::new();
         for (key, current, required) in gated {
+            if !required && current == 0.0 {
+                // Zero means "not measured this run" (e.g. the trace
+                // cache directory could not be created): skip rather
+                // than report a spurious regression.
+                lines.push(format!("perf smoke: {key} not measured this run — skipped"));
+                continue;
+            }
             let Some(baseline) = json_number(baseline_json, key) else {
                 if required {
                     return Err(format!("baseline JSON has no numeric \"{key}\" field"));
@@ -199,6 +243,7 @@ impl PerfBenchReport {
              uniform 32-bank stream : {:>6.1} M ACTs/s mono, {:>6.1} M boxed, {:>6.1} M seed loop ({:.2}x vs seed)\n  \
              single-row hammer      : {:>6.1} M ACTs/s mono, {:>6.1} M boxed, {:>6.1} M seed loop ({:.2}x vs seed)\n  \
              security hammer sim    : {:>6.1} M ACTs/s batched, {:>6.1} M per-step ({:.2}x)\n  \
+             trace store            : {:>6.1} M req/s raw mmap replay, {:.1} M ACTs/s paper-scale sweep ({} cells)\n  \
              sweep ({} cells)       : serial {:.2}s, parallel {:.2}s ({:.2}x on {} threads), {:.1} M ACTs/s\n",
             self.uniform.mono_acts_per_sec / 1e6,
             self.uniform.boxed_acts_per_sec / 1e6,
@@ -211,6 +256,9 @@ impl PerfBenchReport {
             self.security.batched_acts_per_sec / 1e6,
             self.security.step_acts_per_sec / 1e6,
             self.security.speedup(),
+            self.trace.replay_acts_per_sec / 1e6,
+            self.trace.full_sweep_acts_per_sec / 1e6,
+            self.trace.full_sweep_cells,
             self.cells,
             self.sweep_serial_seconds,
             self.sweep_parallel_seconds,
@@ -733,6 +781,76 @@ fn measure_security(duration: Nanos) -> SecurityPathResult {
     }
 }
 
+/// Measures the trace store: raw mmap replay decode rate over a
+/// synthetic trace, and a paper-scale (32 banks × 2 tREFW) sweep whose
+/// cells replay mmap'd workload traces from the on-disk cache — the
+/// `--full` sweep hot path. The recording pass happens at most once
+/// (entries are content-addressed and persist in the cache directory);
+/// every later invocation is pure replay. When the cache directory is
+/// unavailable (read-only checkout, sandbox) both metrics report `0` —
+/// "not measured" — which the perf-smoke gate skips instead of flagging
+/// the live-generation fallback as a regression.
+fn measure_trace_store() -> TraceStoreResult {
+    let Ok(cache) = TraceCache::open_default() else {
+        return TraceStoreResult {
+            replay_acts_per_sec: 0.0,
+            full_sweep_acts_per_sec: 0.0,
+            full_sweep_cells: 0,
+        };
+    };
+
+    // Raw decode rate: a 2M-request synthetic trace, drained chunk-wise.
+    let n: u32 = 2_000_000;
+    let replay_acts_per_sec = (|| -> Option<f64> {
+        let mut fp = Fingerprint::new();
+        fp.write_str("bench-uniform-32").write_u64(u64::from(n));
+        let key = TraceKey::new("bench-uniform", fp.finish());
+        let trace = cache.open_or_record(&key, || uniform_stream(n, 32)).ok()?;
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let mut replay = trace.replay();
+            let mut chunk: Vec<Request> = Vec::with_capacity(DEFAULT_CHUNK);
+            let mut gaps = 0u64;
+            while replay.next_chunk(&mut chunk) > 0 {
+                // Touch every decoded request so the drain cannot be
+                // optimized away.
+                gaps += chunk.iter().map(|r| r.gap.as_u64()).sum::<u64>();
+            }
+            assert!(gaps > 0);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        Some(f64::from(n) / best.max(1e-9))
+    })()
+    .unwrap_or(0.0);
+
+    // Paper-scale sweep over mmap'd traces: a 1-request in-memory budget
+    // forces every profile through the trace cache.
+    let profiles: Vec<&'static WorkloadProfile> = FULL_SWEEP_PROFILES
+        .iter()
+        .map(|name| WorkloadProfile::by_name(name).expect("known profile"))
+        .collect();
+    let mut lab = PerfLab::new(Scale::full());
+    lab.set_stream_cache_budget(1);
+    lab.precompute_baselines(&profiles); // records on the first ever run
+    let cells: Vec<SweepCell> = profiles
+        .iter()
+        .flat_map(|p| {
+            [
+                SweepCell::new(p, MoatConfig::with_ath(64)),
+                SweepCell::new(p, MoatConfig::with_ath(128)),
+            ]
+        })
+        .collect();
+    let (_, stats) = run_sweep(&mut lab, &cells);
+
+    TraceStoreResult {
+        replay_acts_per_sec,
+        full_sweep_acts_per_sec: stats.acts_per_sec(),
+        full_sweep_cells: cells.len(),
+    }
+}
+
 /// Runs the full benchmark at the given scale.
 pub fn bench_perf(scale: Scale) -> PerfBenchReport {
     let uniform_n: u32 = 400_000;
@@ -740,6 +858,7 @@ pub fn bench_perf(scale: Scale) -> PerfBenchReport {
     let uniform = measure(uniform_stream(uniform_n, 32), 32, u64::from(uniform_n));
     let hammer = measure(hammer_stream(hammer_n), 1, u64::from(hammer_n));
     let security = measure_security(Nanos::from_millis(20));
+    let trace = measure_trace_store();
 
     // Sweep scaling: one ATH-64 cell per workload profile.
     let cells: Vec<SweepCell> = PROFILES
@@ -766,6 +885,7 @@ pub fn bench_perf(scale: Scale) -> PerfBenchReport {
         uniform,
         hammer,
         security,
+        trace,
         sweep_serial_seconds,
         sweep_parallel_seconds,
         sweep_acts_per_sec: stats.acts_per_sec(),
@@ -804,6 +924,11 @@ mod tests {
                 batched_acts_per_sec: 3.3e7,
                 acts: 100,
             },
+            trace: TraceStoreResult {
+                replay_acts_per_sec: 2.5e8,
+                full_sweep_acts_per_sec: 4.0e7,
+                full_sweep_cells: 6,
+            },
             sweep_serial_seconds: 2.0,
             sweep_parallel_seconds: 0.5,
             sweep_acts_per_sec: 1.6e7,
@@ -821,9 +946,11 @@ mod tests {
         assert!(json.contains("\"hammer_speedup_vs_legacy\": 2.000"));
         assert!(json.contains("\"security_batched_speedup\": 3.000"));
         assert!(json.contains("\"sweep_speedup\": 4.000"));
-        assert_eq!(json.matches(':').count(), 17);
+        assert!(json.contains("\"full_sweep_acts_per_sec\": 40000000"));
+        assert_eq!(json.matches(':').count(), 20);
         assert!(report.summary().contains("Simulator performance"));
         assert!(report.summary().contains("security hammer sim"));
+        assert!(report.summary().contains("trace store"));
 
         // The perf-smoke gate reads its own serialization back.
         assert_eq!(json_number(&json, "uniform_mono_acts_per_sec"), Some(2.0e7));
@@ -863,6 +990,19 @@ mod tests {
         );
         let err = report.check_regression(&sec_fast, 0.20).unwrap_err();
         assert!(err.contains("security_batched_acts_per_sec"), "{err}");
+        // The trace-backed paper-scale sweep is gated too.
+        let full_fast = json.replace(
+            "\"full_sweep_acts_per_sec\": 40000000",
+            "\"full_sweep_acts_per_sec\": 80000000",
+        );
+        let err = report.check_regression(&full_fast, 0.20).unwrap_err();
+        assert!(err.contains("full_sweep_acts_per_sec"), "{err}");
+        // A zero current value means "not measured this run" (trace
+        // cache unavailable): skipped, not a spurious regression.
+        let mut unmeasured = report.clone();
+        unmeasured.trace.full_sweep_acts_per_sec = 0.0;
+        let ok = unmeasured.check_regression(&json, 0.20).unwrap();
+        assert!(ok.contains("not measured"), "{ok}");
         // Pre-batching baselines lack the new keys: skipped with a note,
         // the uniform gate still applies.
         let old_baseline = "{\n  \"uniform_mono_acts_per_sec\": 20000000\n}\n";

@@ -1,0 +1,216 @@
+//! The `repro trace` subcommand family: operate on the binary trace
+//! store from the command line.
+//!
+//! ```text
+//! repro trace record [--full] [profile ...]   record workload streams into the cache
+//! repro trace info <file>                     print a trace's header
+//! repro trace verify <file>                   full checksum + decode validation
+//! repro trace convert <in> <out>              text v1 <-> binary v2 (by extension)
+//! ```
+
+use std::path::Path;
+
+use moat_dram::DramConfig;
+use moat_trace::{TraceCache, TraceFile, TraceInfo, RECORD_BYTES, VERSION};
+use moat_workloads::{binary_to_text, text_to_binary, trace_key, WorkloadProfile, PROFILES};
+
+use crate::scale::Scale;
+
+/// Runs one `repro trace` subcommand; `Ok` is the human-readable output,
+/// `Err` a usage or I/O failure message for stderr.
+pub fn run_trace_command(args: &[String], scale: Scale) -> Result<String, String> {
+    let usage = "usage: repro trace <record [profile ...] | info <file> | verify <file> | \
+                 convert <in> <out>> [--full]";
+    match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..], scale),
+        Some("info") => match args.get(1) {
+            Some(path) => info(Path::new(path)),
+            None => Err(usage.into()),
+        },
+        Some("verify") => match args.get(1) {
+            Some(path) => verify(Path::new(path)),
+            None => Err(usage.into()),
+        },
+        Some("convert") => match (args.get(1), args.get(2)) {
+            (Some(input), Some(output)) => convert(Path::new(input), Path::new(output)),
+            _ => Err(usage.into()),
+        },
+        _ => Err(usage.into()),
+    }
+}
+
+/// Records the named profiles (all 21 when none are named) at `scale`
+/// into the default trace cache. Existing entries are cache hits and are
+/// not re-generated.
+fn record(names: &[String], scale: Scale) -> Result<String, String> {
+    let profiles: Vec<&'static WorkloadProfile> = if names.is_empty() {
+        PROFILES.iter().collect()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                WorkloadProfile::by_name(n).ok_or_else(|| format!("unknown workload profile: {n}"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let cache = TraceCache::open_default().map_err(|e| format!("trace cache: {e}"))?;
+    let dram = DramConfig::paper_baseline();
+    let mut out = format!(
+        "Recording {} profile(s) at {}x{} (banks x tREFW windows) into {}\n",
+        profiles.len(),
+        scale.banks,
+        scale.windows,
+        cache.dir().display()
+    );
+    let mut total_bytes = 0u64;
+    for p in profiles {
+        let key = trace_key(
+            p,
+            &dram,
+            scale.generator(crate::perf_experiments::STREAM_SEED),
+        );
+        let hit = cache.lookup(&key).is_some();
+        let trace = cache
+            .open_or_record(&key, || {
+                moat_workloads::WorkloadStream::new(
+                    p,
+                    &dram,
+                    scale.generator(crate::perf_experiments::STREAM_SEED),
+                )
+            })
+            .map_err(|e| format!("recording {}: {e}", p.name))?;
+        let bytes = trace.records().len() as u64 + 48;
+        total_bytes += bytes;
+        out.push_str(&format!(
+            "  {:<12} {:>10} requests {:>9.1} MiB  {}\n",
+            p.name,
+            trace.len(),
+            bytes as f64 / (1024.0 * 1024.0),
+            if hit { "(cache hit)" } else { "(recorded)" }
+        ));
+    }
+    out.push_str(&format!(
+        "  total on disk: {:.1} MiB\n",
+        total_bytes as f64 / (1024.0 * 1024.0)
+    ));
+    Ok(out)
+}
+
+fn info(path: &Path) -> Result<String, String> {
+    let info = TraceInfo::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(format!(
+        "{}\n  format:      v{VERSION} ({RECORD_BYTES}-byte records)\n  \
+         fingerprint: {:#018x}\n  requests:    {}\n  checksum:    {:#018x}\n  \
+         file size:   {} bytes\n",
+        info.path.display(),
+        info.header.fingerprint,
+        info.header.count,
+        info.header.checksum,
+        info.file_bytes,
+    ))
+}
+
+fn verify(path: &Path) -> Result<String, String> {
+    // open() validates the header, the length, and the full checksum.
+    let trace = TraceFile::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(format!(
+        "{}: OK — {} requests, checksum verified\n",
+        path.display(),
+        trace.len()
+    ))
+}
+
+/// Converts between the text (v1) and binary (v2) trace forms; the
+/// direction follows the *input* extension (`.mtrace` = binary).
+fn convert(input: &Path, output: &Path) -> Result<String, String> {
+    let is_binary = input.extension().is_some_and(|e| e == "mtrace");
+    if is_binary {
+        let trace = TraceFile::open(input).map_err(|e| format!("{}: {e}", input.display()))?;
+        let file =
+            std::fs::File::create(output).map_err(|e| format!("{}: {e}", output.display()))?;
+        let n = binary_to_text(&trace, file).map_err(|e| format!("{}: {e}", output.display()))?;
+        Ok(format!(
+            "converted {} -> {} ({n} requests, binary v2 -> text v1)\n",
+            input.display(),
+            output.display()
+        ))
+    } else {
+        let file = std::fs::File::open(input).map_err(|e| format!("{}: {e}", input.display()))?;
+        // Imported traces carry fingerprint 0: they have no generator
+        // content address.
+        let header =
+            text_to_binary(file, output, 0).map_err(|e| format!("{}: {e}", output.display()))?;
+        Ok(format!(
+            "converted {} -> {} ({} requests, text v1 -> binary v2)\n",
+            input.display(),
+            output.display(),
+            header.count
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("moat-trace-cmd-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn info_verify_and_convert_roundtrip() {
+        // Build a tiny text trace, convert to binary, inspect, verify,
+        // and convert back.
+        let text_path = temp("in.trace");
+        std::fs::write(&text_path, "# demo\n52 0 7\n0 1 9\n104 0 7\n").unwrap();
+        let bin_path = temp("out.mtrace");
+        let msg = convert(&text_path, &bin_path).unwrap();
+        assert!(msg.contains("3 requests"), "{msg}");
+
+        let info_out = info(&bin_path).unwrap();
+        assert!(info_out.contains("requests:    3"), "{info_out}");
+        assert!(info_out.contains("format:      v2"), "{info_out}");
+        let verify_out = verify(&bin_path).unwrap();
+        assert!(verify_out.contains("OK"), "{verify_out}");
+
+        let text_back = temp("back.trace");
+        convert(&bin_path, &text_back).unwrap();
+        let reqs: Vec<_> = moat_workloads::read_trace(std::fs::File::open(&text_back).unwrap())
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(reqs.len(), 3);
+        for p in [&text_path, &bin_path, &text_back] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn dispatcher_rejects_unknown_subcommands() {
+        assert!(run_trace_command(&[], Scale::scaled()).is_err());
+        assert!(run_trace_command(&["nope".into()], Scale::scaled()).is_err());
+        assert!(run_trace_command(&["info".into()], Scale::scaled()).is_err());
+        assert!(run_trace_command(&["convert".into(), "a".into()], Scale::scaled()).is_err());
+    }
+
+    #[test]
+    fn record_rejects_unknown_profiles() {
+        let err = record(&["not-a-workload".into()], Scale::scaled()).unwrap_err();
+        assert!(err.contains("unknown workload profile"), "{err}");
+    }
+
+    #[test]
+    fn verify_flags_corruption() {
+        let bin_path = temp("corrupt.mtrace");
+        std::fs::write(temp("c.trace"), "1 0 1\n2 0 2\n").unwrap();
+        convert(&temp("c.trace"), &bin_path).unwrap();
+        let mut bytes = std::fs::read(&bin_path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&bin_path, &bytes).unwrap();
+        let err = verify(&bin_path).unwrap_err();
+        assert!(err.contains("checksum"), "{err}");
+        std::fs::remove_file(&bin_path).unwrap();
+        std::fs::remove_file(temp("c.trace")).unwrap();
+    }
+}

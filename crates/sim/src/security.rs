@@ -373,8 +373,9 @@ impl<E: MitigationEngine> SecuritySim<E> {
     /// prefetching pass. ALERT episodes resolve against the pre-resolved
     /// [`EpisodeSchedule`](moat_dram::EpisodeSchedule) (assert → stall →
     /// `L` RFMs as one arithmetic step) instead of per-RFM protocol
-    /// round-trips. The in-window ACTs of an episode and any
-    /// spacing-stalled ALERT run per-step.
+    /// round-trips, the episode's ~3 in-window ACTs batch against the
+    /// precomputed stall point, and a spacing-stalled ALERT batches the
+    /// exact run of ACTs the inter-ALERT rule still owes.
     ///
     /// Purely a host-side optimization: the report is bit-identical to
     /// `run` over [`Scripted::new`] of the same script (pinned by the
@@ -392,17 +393,29 @@ impl<E: MitigationEngine> SecuritySim<E> {
 
         while self.now < end {
             // 1. ABO RFM phase has priority once the activity window
-            //    closes — flattened into one arithmetic step.
+            //    closes — flattened into one arithmetic step when the
+            //    whole phase runs before `end`. When `end` falls inside
+            //    the phase, the reference loop truncates mid-phase (RFM
+            //    `i` only issues while `now < end`), so drain per-RFM to
+            //    stop at the identical point.
             match self.abo.phase() {
                 AboPhase::ActWindow { stall_at } if self.now >= stall_at => {
-                    let done = self
-                        .abo
-                        .complete_episode(self.now)
-                        .expect("episode after window");
-                    for _ in 0..self.abo.level().as_u8() {
+                    let rfms = u64::from(self.abo.level().as_u8());
+                    let last_start = self.now + self.config.dram.timing.t_rfm * (rfms - 1);
+                    if last_start < end {
+                        let done = self
+                            .abo
+                            .complete_episode(self.now)
+                            .expect("episode after window");
+                        for _ in 0..rfms {
+                            self.unit.rfm_mitigate();
+                        }
+                        self.now = done;
+                    } else {
+                        let done = self.abo.start_rfm(self.now).expect("rfm after window");
                         self.unit.rfm_mitigate();
+                        self.now = done;
                     }
-                    self.now = done;
                     continue;
                 }
                 AboPhase::Rfm { busy_until, .. } => {
@@ -469,33 +482,58 @@ impl<E: MitigationEngine> SecuritySim<E> {
     }
 
     /// How many ACTs are provably free of state-changing events from
-    /// `self.now`: the defense is inert until the next REF deadline, the
-    /// end of the run, and the engine's earliest possible ALERT request.
-    /// `1` (or `0`) means "no batching guarantee — step one slot".
+    /// `self.now`. `1` (or `0`) means "no batching guarantee — step one
+    /// slot".
+    ///
+    /// * **Idle** — the defense is inert until the next REF deadline, the
+    ///   end of the run, and the earliest possible ALERT assertion. The
+    ///   ALERT bound is the engine's
+    ///   [`min_acts_to_alert`](MitigationEngine::min_acts_to_alert) hint
+    ///   while no ALERT is requested; once one is pending but stalled on
+    ///   the inter-ALERT spacing rule, it is the exact number of ACTs
+    ///   still owed (`L − acts_since_episode`) — the flag cannot clear
+    ///   (mitigations only happen at REF/RFM events) and the assertion
+    ///   fires precisely when the spacing is met, so the whole stalled
+    ///   run batches instead of stepping one slot at a time.
+    /// * **ALERT activity window** — the episode's in-window ACT count is
+    ///   precomputed from the stall point: no REF, no assertion, and no
+    ///   mitigation can occur before `stall_at`, so the
+    ///   ⌊(stall_at − now)/tRC⌋ ACTs that fit the window (~3 at DDR5
+    ///   timings) issue as one batched run.
     fn act_horizon(&self, end: Nanos, t_rc: Nanos) -> usize {
-        if !matches!(self.abo.phase(), AboPhase::Idle) {
-            return 1;
-        }
-        // A pending ALERT that is merely spacing-stalled can assert after
-        // any step; resolve it per-step.
-        if self.config.alerts_enabled && self.unit.alert_pending() {
-            return 1;
-        }
         let now = self.now;
         if self.unit.bank().next_ready() > now {
             return 1;
         }
-        let ceil_div = |d: Nanos| d.as_u64().div_ceil(t_rc.as_u64());
         // Acts land at now + i·tRC; each bound counts the slots strictly
         // before its deadline (the per-step loop re-checks at ≥).
-        let n_ref = ceil_div(self.unit.refresh().next_due().saturating_sub(now));
+        let ceil_div = |d: Nanos| d.as_u64().div_ceil(t_rc.as_u64());
         let n_end = ceil_div(end.saturating_sub(now));
-        let n_alert = if self.config.alerts_enabled {
-            self.unit.min_acts_to_alert()
-        } else {
-            u64::MAX
-        };
-        n_ref.min(n_end).min(n_alert).min(MAX_RUN as u64) as usize
+        match self.abo.phase() {
+            AboPhase::Idle => {
+                let n_ref = ceil_div(self.unit.refresh().next_due().saturating_sub(now));
+                let n_alert = if !self.config.alerts_enabled {
+                    u64::MAX
+                } else if self.unit.alert_pending() {
+                    // Spacing-stalled ALERT: can_assert() was false at
+                    // step 3 (else the phase would be ActWindow), so
+                    // exactly this many ACTs are owed before assertion.
+                    u64::from(self.abo.level().as_u8())
+                        .saturating_sub(self.abo.acts_since_episode())
+                } else {
+                    self.unit.min_acts_to_alert()
+                };
+                n_ref.min(n_end).min(n_alert).min(MAX_RUN as u64) as usize
+            }
+            // An ACT must *finish* before the stall point (floor, not
+            // ceil). A full window is ~3 ACTs; 0 falls through to the
+            // per-step path, which advances to the stall point.
+            AboPhase::ActWindow { stall_at } => {
+                let n_window = stall_at.saturating_sub(now).as_u64() / t_rc.as_u64();
+                n_window.min(n_end).min(MAX_RUN as u64) as usize
+            }
+            AboPhase::Rfm { .. } => 1,
+        }
     }
 
     /// The report for everything simulated so far.
@@ -816,6 +854,56 @@ mod tests {
             got.total_acts
         );
         assert!(got.elapsed < Nanos::from_millis(1));
+    }
+
+    #[test]
+    fn batched_hammer_matches_per_step_for_panopticon() {
+        // The Panopticon-family horizon (queue threshold distance) keeps
+        // the batched path exact for both variants, including overflow
+        // ALERTs and drain-on-REF episodes.
+        use moat_trackers::{PanopticonConfig, PanopticonEngine};
+        for pano in [
+            PanopticonConfig::paper_default(),
+            PanopticonConfig::drain_variant(),
+        ] {
+            let mk =
+                || SecuritySim::new(SecurityConfig::paper_default(), PanopticonEngine::new(pano));
+            let mut per_step = mk();
+            let expect = per_step.run(
+                &mut Scripted::new(hammer_attacker(20_000)),
+                Nanos::from_millis(4),
+            );
+            let mut batched = mk();
+            let got = batched.run_batched(&mut hammer_attacker(20_000), Nanos::from_millis(4));
+            assert_eq!(got, expect, "drain_on_ref={}", pano.drain_on_ref);
+            assert!(expect.refs > 0);
+        }
+    }
+
+    #[test]
+    fn moat_horizon_batches_spacing_and_window_acts() {
+        // With a level-4 protocol the spacing rule owes 4 ACTs after each
+        // episode and each 180 ns window fits 3 ACTs; both now batch.
+        // This pins the arithmetic against the per-step reference on a
+        // run dense with episodes.
+        let mut cfg = SecurityConfig::paper_default();
+        cfg.abo_level = moat_dram::AboLevel::L4;
+        let mk = || {
+            SecuritySim::new(
+                cfg,
+                Box::new(MoatEngine::new(MoatConfig::paper_default()))
+                    as Box<dyn moat_dram::MitigationEngine>,
+            )
+        };
+        let mut per_step = mk();
+        let expect = per_step.run(
+            &mut Scripted::new(hammer_attacker(10_000)),
+            Nanos::from_millis(3),
+        );
+        let mut batched = mk();
+        let got = batched.run_batched(&mut hammer_attacker(10_000), Nanos::from_millis(3));
+        assert_eq!(got, expect);
+        assert!(got.alerts > 10, "episodes must be exercised");
     }
 
     #[test]

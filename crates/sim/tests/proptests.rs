@@ -224,4 +224,46 @@ proptest! {
         let got = batched.run_batched(&mut script.clone(), duration);
         prop_assert_eq!(got, expect);
     }
+
+    /// Batched ≡ per-step holds for the Panopticon family too — the
+    /// engines whose `min_acts_to_alert` is the queue's threshold
+    /// distance. Small queues and thresholds make overflow ALERTs (and,
+    /// for the drain variant, REF-triggered drain ALERTs) frequent inside
+    /// the run.
+    #[test]
+    fn batched_matches_per_step_for_panopticon(
+        base in 100u32..60_000,
+        spacings in prop::collection::vec(1u32..12, 1..8),
+        total in 500u64..6_000,
+        level_idx in 0usize..3,
+        entries in 1usize..5,
+        threshold in 4u32..40,
+        drain_coin in 0u8..2,
+        micros in 100u64..1500,
+    ) {
+        use moat_trackers::{PanopticonConfig, PanopticonEngine};
+
+        let mut cfg = SecurityConfig::paper_default();
+        cfg.abo_level = AboLevel::ALL[level_idx];
+
+        let mut rows = Vec::new();
+        let mut row = base;
+        for s in &spacings {
+            rows.push(RowId::new(row));
+            row += s;
+        }
+        let script = PatternScript { rows, pos: 0, remaining: total };
+        let duration = Nanos::from_micros(micros);
+        let pano = PanopticonConfig {
+            queue_entries: entries,
+            queue_threshold: threshold,
+            drain_on_ref: drain_coin == 1,
+        };
+
+        let mut per_step = SecuritySim::new(cfg, PanopticonEngine::new(pano));
+        let expect = per_step.run(&mut Scripted::new(script.clone()), duration);
+        let mut batched = SecuritySim::new(cfg, PanopticonEngine::new(pano));
+        let got = batched.run_batched(&mut script.clone(), duration);
+        prop_assert_eq!(got, expect);
+    }
 }

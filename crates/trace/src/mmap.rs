@@ -1,0 +1,202 @@
+//! A minimal read-only memory mapping.
+//!
+//! The build environment has no crates.io access, so instead of the usual
+//! `memmap2` this module declares the two libc symbols it needs directly
+//! (`std` already links the platform C library on Unix). On non-Unix
+//! targets the "map" degrades to reading the file into an owned buffer —
+//! same API, no zero-copy.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_SHARED: c_int = 1;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        /// POSIX `mmap`. `offset` is `off_t`; this crate only ever maps
+        /// from offset 0, which is representable under every `off_t`
+        /// width.
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only mapping of an entire file.
+///
+/// Dereferences to `&[u8]`. The mapping is private to this process's view
+/// in the sense that the file is never written through it (`PROT_READ`),
+/// so sharing across threads is sound.
+#[derive(Debug)]
+pub struct Mmap {
+    #[cfg(unix)]
+    ptr: *const u8,
+    #[cfg(unix)]
+    len: usize,
+    #[cfg(not(unix))]
+    buf: Vec<u8>,
+}
+
+// SAFETY: the mapping is read-only for its whole lifetime (PROT_READ and
+// no public mutation), so concurrent shared access from any thread is a
+// plain immutable-bytes read.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps all of `file` read-only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates metadata and `mmap(2)` failures.
+    #[cfg(unix)]
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+
+        let len = usize::try_from(file.metadata()?.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        if len == 0 {
+            // mmap(2) rejects zero-length maps; an empty file needs none.
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        // SAFETY: a fresh read-only shared mapping of a file descriptor we
+        // own for the duration of the call; the result is checked against
+        // MAP_FAILED before use.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr.cast_const().cast::<u8>(),
+            len,
+        })
+    }
+
+    /// Fallback for targets without `mmap`: reads the file into memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors.
+    #[cfg(not(unix))]
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        use std::io::Read;
+
+        let mut buf = Vec::new();
+        let mut file = file;
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap { buf })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        #[cfg(unix)]
+        // SAFETY: `ptr` points at a live `len`-byte mapping (or is a
+        // dangling-but-aligned pointer with len 0, which from_raw_parts
+        // permits); the mapping outlives `self` and is never mutated.
+        unsafe {
+            std::slice::from_raw_parts(self.ptr, self.len)
+        }
+        #[cfg(not(unix))]
+        &self.buf
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // SAFETY: unmapping the exact region map() created; the slice
+            // handed out by as_slice cannot outlive self.
+            unsafe {
+                sys::munmap(self.ptr.cast_mut().cast(), self.len);
+            }
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("moat-mmap-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_path("basic");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&*map, &payload[..]);
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_path("empty");
+        std::fs::File::create(&path).unwrap();
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapping_is_shareable_across_threads() {
+        let path = temp_path("threads");
+        std::fs::File::create(&path)
+            .unwrap()
+            .write_all(&[7u8; 4096])
+            .unwrap();
+        let map = std::sync::Arc::new(Mmap::map(&File::open(&path).unwrap()).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = map.clone();
+                std::thread::spawn(move || m.iter().map(|&b| u64::from(b)).sum::<u64>())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 7 * 4096);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -75,6 +75,10 @@ impl MitigationEngine for IdealSramTracker {
         false // purely transparent: never asks for more time (§2.5).
     }
 
+    fn min_acts_to_alert(&self) -> u64 {
+        u64::MAX // never alerts: the batching horizon is unbounded.
+    }
+
     fn select_ref_mitigation(&mut self) -> Option<RowId> {
         let row = self.argmax()?;
         self.mitigations += 1;

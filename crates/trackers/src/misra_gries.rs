@@ -85,6 +85,10 @@ impl MitigationEngine for MisraGriesTracker {
         false
     }
 
+    fn min_acts_to_alert(&self) -> u64 {
+        u64::MAX // never alerts: the batching horizon is unbounded.
+    }
+
     fn select_ref_mitigation(&mut self) -> Option<RowId> {
         let (idx, _) = self
             .entries

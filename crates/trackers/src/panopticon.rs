@@ -173,6 +173,23 @@ impl MitigationEngine for PanopticonEngine {
         self.alert_pending
     }
 
+    /// Panopticon's event horizon is the queue's threshold distance: an
+    /// ALERT needs an insertion to overflow a full queue, one ACT causes
+    /// at most one threshold crossing (a row's counter crosses at most
+    /// one multiple per increment), and crossings fill free slots before
+    /// any can overflow — so with `f` free entries the earliest possible
+    /// ALERT is `f + 1` activations out. Queue pops only happen at
+    /// REF/RFM events, which the batched simulator already treats as
+    /// horizon boundaries; likewise the drain variant's REF-time alert
+    /// flips inside `on_refresh_group`, behind the REF deadline that
+    /// bounds every batched run.
+    fn min_acts_to_alert(&self) -> u64 {
+        if self.alert_pending {
+            return 0;
+        }
+        (self.config.queue_entries - self.queue.len()) as u64 + 1
+    }
+
     fn select_ref_mitigation(&mut self) -> Option<RowId> {
         self.pop()
     }
@@ -341,6 +358,49 @@ mod tests {
     #[test]
     fn sram_budget() {
         assert_eq!(engine().sram_bytes_per_bank(), 16);
+    }
+
+    #[test]
+    fn horizon_is_queue_threshold_distance() {
+        let mut p = engine();
+        // Empty queue, 8 entries: 8 fills + 1 overflow = 9 ACTs minimum.
+        assert_eq!(p.min_acts_to_alert(), 9);
+        for r in 0..5u32 {
+            p.on_precharge_update(RowId::new(r), ActCount::new(128));
+            assert_eq!(p.min_acts_to_alert(), 9 - u64::from(r) - 1);
+        }
+        // Draining an entry widens the horizon again.
+        assert!(p.select_ref_mitigation().is_some());
+        assert_eq!(p.min_acts_to_alert(), 5);
+        // Overflow: pending alert means no guarantee at all.
+        for r in 5..9u32 {
+            p.on_precharge_update(RowId::new(r), ActCount::new(128));
+        }
+        p.on_precharge_update(RowId::new(99), ActCount::new(128));
+        assert!(p.alert_pending());
+        assert_eq!(p.min_acts_to_alert(), 0);
+    }
+
+    #[test]
+    fn horizon_is_sound_under_adversarial_crossings() {
+        // The horizon invariant: with `n = min_acts_to_alert()`, the flag
+        // stays false for any k < n further ACTs — even when every ACT is
+        // a fresh threshold crossing (counters pre-seeded one below a
+        // multiple, the randomized-init worst case).
+        let mut p = engine();
+        loop {
+            let n = p.min_acts_to_alert();
+            assert!(n >= 1);
+            for k in 0..n - 1 {
+                p.on_precharge_update(RowId::new(1000 + k as u32), ActCount::new(128));
+                assert!(!p.alert_pending(), "alert before the horizon: k={k} n={n}");
+            }
+            // The horizon's last ACT may (here: does) trip the alert.
+            p.on_precharge_update(RowId::new(2000), ActCount::new(128));
+            if p.alert_pending() {
+                break;
+            }
+        }
     }
 
     #[test]

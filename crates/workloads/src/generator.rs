@@ -22,6 +22,14 @@ use rand::{Rng, SeedableRng};
 
 use crate::profiles::WorkloadProfile;
 
+/// Version of the stream-generation algorithm. Folded into every trace
+/// cache key (see [`crate::trace_key`]): recorded traces are replayed as
+/// stand-ins for fresh generation, so **bump this whenever a change to
+/// this module alters the emitted sequence** — otherwise warm caches
+/// (developer checkouts, the persisted CI cache) would silently replay
+/// the pre-change streams.
+pub const GENERATOR_VERSION: u32 = 1;
+
 /// Aggregate instruction rate of the paper's 8-core 4 GHz system at an
 /// assumed IPC of 1 (instructions per second).
 const INSTR_PER_SEC: f64 = 8.0 * 4.0e9;

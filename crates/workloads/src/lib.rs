@@ -22,6 +22,6 @@ mod generator;
 mod profiles;
 mod trace;
 
-pub use generator::{GeneratorConfig, HistogramCheck, WorkloadStream};
+pub use generator::{GeneratorConfig, HistogramCheck, WorkloadStream, GENERATOR_VERSION};
 pub use profiles::{Suite, WorkloadProfile, PROFILES};
-pub use trace::{read_trace, write_trace};
+pub use trace::{binary_to_text, read_trace, text_to_binary, trace_key, write_trace};

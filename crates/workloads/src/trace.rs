@@ -1,13 +1,31 @@
-//! Trace import/export: persist activation streams to a plain-text format
-//! so experiments can be replayed outside the generator (or real traces
-//! plugged in, should the user have them).
+//! Trace import/export: persist activation streams so experiments can be
+//! replayed outside the generator (or real traces plugged in, should the
+//! user have them).
 //!
-//! Format: one request per line, `gap_ns bank row`, with `#` comments.
+//! Two sibling formats, losslessly interconvertible:
+//!
+//! * **v1 (text)** — one request per line, `gap_ns bank row`, with `#`
+//!   comments ([`write_trace`] / [`read_trace`]). Human-editable; the
+//!   import/export interchange form.
+//! * **v2 (binary)** — the fixed-width mmap-backed store of
+//!   [`moat_trace`]: 48-byte header, 16-byte records
+//!   ([`text_to_binary`] / [`binary_to_text`]). The replay form every
+//!   sweep runs from.
+//!
+//! [`trace_key`] derives the content address a generated workload stream
+//! caches under — the fingerprint covers the profile, the full
+//! [`DramConfig`], and the [`GeneratorConfig`] (banks, windows, seed), so
+//! any input change misses the cache instead of replaying a stale stream.
 
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
 
-use moat_dram::{BankId, Nanos, RowId};
+use moat_dram::{BankId, DramConfig, Nanos, RowId};
 use moat_sim::{Request, RequestStream};
+use moat_trace::{Fingerprint, TraceFile, TraceHeader, TraceKey, TraceWriter};
+
+use crate::generator::GeneratorConfig;
+use crate::profiles::WorkloadProfile;
 
 /// Writes a request stream to `writer` in the text trace format.
 ///
@@ -92,6 +110,66 @@ fn parse_line(l: &str) -> io::Result<Request> {
     })
 }
 
+/// The content address a generated workload stream caches under: the
+/// fingerprint covers the generator algorithm version
+/// ([`crate::GENERATOR_VERSION`] — bumped when the emission logic
+/// changes, so stale recordings can never replay as the new sequence),
+/// the profile name, every [`DramConfig`] field (via its `Debug` form —
+/// any organization or timing change invalidates the entry), and the
+/// full [`GeneratorConfig`], which together determine the stream
+/// bit-for-bit. The stream's length is a function of these inputs and
+/// is additionally pinned by the trace header's record count.
+pub fn trace_key(
+    profile: &WorkloadProfile,
+    dram: &DramConfig,
+    config: GeneratorConfig,
+) -> TraceKey {
+    let mut fp = Fingerprint::new();
+    fp.write_u64(u64::from(crate::GENERATOR_VERSION))
+        .write_str(profile.name)
+        .write_str(&format!("{dram:?}"))
+        .write_u64(u64::from(config.banks))
+        .write_u64(u64::from(config.windows))
+        .write_u64(config.seed);
+    TraceKey::new(profile.name, fp.finish())
+}
+
+/// Converts a v1 text trace into a sealed v2 binary trace at `path`,
+/// carrying `fingerprint` into the header (use `0` for traces imported
+/// from an external source). Returns the sealed header.
+///
+/// # Errors
+///
+/// Propagates read errors, malformed-line errors, and write errors; the
+/// partial output file is removed on error.
+pub fn text_to_binary<R: Read>(
+    reader: R,
+    path: &Path,
+    fingerprint: u64,
+) -> io::Result<TraceHeader> {
+    let result = (|| {
+        let mut writer = TraceWriter::create(path, fingerprint)?;
+        for request in read_trace(reader)? {
+            writer.push(request?)?;
+        }
+        writer.finish()
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(path);
+    }
+    result
+}
+
+/// Writes a v2 binary trace back out as v1 text. Returns the request
+/// count (always `trace.len()`).
+///
+/// # Errors
+///
+/// Propagates write errors.
+pub fn binary_to_text<W: Write>(trace: &TraceFile, writer: W) -> io::Result<u64> {
+    write_trace(writer, trace.replay())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +216,92 @@ mod tests {
         for bad in ["52 0", "x 0 1", "1 2 3 4"] {
             let res: Result<Vec<Request>, _> = read_trace(bad.as_bytes()).unwrap().collect();
             assert!(res.is_err(), "{bad} should fail");
+        }
+    }
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "moat-wl-trace-{}-{name}.mtrace",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn text_and_binary_interconvert_losslessly() {
+        let profile = WorkloadProfile::by_name("x264").unwrap();
+        let dram = DramConfig::paper_baseline();
+        let cfg = GeneratorConfig {
+            banks: 1,
+            windows: 1,
+            seed: 11,
+        };
+        let mut text = Vec::new();
+        let n = write_trace(&mut text, WorkloadStream::new(profile, &dram, cfg)).unwrap();
+
+        // text → binary → text reproduces the stream exactly.
+        let path = temp("convert");
+        let header = text_to_binary(&text[..], &path, 0xF00D).unwrap();
+        assert_eq!(header.count, n);
+        assert_eq!(header.fingerprint, 0xF00D);
+        let trace = TraceFile::open(&path).unwrap();
+        let mut replay = trace.replay();
+        let mut orig = WorkloadStream::new(profile, &dram, cfg);
+        while let Some(expect) = orig.next_request() {
+            assert_eq!(replay.next_request(), Some(expect));
+        }
+        assert_eq!(replay.next_request(), None);
+
+        let mut text_again = Vec::new();
+        assert_eq!(binary_to_text(&trace, &mut text_again).unwrap(), n);
+        let a: Vec<Request> = read_trace(&text[..]).unwrap().map(|r| r.unwrap()).collect();
+        let b: Vec<Request> = read_trace(&text_again[..])
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_text_conversion_cleans_up() {
+        let path = temp("badconvert");
+        assert!(text_to_binary("1 2\n".as_bytes(), &path, 0).is_err());
+        assert!(!path.exists(), "partial binary removed on error");
+    }
+
+    #[test]
+    fn trace_key_separates_every_input() {
+        let dram = DramConfig::paper_baseline();
+        let base = GeneratorConfig {
+            banks: 2,
+            windows: 1,
+            seed: 7,
+        };
+        let p = WorkloadProfile::by_name("gcc").unwrap();
+        let key = trace_key(p, &dram, base);
+        assert_eq!(key.label, "gcc");
+        assert_eq!(key, trace_key(p, &dram, base), "deterministic");
+
+        let other_profile = trace_key(WorkloadProfile::by_name("roms").unwrap(), &dram, base);
+        let other_seed = trace_key(p, &dram, GeneratorConfig { seed: 8, ..base });
+        let other_banks = trace_key(p, &dram, GeneratorConfig { banks: 4, ..base });
+        let other_windows = trace_key(p, &dram, GeneratorConfig { windows: 2, ..base });
+        let other_dram = trace_key(p, &DramConfig::builder().rows_per_bank(4096).build(), base);
+        let fps: Vec<u64> = [
+            &key,
+            &other_profile,
+            &other_seed,
+            &other_banks,
+            &other_windows,
+            &other_dram,
+        ]
+        .iter()
+        .map(|k| k.fingerprint)
+        .collect();
+        for i in 0..fps.len() {
+            for j in i + 1..fps.len() {
+                assert_ne!(fps[i], fps[j], "inputs {i} and {j} collide");
+            }
         }
     }
 }

@@ -11,6 +11,7 @@
 //! | [`sim`] | `moat-sim` | the security and performance simulators |
 //! | [`attacks`] | `moat-attacks` | Jailbreak, Ratchet, Feinting, TSA, straddle, postponement, kernels |
 //! | [`workloads`] | `moat-workloads` | Table-4-calibrated SPEC/GAP synthetic streams |
+//! | [`trace`] | `moat-trace` | mmap-backed binary trace store (format v2) and content-addressed cache |
 //! | [`analysis`] | `moat-analysis` | Appendix-A Ratchet model, feinting bound, throughput models, SRAM budgets |
 //!
 //! ## Quick taste
@@ -38,5 +39,6 @@ pub use moat_attacks as attacks;
 pub use moat_core as core;
 pub use moat_dram as dram;
 pub use moat_sim as sim;
+pub use moat_trace as trace;
 pub use moat_trackers as trackers;
 pub use moat_workloads as workloads;
