@@ -16,7 +16,7 @@ use std::collections::BinaryHeap;
 use std::borrow::Cow;
 
 use moat_dram::RowId;
-use moat_sim::{AttackStep, Attacker, DefenseView};
+use moat_sim::{AttackStep, Attacker, DefenseView, RunGrant, SemiRun, SemiScriptedAttacker};
 
 /// The feinting attacker: min-count round-robin over a shrinking pool.
 ///
@@ -44,6 +44,14 @@ pub struct FeintingAttacker {
     /// (count, row) min-heap over the live pool.
     heap: BinaryHeap<Reverse<(u32, u32)>>,
     initial_pool: usize,
+    /// First pool row (pool rows are `base_row + 6·slot`).
+    base_row: u32,
+    /// Per-grant touched marks for the semi-scripted form, slot-indexed:
+    /// `touched[slot] == generation` ⇔ the slot's row was already
+    /// published in the current grant, so its heap count *is* the
+    /// modeled counter (mitigations cannot land mid-grant).
+    touched: Vec<u64>,
+    generation: u64,
 }
 
 impl FeintingAttacker {
@@ -60,6 +68,9 @@ impl FeintingAttacker {
                 .map(|i| Reverse((0, base_row + 6 * i)))
                 .collect(),
             initial_pool: pool_size,
+            base_row,
+            touched: vec![0; pool_size],
+            generation: 0,
         }
     }
 
@@ -95,6 +106,56 @@ impl Attacker for FeintingAttacker {
 
     fn name(&self) -> Cow<'_, str> {
         Cow::Owned(format!("feinting(pool={})", self.initial_pool))
+    }
+}
+
+/// The semi-scripted form: the min-count round-robin vectorizes into one
+/// published run per grant. PRAC counters only reset at REF/RFM events —
+/// grant boundaries — so the abandon-on-reset check fires at exactly the
+/// same points as in the per-step reference, and a row already published
+/// this grant needs no re-read: its heap count *is* the modeled counter
+/// (tracked by O(1) generation marks per pool slot). Engine-agnostic by
+/// design, the publish stays within the engine-guaranteed tier of the
+/// grant.
+impl SemiScriptedAttacker for FeintingAttacker {
+    fn publish(
+        &mut self,
+        view: &DefenseView<'_>,
+        buf: &mut Vec<RowId>,
+        grant: RunGrant,
+    ) -> SemiRun {
+        let max = grant.alert_safe;
+        self.generation += 1;
+        let bank = view.unit.bank();
+        while buf.len() < max {
+            let Some(&Reverse((count, row))) = self.heap.peek() else {
+                break;
+            };
+            let slot = ((row - self.base_row) / 6) as usize;
+            let actual = if self.touched[slot] == self.generation {
+                count
+            } else {
+                bank.counter(RowId::new(row)).get()
+            };
+            if actual < count {
+                // Mitigated (or swept): abandon — the feint succeeded.
+                self.heap.pop();
+                continue;
+            }
+            self.heap.pop();
+            self.heap.push(Reverse((actual + 1, row)));
+            self.touched[slot] = self.generation;
+            buf.push(RowId::new(row));
+        }
+        if buf.is_empty() {
+            SemiRun::Stop
+        } else {
+            SemiRun::Acts(buf.len())
+        }
+    }
+
+    fn name(&self) -> Cow<'_, str> {
+        Attacker::name(self)
     }
 }
 

@@ -1,0 +1,163 @@
+//! Shared helper for semi-scripted attackers: per-grant activation
+//! accounting.
+//!
+//! The publish contract of
+//! [`SemiScriptedAttacker`](moat_sim::SemiScriptedAttacker) lets an
+//! attacker observe the defense once per grant; any counter its *own*
+//! published activations will bump inside the grant must be modeled by
+//! the attacker itself. [`GrantLog`] is that model: a tiny row → extra
+//! activation-count map, cleared at every publish, that heap-driven
+//! attackers (Ratchet, Feinting) add to the snapshot's PRAC counters
+//! while vectorizing their min-count scheduling loops.
+
+use moat_dram::{MitigationEngine, RowId};
+use moat_sim::DefenseView;
+use moat_trackers::PanopticonEngine;
+
+/// Activations already published for each row within the current grant.
+///
+/// Backed by a linear-scan vector: grants are bounded by the simulator's
+/// run cap (≤ 1024) and typically touch a handful of distinct rows, so a
+/// scan beats hashing.
+#[derive(Debug, Default)]
+pub(crate) struct GrantLog<K: Copy + Eq> {
+    acts: Vec<(K, u32)>,
+}
+
+impl<K: Copy + Eq> GrantLog<K> {
+    /// Starts a fresh grant.
+    pub(crate) fn clear(&mut self) {
+        self.acts.clear();
+    }
+
+    /// Activations published for `key` so far in this grant.
+    pub(crate) fn count(&self, key: K) -> u32 {
+        self.acts
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    /// Records one published activation of `key`.
+    pub(crate) fn bump(&mut self, key: K) {
+        if let Some(entry) = self.acts.iter_mut().find(|(k, _)| *k == key) {
+            entry.1 += 1;
+        } else {
+            self.acts.push((key, 1));
+        }
+    }
+}
+
+/// Builds an engine-aware Panopticon run: appends up to `want` planned
+/// activations (row `k` chosen by `row_at(k)`) to `buf`, ending the run
+/// at the first ACT that could flip the queue's `alert_pending` — the
+/// threshold crossing that overflows a full queue. Returns how many acts
+/// were appended (at least 1 when `want ≥ 1`).
+///
+/// This is how Jailbreak and the postponement attacker publish past the
+/// engine's conservative [`RunGrant::alert_safe`](moat_sim::RunGrant)
+/// tier: with the snapshot's queue occupancy and its own (grant-modeled)
+/// counters, the attacker knows exactly which planned ACT causes the
+/// `(free + 1)`-th crossing; everything before it provably cannot alert,
+/// because queue pops — the only thing that frees a slot or clears the
+/// flag — happen exclusively at REF/RFM events outside the grant. When
+/// the flag is already pending nothing can *flip* (clears are also
+/// event-bound), so the plan runs uncapped to `want`. When the engine is
+/// not a [`PanopticonEngine`], the run conservatively stays within
+/// `fallback_cap` (the grant's engine-safe tier).
+///
+/// The caller clears `log` before the walk; the crossings are evaluated
+/// against the *engine's* queueing threshold (which may differ from the
+/// attacker's own parameter).
+pub(crate) fn push_panopticon_capped(
+    view: &DefenseView<'_>,
+    buf: &mut Vec<RowId>,
+    log: &mut GrantLog<RowId>,
+    want: usize,
+    fallback_cap: usize,
+    mut row_at: impl FnMut(usize) -> RowId,
+) -> usize {
+    let Some(pano) = view.engine().as_any().downcast_ref::<PanopticonEngine>() else {
+        let n = want.min(fallback_cap);
+        for k in 0..n {
+            buf.push(row_at(k));
+        }
+        return n;
+    };
+    let threshold = pano.config().queue_threshold;
+    let mut crossings_left = if pano.alert_pending() {
+        usize::MAX
+    } else {
+        pano.config().queue_entries - pano.queue_len() + 1
+    };
+    let bank = view.unit.bank();
+    for k in 0..want {
+        let row = row_at(k);
+        let after = bank.counter(row).get() + log.count(row) + 1;
+        buf.push(row);
+        log.bump(row);
+        if after.is_multiple_of(threshold) {
+            crossings_left -= 1;
+            if crossings_left == 0 {
+                // This ACT may overflow the queue and set the flag: the
+                // run ends here; the simulator asserts at the next slot,
+                // exactly like the per-step reference.
+                return k + 1;
+            }
+        }
+    }
+    want
+}
+
+/// Closed-form single-row variant of [`push_panopticon_capped`]: the
+/// crossings of one repeatedly hammered row are periodic (every
+/// `threshold` acts, first one `threshold − counter mod threshold` acts
+/// out), so the alert-edge cap is one arithmetic expression and the run
+/// body a `repeat_n` extend — no per-act counter reads or crossing
+/// checks. Exactly equivalent to the walking version over a constant
+/// `row_at`.
+pub(crate) fn push_panopticon_capped_single(
+    view: &DefenseView<'_>,
+    buf: &mut Vec<RowId>,
+    want: usize,
+    fallback_cap: usize,
+    row: RowId,
+) -> usize {
+    let Some(pano) = view.engine().as_any().downcast_ref::<PanopticonEngine>() else {
+        let n = want.min(fallback_cap);
+        buf.extend(std::iter::repeat_n(row, n));
+        return n;
+    };
+    let n = if pano.alert_pending() {
+        want
+    } else {
+        let threshold = u64::from(pano.config().queue_threshold);
+        let free = (pano.config().queue_entries - pano.queue_len()) as u64;
+        let counter = u64::from(view.unit.bank().counter(row).get());
+        // Crossings at k₁, k₁+t, …; the (free+1)-th — the first that can
+        // overflow — may end the run, acts beyond it may not start.
+        let k1 = threshold - counter % threshold;
+        (want as u64).min(k1 + free * threshold) as usize
+    };
+    buf.extend(std::iter::repeat_n(row, n));
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_per_key_and_reset_on_clear() {
+        let mut g: GrantLog<u32> = GrantLog::default();
+        assert_eq!(g.count(7), 0);
+        g.bump(7);
+        g.bump(7);
+        g.bump(9);
+        assert_eq!(g.count(7), 2);
+        assert_eq!(g.count(9), 1);
+        assert_eq!(g.count(8), 0);
+        g.clear();
+        assert_eq!(g.count(7), 0);
+    }
+}

@@ -20,7 +20,9 @@
 use std::borrow::Cow;
 
 use moat_dram::{Nanos, RowId};
-use moat_sim::{AttackStep, Attacker, DefenseView};
+use moat_sim::{AttackStep, Attacker, DefenseView, RunGrant, SemiRun, SemiScriptedAttacker};
+
+use crate::grant::{push_panopticon_capped, push_panopticon_capped_single, GrantLog};
 use moat_trackers::PanopticonEngine;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,6 +69,8 @@ pub struct JailbreakAttacker {
     /// Activations issued on the attack row within the current tREFI.
     hammer_acts_this_trefi: u32,
     current_trefi: u64,
+    /// Per-grant published-activation model for the semi-scripted form.
+    grant: GrantLog<RowId>,
 }
 
 impl JailbreakAttacker {
@@ -92,6 +96,7 @@ impl JailbreakAttacker {
             phase: Phase::Fill { act: 0 },
             hammer_acts_this_trefi: 0,
             current_trefi: 0,
+            grant: GrantLog::default(),
         }
     }
 
@@ -102,6 +107,18 @@ impl JailbreakAttacker {
 
     fn queue_of<'a>(&self, view: &'a DefenseView<'_>) -> Option<&'a PanopticonEngine> {
         view.engine().as_any().downcast_ref::<PanopticonEngine>()
+    }
+
+    /// The hammer phase's stop condition: the attack row's first copy has
+    /// been mitigated. Queue pops and in-flight changes only happen at
+    /// REF/RFM events — horizon boundaries — so the condition is constant
+    /// across one published grant (own activations can only *add* queue
+    /// copies).
+    fn hammer_done(&self, view: &DefenseView<'_>) -> bool {
+        self.queue_of(view).is_some_and(|p| {
+            !p.queue().contains(&self.attack_row())
+                && view.unit.inflight_row() != Some(self.attack_row())
+        })
     }
 }
 
@@ -123,13 +140,9 @@ impl Attacker for JailbreakAttacker {
                 // (it left the queue and its mitigation completed — the
                 // queue no longer holds it, or holds only younger copies
                 // while the ledger shows the pressure collapsed).
-                if let Some(p) = self.queue_of(view) {
-                    if !p.queue().contains(&self.attack_row())
-                        && view.unit.inflight_row() != Some(self.attack_row())
-                    {
-                        self.phase = Phase::Done;
-                        return AttackStep::Stop;
-                    }
+                if self.hammer_done(view) {
+                    self.phase = Phase::Done;
+                    return AttackStep::Stop;
                 }
                 // Pace: at most `acts_per_trefi` on the attack row per
                 // tREFI, so one queue copy per mitigation period.
@@ -151,6 +164,90 @@ impl Attacker for JailbreakAttacker {
 
     fn name(&self) -> Cow<'_, str> {
         Cow::Owned(format!("jailbreak(t={})", self.threshold))
+    }
+}
+
+/// The semi-scripted form: fill publishes whole decoy round-robin bursts,
+/// hammer publishes its per-tREFI budget in one run and idles the rest of
+/// the interval, re-observing the Panopticon queue only at drain points
+/// (REF/RFM horizons). Both phases are engine-aware: they model their own
+/// threshold crossings against the snapshot's queue occupancy (see
+/// [`push_panopticon_capped`]), so runs extend past the engine's
+/// conservative `alert_safe` tier — the hammer keeps the queue
+/// permanently full, where that tier is a single slot — and end exactly
+/// at any ACT that could overflow it. Bit-identical to the per-step
+/// [`Attacker`] impl: every decision is a pure function of the snapshot
+/// plus own state, and tREFI boundaries never fall inside a grant (the
+/// REF deadline that caps each grant *is* the next tREFI multiple).
+impl SemiScriptedAttacker for JailbreakAttacker {
+    fn publish(
+        &mut self,
+        view: &DefenseView<'_>,
+        buf: &mut Vec<RowId>,
+        grant: RunGrant,
+    ) -> SemiRun {
+        match self.phase {
+            Phase::Fill { act } => {
+                let total = self.threshold * self.rows.len() as u32;
+                if act >= total {
+                    self.phase = Phase::Hammer;
+                    return self.publish(view, buf, grant);
+                }
+                let want = ((total - act) as usize).min(grant.max);
+                self.grant.clear();
+                let rows = &self.rows;
+                let start = act as usize;
+                let n = push_panopticon_capped(
+                    view,
+                    buf,
+                    &mut self.grant,
+                    want,
+                    grant.alert_safe,
+                    |k| rows[(start + k) % rows.len()],
+                );
+                self.phase = Phase::Fill {
+                    act: act + n as u32,
+                };
+                SemiRun::Acts(n)
+            }
+            Phase::Hammer => {
+                if self.hammer_done(view) {
+                    self.phase = Phase::Done;
+                    return SemiRun::Stop;
+                }
+                let t_refi = view.unit.config().timing.t_refi;
+                let trefi = view.now.as_u64() / t_refi.as_u64();
+                if trefi != self.current_trefi {
+                    self.current_trefi = trefi;
+                    self.hammer_acts_this_trefi = 0;
+                }
+                let budget = self.acts_per_trefi - self.hammer_acts_this_trefi;
+                if budget == 0 {
+                    // Pacing satisfied: idle out the rest of this tREFI.
+                    let t_rc = view.unit.config().timing.t_rc;
+                    let boundary = (trefi + 1) * t_refi.as_u64();
+                    let slots = (boundary - view.now.as_u64())
+                        .div_ceil(t_rc.as_u64())
+                        .max(1);
+                    return SemiRun::Idle(slots);
+                }
+                let want = (budget as usize).min(grant.max);
+                let n = push_panopticon_capped_single(
+                    view,
+                    buf,
+                    want,
+                    grant.alert_safe,
+                    self.attack_row(),
+                );
+                self.hammer_acts_this_trefi += n as u32;
+                SemiRun::Acts(n)
+            }
+            Phase::Done => SemiRun::Stop,
+        }
+    }
+
+    fn name(&self) -> Cow<'_, str> {
+        Attacker::name(self)
     }
 }
 

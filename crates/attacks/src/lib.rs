@@ -40,6 +40,7 @@
 
 mod blacksmith;
 mod feinting;
+mod grant;
 mod jailbreak;
 mod kernels;
 mod postponement;

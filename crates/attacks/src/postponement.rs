@@ -17,8 +17,10 @@
 use std::borrow::Cow;
 
 use moat_dram::RowId;
-use moat_sim::{AttackStep, Attacker, DefenseView};
+use moat_sim::{AttackStep, Attacker, DefenseView, RunGrant, SemiRun, SemiScriptedAttacker};
 use moat_trackers::PanopticonEngine;
+
+use crate::grant::push_panopticon_capped_single;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -122,6 +124,85 @@ impl Attacker for PostponementAttacker {
 
     fn name(&self) -> Cow<'_, str> {
         Cow::Owned(format!("postponement(t={})", self.threshold))
+    }
+}
+
+/// The semi-scripted form: the align phase publishes the whole
+/// hammer-to-one-below-crossing run and batches the wait for the REF
+/// boundary as one idle stretch; the exploit phase publishes
+/// postponements one slot at a time (each changes the REF schedule the
+/// next decision reads) and hammers in whole grants while the attack row
+/// sits in the queue — queue drains only happen at REF/RFM events, so
+/// the drained check is constant across a grant. Hammer runs are
+/// engine-aware via [`push_panopticon_capped_single`]: they model the
+/// attack row's crossings of the *engine's* queueing threshold (which
+/// may differ from the attacker's parameter) in closed form and end
+/// exactly at any ACT that could overflow the queue.
+impl SemiScriptedAttacker for PostponementAttacker {
+    fn publish(
+        &mut self,
+        view: &DefenseView<'_>,
+        buf: &mut Vec<RowId>,
+        grant: RunGrant,
+    ) -> SemiRun {
+        match self.phase {
+            Phase::Align => {
+                let counter = view.unit.bank().counter(self.row).get();
+                let to_crossing = self.threshold - (counter % self.threshold);
+                if to_crossing > 1 {
+                    let want = ((to_crossing - 1) as usize).min(grant.max);
+                    let n =
+                        push_panopticon_capped_single(view, buf, want, grant.alert_safe, self.row);
+                    return SemiRun::Acts(n);
+                }
+                // One act short of the crossing: wait for the REF boundary
+                // (maximize queue residency), then cross.
+                let timing = view.unit.config().timing;
+                let since_ref = view.now % timing.t_refi;
+                if since_ref < timing.t_rfc + timing.t_rc * 2 {
+                    self.phase = Phase::Exploit;
+                    buf.push(self.row);
+                    return SemiRun::Acts(1);
+                }
+                let slots = (timing.t_refi - since_ref)
+                    .as_u64()
+                    .div_ceil(timing.t_rc.as_u64())
+                    .max(1);
+                SemiRun::Idle(slots)
+            }
+            Phase::Exploit => {
+                let enqueued = self.enqueued(view);
+                if !enqueued
+                    && !view
+                        .unit
+                        .bank()
+                        .counter(self.row)
+                        .get()
+                        .is_multiple_of(self.threshold)
+                {
+                    // Drained: the exposure window ended.
+                    self.phase = Phase::Done;
+                    return SemiRun::Stop;
+                }
+                // Postpone while the budget allows, hammer otherwise.
+                let owed = view.unit.refresh().owed();
+                if owed < view.unit.config().max_postponed_refs {
+                    return SemiRun::PostponeRef;
+                }
+                // Enqueued: own crossings can only add younger copies, so
+                // the drained check stays false for the whole grant. Not
+                // enqueued (counter exactly at a multiple): one act
+                // decides the next publish.
+                let want = if enqueued { grant.max } else { 1 };
+                let n = push_panopticon_capped_single(view, buf, want, grant.alert_safe, self.row);
+                SemiRun::Acts(n)
+            }
+            Phase::Done => SemiRun::Stop,
+        }
+    }
+
+    fn name(&self) -> Cow<'_, str> {
+        Attacker::name(self)
     }
 }
 

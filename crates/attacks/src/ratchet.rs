@@ -14,17 +14,23 @@
 //!    remaining activations concentrate — the last surviving row ends up
 //!    `log_{M/3}(N) + M` activations above ATH (Appendix A).
 //!
-//! The attacker is engine-agnostic: it only reads PRAC counters, the
-//! refresh pointer, and the in-flight mitigation — all information the
-//! threat model grants (§2.1).
+//! The per-step attacker is engine-agnostic: it only reads PRAC
+//! counters, the refresh pointer, and the in-flight mitigation — all
+//! information the threat model grants (§2.1). The semi-scripted form
+//! additionally reads MOAT's shadow counters (same threat model) to
+//! publish alert-edge-exact runs; against any other engine it falls
+//! back to the grant's engine-guaranteed tier.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
 use std::borrow::Cow;
 
+use moat_core::MoatEngine;
 use moat_dram::RowId;
-use moat_sim::{AttackStep, Attacker, DefenseView};
+use moat_sim::{AttackStep, Attacker, DefenseView, RunGrant, SemiRun, SemiScriptedAttacker};
+
+use crate::grant::GrantLog;
 
 /// Phases of the Ratchet attack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +79,8 @@ pub struct RatchetAttacker {
     /// Rows the attacker observed being mitigated (for repair).
     last_inflight: Option<RowId>,
     repair: Vec<RowId>,
+    /// Per-grant published-activation model for the semi-scripted form.
+    grant: GrantLog<RowId>,
 }
 
 impl RatchetAttacker {
@@ -96,6 +104,7 @@ impl RatchetAttacker {
             heap: BinaryHeap::new(),
             last_inflight: None,
             repair: Vec::new(),
+            grant: GrantLog::default(),
         }
     }
 
@@ -200,6 +209,162 @@ impl Attacker for RatchetAttacker {
             "ratchet(ath={}, pool={})",
             self.ath, self.pool_target
         ))
+    }
+}
+
+/// The semi-scripted form: each phase publishes a whole run keyed off the
+/// snapshot's ledger/counter state, modeling its own counter increments
+/// through a [`GrantLog`] so the repair → prime → grow cascade and the
+/// min-count ratcheting heap vectorize without drifting from the
+/// per-step reference. Mitigations, counter resets, and refresh-pointer
+/// movement only happen at REF/RFM events — grant boundaries — so one
+/// `watch_mitigations` observation per grant sees exactly the value
+/// sequence the per-step attacker sees.
+///
+/// Against a [`MoatEngine`] the publish is engine-aware: MOAT's ALERT
+/// flag flips exactly when an activation's *effective* count (the §4.3
+/// shadow's if one is active, the in-array counter's otherwise) exceeds
+/// the engine's ATH, so the attacker extends runs past the conservative
+/// `alert_safe` tier — which collapses to one slot as soon as any pool
+/// row stands at ATH — and ends them precisely at a tripping ACT.
+/// Against any other engine it stays within the engine-guaranteed tier.
+impl SemiScriptedAttacker for RatchetAttacker {
+    fn publish(
+        &mut self,
+        view: &DefenseView<'_>,
+        buf: &mut Vec<RowId>,
+        grant: RunGrant,
+    ) -> SemiRun {
+        let moat = view.engine().as_any().downcast_ref::<MoatEngine>();
+        let max = if moat.is_some() {
+            grant.max
+        } else {
+            grant.alert_safe
+        };
+        // The exact MOAT flip condition for the next act on `row`, given
+        // the acts already published for it in this grant.
+        let trips = |log: &GrantLog<RowId>, row: RowId, counter: u32| -> bool {
+            moat.is_some_and(|m| {
+                let effective = m.shadow_count(row).unwrap_or(counter) + log.count(row) + 1;
+                effective > m.config().ath
+            })
+        };
+        match self.phase {
+            Phase::Priming => {
+                self.watch_mitigations(view);
+                self.grant.clear();
+                let bank = view.unit.bank();
+                while buf.len() < max {
+                    // Repair rows reset by proactive mitigation first.
+                    if let Some(&row) = self.repair.last() {
+                        let counter = bank.counter(row).get();
+                        if counter + self.grant.count(row) < self.ath {
+                            let ends = trips(&self.grant, row, counter);
+                            buf.push(row);
+                            self.grant.bump(row);
+                            if ends {
+                                return SemiRun::Acts(buf.len());
+                            }
+                            continue;
+                        }
+                        self.repair.pop();
+                        continue;
+                    }
+
+                    // Continue priming the current pool row to exactly ATH.
+                    if self.priming_idx < self.pool.len() {
+                        let row = self.pool[self.priming_idx];
+                        let counter = bank.counter(row).get();
+                        if counter + self.grant.count(row) < self.ath {
+                            let ends = trips(&self.grant, row, counter);
+                            buf.push(row);
+                            self.grant.bump(row);
+                            if ends {
+                                return SemiRun::Acts(buf.len());
+                            }
+                            continue;
+                        }
+                        self.priming_idx += 1;
+                        continue;
+                    }
+
+                    // Grow the pool with the next candidate behind the
+                    // refresh pointer.
+                    if self.pool.len() < self.pool_target {
+                        let cand = self.candidate_row(self.next_candidate);
+                        if cand >= view.unit.config().rows_per_bank {
+                            // Ran out of rows; flush, then ratchet.
+                            break;
+                        }
+                        let group = cand / view.unit.config().rows_per_refresh_group;
+                        if u64::from(group) < view.unit.refresh().refs_done() {
+                            self.next_candidate += 1;
+                            let row = RowId::new(cand);
+                            self.pool.push(row);
+                            self.pool_set.insert(row);
+                            let ends = trips(&self.grant, row, bank.counter(row).get());
+                            buf.push(row);
+                            self.grant.bump(row);
+                            if ends {
+                                return SemiRun::Acts(buf.len());
+                            }
+                            continue;
+                        }
+                        // Pointer has not reached the candidate's group
+                        // yet: flush any queued acts, then idle — the
+                        // pointer only moves at the next REF, which ends
+                        // the grant anyway.
+                        if buf.is_empty() {
+                            return SemiRun::Idle(u64::MAX);
+                        }
+                        break;
+                    }
+
+                    // Pool complete: flush, then ratchet.
+                    break;
+                }
+                if !buf.is_empty() {
+                    return SemiRun::Acts(buf.len());
+                }
+                self.begin_ratchet();
+                self.publish(view, buf, grant)
+            }
+            Phase::Ratcheting => {
+                self.grant.clear();
+                let bank = view.unit.bank();
+                while buf.len() < max {
+                    let Some(&Reverse((count, row))) = self.heap.peek() else {
+                        break;
+                    };
+                    let id = RowId::new(row);
+                    let counter = bank.counter(id).get();
+                    let actual = counter + self.grant.count(id);
+                    if actual < count.min(self.ath) {
+                        // Mitigated (reset by RFM or sweep): out of the pool.
+                        self.heap.pop();
+                        continue;
+                    }
+                    self.heap.pop();
+                    self.heap.push(Reverse((actual + 1, row)));
+                    let ends = trips(&self.grant, id, counter);
+                    buf.push(id);
+                    self.grant.bump(id);
+                    if ends {
+                        return SemiRun::Acts(buf.len());
+                    }
+                }
+                if buf.is_empty() {
+                    self.phase = Phase::Done;
+                    return SemiRun::Stop;
+                }
+                SemiRun::Acts(buf.len())
+            }
+            Phase::Done => SemiRun::Stop,
+        }
+    }
+
+    fn name(&self) -> Cow<'_, str> {
+        Attacker::name(self)
     }
 }
 

@@ -20,9 +20,13 @@
 //!                               a committed BENCH_perf.json and exit
 //!                               non-zero if uniform_mono_acts_per_sec,
 //!                               sweep_acts_per_sec,
-//!                               security_batched_acts_per_sec, or
+//!                               security_batched_acts_per_sec,
+//!                               adaptive_batched_acts_per_sec, or
 //!                               full_sweep_acts_per_sec regressed by
-//!                               more than 20%
+//!                               more than 20% (the thread-scaled sweep
+//!                               gates are skipped when this run's
+//!                               thread count differs from the
+//!                               baseline's)
 //!
 //! The performance sweeps fan their (profile × config) cells across all
 //! cores; `--full` selects the paper-size configuration (32 banks,
@@ -35,8 +39,8 @@ use moat_bench::{bench_perf, run_experiment, run_trace_command, Scale, ALL_EXPER
 
 /// Allowed fractional drop of any gated metric (`uniform_mono_acts_per_sec`,
 /// `sweep_acts_per_sec`, `security_batched_acts_per_sec`,
-/// `full_sweep_acts_per_sec`) before the `--baseline` perf smoke fails
-/// the run.
+/// `adaptive_batched_acts_per_sec`, `full_sweep_acts_per_sec`) before
+/// the `--baseline` perf smoke fails the run.
 const MAX_PERF_REGRESSION: f64 = 0.20;
 
 fn main() {

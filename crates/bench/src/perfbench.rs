@@ -5,13 +5,15 @@
 
 use std::time::Instant;
 
+use moat_attacks::{JailbreakAttacker, PostponementAttacker};
 use moat_core::{MoatConfig, MoatEngine};
 use moat_dram::{AboLevel, BankId, DramConfig, MitigationEngine, Nanos, RowId};
 use moat_sim::{
-    hammer_attacker, PerfConfig, PerfSim, Request, RequestStream, Scripted, SecurityConfig,
-    SecuritySim, SlotBudget, DEFAULT_CHUNK,
+    hammer_attacker, Attacker, PerfConfig, PerfSim, Request, RequestStream, Scripted,
+    SecurityConfig, SecuritySim, SemiScriptedAttacker, SlotBudget, DEFAULT_CHUNK,
 };
 use moat_trace::{Fingerprint, TraceCache, TraceKey};
+use moat_trackers::{PanopticonConfig, PanopticonEngine};
 use moat_workloads::{WorkloadProfile, PROFILES};
 
 use crate::scale::Scale;
@@ -72,6 +74,30 @@ impl SecurityPathResult {
     }
 }
 
+/// Throughput of the security simulator on the Fig. 5/16 *adaptive*
+/// attacks (Jailbreak on Panopticon, refresh postponement on the
+/// drain-on-REF variant), per-step versus the semi-scripted
+/// event-horizon path (see `measure_adaptive` for why these two cells
+/// make the path-sensitive metric).
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptivePathResult {
+    /// Simulated ACTs per host second through the per-step reference
+    /// (`SecuritySim::run` over the adaptive `Attacker` impls).
+    pub step_acts_per_sec: f64,
+    /// Simulated ACTs per host second through
+    /// `SecuritySim::run_semi_scripted` over the same attacks.
+    pub batched_acts_per_sec: f64,
+    /// Attacker activations simulated per pass over the suite.
+    pub acts: u64,
+}
+
+impl AdaptivePathResult {
+    /// Semi-scripted over per-step speedup.
+    pub fn speedup(&self) -> f64 {
+        self.batched_acts_per_sec / self.step_acts_per_sec.max(1e-9)
+    }
+}
+
 /// Throughput of the mmap-backed trace store.
 #[derive(Debug, Clone, Copy)]
 pub struct TraceStoreResult {
@@ -96,6 +122,9 @@ pub struct PerfBenchReport {
     /// Security simulator on the single-row hammer attack, per-step vs
     /// event-horizon batched.
     pub security: SecurityPathResult,
+    /// Security simulator on the adaptive attack suite, per-step vs
+    /// semi-scripted.
+    pub adaptive: AdaptivePathResult,
     /// The mmap-backed trace store: raw replay decode rate and the
     /// paper-scale trace-backed sweep.
     pub trace: TraceStoreResult,
@@ -132,6 +161,9 @@ impl PerfBenchReport {
              \"security_step_acts_per_sec\": {:.0},\n  \
              \"security_batched_acts_per_sec\": {:.0},\n  \
              \"security_batched_speedup\": {:.3},\n  \
+             \"adaptive_step_acts_per_sec\": {:.0},\n  \
+             \"adaptive_batched_acts_per_sec\": {:.0},\n  \
+             \"adaptive_batched_speedup\": {:.3},\n  \
              \"trace_replay_acts_per_sec\": {:.0},\n  \
              \"full_sweep_cells\": {},\n  \
              \"full_sweep_acts_per_sec\": {:.0},\n  \
@@ -152,6 +184,9 @@ impl PerfBenchReport {
             self.security.step_acts_per_sec,
             self.security.batched_acts_per_sec,
             self.security.speedup(),
+            self.adaptive.step_acts_per_sec,
+            self.adaptive.batched_acts_per_sec,
+            self.adaptive.speedup(),
             self.trace.replay_acts_per_sec,
             self.trace.full_sweep_cells,
             self.trace.full_sweep_acts_per_sec,
@@ -169,46 +204,85 @@ impl PerfBenchReport {
     /// dropped by more than `max_regression` (e.g. `0.20` for the CI
     /// gate's 20%), `Ok` with a per-metric summary otherwise.
     ///
-    /// Four metrics are gated: `uniform_mono_acts_per_sec` (the
+    /// Five metrics are gated: `uniform_mono_acts_per_sec` (the
     /// steady-state hot path every experiment rides on — required in the
     /// baseline), plus `sweep_acts_per_sec`,
-    /// `security_batched_acts_per_sec`, and `full_sweep_acts_per_sec`
-    /// (the sweep harness, the batched security path, and the
-    /// trace-backed paper-scale sweep; skipped with a note when an older
-    /// baseline lacks them). The remaining fields are informational and
-    /// machine-sensitive.
+    /// `security_batched_acts_per_sec`, `adaptive_batched_acts_per_sec`,
+    /// and `full_sweep_acts_per_sec` (the sweep harness, the batched and
+    /// semi-scripted security paths, and the trace-backed paper-scale
+    /// sweep; skipped with a note when an older baseline lacks them).
+    /// The remaining fields are informational and machine-sensitive.
+    ///
+    /// `sweep_acts_per_sec` and `full_sweep_acts_per_sec` scale with the
+    /// worker-thread count, so they are only comparable when this run
+    /// used as many threads as the baseline run (`threads` in the JSON).
+    /// On a mismatch — a single-core CI runner against a multi-core
+    /// baseline, or vice versa — those gates are skipped with an
+    /// explicit note instead of reporting a spurious regression or a
+    /// spurious pass.
     pub fn check_regression(
         &self,
         baseline_json: &str,
         max_regression: f64,
     ) -> Result<String, String> {
-        let gated: [(&str, f64, bool); 4] = [
+        // (key, current value, required in baseline, thread-scaled)
+        let gated: [(&str, f64, bool, bool); 5] = [
             (
                 "uniform_mono_acts_per_sec",
                 self.uniform.mono_acts_per_sec,
                 true,
+                false,
             ),
-            ("sweep_acts_per_sec", self.sweep_acts_per_sec, false),
+            ("sweep_acts_per_sec", self.sweep_acts_per_sec, false, true),
             (
                 "security_batched_acts_per_sec",
                 self.security.batched_acts_per_sec,
+                false,
+                false,
+            ),
+            (
+                "adaptive_batched_acts_per_sec",
+                self.adaptive.batched_acts_per_sec,
+                false,
                 false,
             ),
             (
                 "full_sweep_acts_per_sec",
                 self.trace.full_sweep_acts_per_sec,
                 false,
+                true,
             ),
         ];
+        let baseline_threads = json_number(baseline_json, "threads");
         let mut lines = Vec::new();
         let mut failures = Vec::new();
-        for (key, current, required) in gated {
+        for (key, current, required, thread_scaled) in gated {
             if !required && current == 0.0 {
                 // Zero means "not measured this run" (e.g. the trace
                 // cache directory could not be created): skip rather
                 // than report a spurious regression.
                 lines.push(format!("perf smoke: {key} not measured this run — skipped"));
                 continue;
+            }
+            if thread_scaled {
+                match baseline_threads {
+                    Some(t) if t == self.threads as f64 => {}
+                    Some(t) => {
+                        lines.push(format!(
+                            "perf smoke: {key} skipped — parallel-scaling metric, but this \
+                             run used {} thread(s) vs the baseline's {t:.0}",
+                            self.threads
+                        ));
+                        continue;
+                    }
+                    None => {
+                        lines.push(format!(
+                            "perf smoke: {key} skipped — parallel-scaling metric, but the \
+                             baseline does not record its thread count"
+                        ));
+                        continue;
+                    }
+                }
             }
             let Some(baseline) = json_number(baseline_json, key) else {
                 if required {
@@ -243,6 +317,7 @@ impl PerfBenchReport {
              uniform 32-bank stream : {:>6.1} M ACTs/s mono, {:>6.1} M boxed, {:>6.1} M seed loop ({:.2}x vs seed)\n  \
              single-row hammer      : {:>6.1} M ACTs/s mono, {:>6.1} M boxed, {:>6.1} M seed loop ({:.2}x vs seed)\n  \
              security hammer sim    : {:>6.1} M ACTs/s batched, {:>6.1} M per-step ({:.2}x)\n  \
+             adaptive attack suite  : {:>6.1} M ACTs/s semi-scripted, {:>6.1} M per-step ({:.2}x)\n  \
              trace store            : {:>6.1} M req/s raw mmap replay, {:.1} M ACTs/s paper-scale sweep ({} cells)\n  \
              sweep ({} cells)       : serial {:.2}s, parallel {:.2}s ({:.2}x on {} threads), {:.1} M ACTs/s\n",
             self.uniform.mono_acts_per_sec / 1e6,
@@ -256,6 +331,9 @@ impl PerfBenchReport {
             self.security.batched_acts_per_sec / 1e6,
             self.security.step_acts_per_sec / 1e6,
             self.security.speedup(),
+            self.adaptive.batched_acts_per_sec / 1e6,
+            self.adaptive.step_acts_per_sec / 1e6,
+            self.adaptive.speedup(),
             self.trace.replay_acts_per_sec / 1e6,
             self.trace.full_sweep_acts_per_sec / 1e6,
             self.trace.full_sweep_cells,
@@ -781,6 +859,110 @@ fn measure_security(duration: Nanos) -> SecurityPathResult {
     }
 }
 
+/// One cell of the adaptive benchmark suite: runs the same attack
+/// through the per-step reference and the semi-scripted path (asserting
+/// bit-identical reports), and accumulates acts plus best-of-2 wall
+/// times into the aggregate.
+fn adaptive_cell<E, A>(
+    mk_sim: impl Fn() -> SecuritySim<E>,
+    mk_attacker: impl Fn() -> A,
+    duration: Nanos,
+    acts: &mut u64,
+    step_secs: &mut f64,
+    batched_secs: &mut f64,
+) where
+    E: MitigationEngine,
+    A: Attacker + SemiScriptedAttacker,
+{
+    let run_step = || {
+        let start = Instant::now();
+        let report = mk_sim().run(&mut mk_attacker(), duration);
+        (report, start.elapsed().as_secs_f64())
+    };
+    let run_semi = || {
+        let start = Instant::now();
+        let report = mk_sim().run_semi_scripted(&mut mk_attacker(), duration);
+        (report, start.elapsed().as_secs_f64())
+    };
+
+    // Warm-up + equivalence check, then best-of-3 interleaved.
+    let (step_report, _) = run_step();
+    let (semi_report, _) = run_semi();
+    assert_eq!(
+        step_report, semi_report,
+        "semi-scripted batching changed the security report"
+    );
+    let mut step = f64::INFINITY;
+    let mut semi = f64::INFINITY;
+    for _ in 0..3 {
+        step = step.min(run_step().1);
+        semi = semi.min(run_semi().1);
+    }
+    *acts += step_report.total_acts;
+    *step_secs += step;
+    *batched_secs += semi;
+}
+
+/// Measures the Fig. 5/16 adaptive sweeps — Jailbreak against
+/// deterministic Panopticon and the refresh-postponement probe against
+/// the drain-on-REF variant — through the per-step reference and
+/// `run_semi_scripted`, reporting aggregate simulated ACTs per host
+/// second for each path.
+///
+/// These are the cells the semi-scripted protocol was built for: their
+/// per-step cost is dominated by the simulator loop itself, which the
+/// event-horizon grants amortize away (the attackers publish whole
+/// tREFI-sized bursts by modeling their own queue crossings). The other
+/// two adaptive attacks also run semi-scripted in their figures, but
+/// their host time is dominated by work both modes share — Feinting by
+/// the tracker update and its min-count heap, Ratchet by the ALERT
+/// episode churn its ratcheting phase deliberately provokes — so they
+/// would only dilute this path-sensitive metric toward 1× without
+/// measuring the path.
+fn measure_adaptive() -> AdaptivePathResult {
+    let mut acts = 0u64;
+    let mut step_secs = 0.0f64;
+    let mut batched_secs = 0.0f64;
+
+    // Fig. 5: Jailbreak against deterministic Panopticon.
+    adaptive_cell(
+        || {
+            SecuritySim::new(
+                SecurityConfig::paper_default(),
+                PanopticonEngine::new(PanopticonConfig::paper_default()),
+            )
+        },
+        || JailbreakAttacker::new(20_000),
+        Nanos::from_millis(4),
+        &mut acts,
+        &mut step_secs,
+        &mut batched_secs,
+    );
+
+    // Fig. 16: refresh postponement against the drain-on-REF variant.
+    let mut post_cfg = SecurityConfig::paper_default();
+    post_cfg.dram = DramConfig::builder().max_postponed_refs(2).build();
+    adaptive_cell(
+        || {
+            SecuritySim::new(
+                post_cfg,
+                PanopticonEngine::new(PanopticonConfig::drain_variant()),
+            )
+        },
+        || PostponementAttacker::new(20_000, 128),
+        Nanos::from_millis(1),
+        &mut acts,
+        &mut step_secs,
+        &mut batched_secs,
+    );
+
+    AdaptivePathResult {
+        step_acts_per_sec: acts as f64 / step_secs.max(1e-9),
+        batched_acts_per_sec: acts as f64 / batched_secs.max(1e-9),
+        acts,
+    }
+}
+
 /// Measures the trace store: raw mmap replay decode rate over a
 /// synthetic trace, and a paper-scale (32 banks × 2 tREFW) sweep whose
 /// cells replay mmap'd workload traces from the on-disk cache — the
@@ -858,6 +1040,7 @@ pub fn bench_perf(scale: Scale) -> PerfBenchReport {
     let uniform = measure(uniform_stream(uniform_n, 32), 32, u64::from(uniform_n));
     let hammer = measure(hammer_stream(hammer_n), 1, u64::from(hammer_n));
     let security = measure_security(Nanos::from_millis(20));
+    let adaptive = measure_adaptive();
     let trace = measure_trace_store();
 
     // Sweep scaling: one ATH-64 cell per workload profile.
@@ -885,6 +1068,7 @@ pub fn bench_perf(scale: Scale) -> PerfBenchReport {
         uniform,
         hammer,
         security,
+        adaptive,
         trace,
         sweep_serial_seconds,
         sweep_parallel_seconds,
@@ -924,6 +1108,11 @@ mod tests {
                 batched_acts_per_sec: 3.3e7,
                 acts: 100,
             },
+            adaptive: AdaptivePathResult {
+                step_acts_per_sec: 5.0e6,
+                batched_acts_per_sec: 1.5e7,
+                acts: 100,
+            },
             trace: TraceStoreResult {
                 replay_acts_per_sec: 2.5e8,
                 full_sweep_acts_per_sec: 4.0e7,
@@ -945,11 +1134,13 @@ mod tests {
         assert!(json.contains("\"uniform_speedup_vs_legacy\": 2.000"));
         assert!(json.contains("\"hammer_speedup_vs_legacy\": 2.000"));
         assert!(json.contains("\"security_batched_speedup\": 3.000"));
+        assert!(json.contains("\"adaptive_batched_speedup\": 3.000"));
         assert!(json.contains("\"sweep_speedup\": 4.000"));
         assert!(json.contains("\"full_sweep_acts_per_sec\": 40000000"));
-        assert_eq!(json.matches(':').count(), 20);
+        assert_eq!(json.matches(':').count(), 23);
         assert!(report.summary().contains("Simulator performance"));
         assert!(report.summary().contains("security hammer sim"));
+        assert!(report.summary().contains("adaptive attack suite"));
         assert!(report.summary().contains("trace store"));
 
         // The perf-smoke gate reads its own serialization back.
@@ -997,6 +1188,13 @@ mod tests {
         );
         let err = report.check_regression(&full_fast, 0.20).unwrap_err();
         assert!(err.contains("full_sweep_acts_per_sec"), "{err}");
+        // The semi-scripted adaptive path is gated too.
+        let adaptive_fast = json.replace(
+            "\"adaptive_batched_acts_per_sec\": 15000000",
+            "\"adaptive_batched_acts_per_sec\": 30000000",
+        );
+        let err = report.check_regression(&adaptive_fast, 0.20).unwrap_err();
+        assert!(err.contains("adaptive_batched_acts_per_sec"), "{err}");
         // A zero current value means "not measured this run" (trace
         // cache unavailable): skipped, not a spurious regression.
         let mut unmeasured = report.clone();
@@ -1012,5 +1210,56 @@ mod tests {
         assert!(report
             .check_regression("{\"sweep_acts_per_sec\": 1}", 0.20)
             .is_err());
+    }
+
+    #[test]
+    fn parallel_gates_skip_on_thread_count_mismatch() {
+        // A single-core run against a multi-core baseline (or vice
+        // versa) must not fail — or spuriously pass — the
+        // parallel-scaling gates: they are skipped with a printed
+        // reason, while the serial gates still apply.
+        let report = sample_report();
+        let json = report.to_json();
+
+        // Baseline recorded on 8 threads, this run on 4: even a sweep
+        // rate 10x above ours is not a regression verdict.
+        let eight_thread_baseline = json
+            .replace("\"threads\": 4", "\"threads\": 8")
+            .replace(
+                "\"sweep_acts_per_sec\": 16000000",
+                "\"sweep_acts_per_sec\": 160000000",
+            )
+            .replace(
+                "\"full_sweep_acts_per_sec\": 40000000",
+                "\"full_sweep_acts_per_sec\": 400000000",
+            );
+        let ok = report
+            .check_regression(&eight_thread_baseline, 0.20)
+            .expect("thread mismatch must skip, not fail");
+        assert!(
+            ok.contains("sweep_acts_per_sec skipped")
+                && ok.contains("full_sweep_acts_per_sec skipped"),
+            "{ok}"
+        );
+        assert!(ok.contains("4 thread(s) vs the baseline's 8"), "{ok}");
+
+        // The serial gates still bite under a thread mismatch.
+        let serial_regression = eight_thread_baseline.replace(
+            "\"uniform_mono_acts_per_sec\": 20000000",
+            "\"uniform_mono_acts_per_sec\": 40000000",
+        );
+        assert!(report.check_regression(&serial_regression, 0.20).is_err());
+
+        // A baseline without a threads field cannot be compared either.
+        let no_threads = json.replace("\"threads\": 4", "\"thread_count\": 4");
+        let ok = report.check_regression(&no_threads, 0.20).unwrap();
+        assert!(ok.contains("does not record its thread count"), "{ok}");
+
+        // Matching thread counts keep the parallel gates armed.
+        let sweep_fast = json.replace(
+            "\"sweep_acts_per_sec\": 16000000",
+            "\"sweep_acts_per_sec\": 32000000",
+        );
+        assert!(report.check_regression(&sweep_fast, 0.20).is_err());
     }
 }

@@ -7,6 +7,14 @@
 //! parallel harness the performance tables use — instead of looping
 //! serially. Each cell builds its own seeded `SecuritySim`, so results
 //! and output ordering are identical to the serial loops they replace.
+//!
+//! The adaptive cells (Jailbreak in Fig. 5, Feinting in Table 2, Ratchet
+//! in Fig. 10/15, Postponement in Fig. 16) run through
+//! [`SecuritySim::run_semi_scripted`]: the attackers publish whole
+//! event-horizon runs against defense snapshots instead of stepping one
+//! ACT at a time, with `SecurityReport`s bit-identical to the per-step
+//! reference (pinned by the `semi_equivalence` proptests in
+//! `moat-attacks`).
 
 use moat_analysis::{FeintingModel, RatchetModel};
 use moat_attacks::{
@@ -68,7 +76,9 @@ fn simulate_feinting(k: u32, periods: u32) -> SecurityReport {
     let mut sim = SecuritySim::new(cfg, Box::new(IdealSramTracker::new(65536)));
     let mut attacker = FeintingAttacker::new(periods as usize, 40_000);
     let duration = Nanos::new(u64::from(periods) * u64::from(k) * 3_900 + 1_000_000);
-    sim.run(&mut attacker, duration)
+    // Feinting is adaptive (min-count heap over live counters); the
+    // semi-scripted path batches it into tREFI-sized grants.
+    sim.run_semi_scripted(&mut attacker, duration)
 }
 
 /// Fig. 5: Jailbreak versus deterministic and randomized Panopticon
@@ -83,7 +93,7 @@ pub fn fig5() -> String {
             SecurityConfig::paper_default(),
             Box::new(PanopticonEngine::new(PanopticonConfig::paper_default())),
         );
-        sim.run(&mut JailbreakAttacker::new(20_000), Nanos::from_millis(2))
+        sim.run_semi_scripted(&mut JailbreakAttacker::new(20_000), Nanos::from_millis(2))
     })[0];
     out.push_str(&format!(
         "  deterministic: {} ACTs on attack row (paper: 1152 = 9x threshold), alerts={}\n",
@@ -184,7 +194,7 @@ pub fn fig10_fig15() -> String {
             Box::new(MoatEngine::new(MoatConfig::paper_default())),
         );
         let mut attacker = RatchetAttacker::new(64, pool);
-        sim.run(&mut attacker, Nanos::from_millis(millis))
+        sim.run_semi_scripted(&mut attacker, Nanos::from_millis(millis))
     });
     for ((pool, _), r) in pools.iter().zip(reports) {
         let bound = 64.0 + (*pool as f64).ln() / (4.0f64 / 3.0).ln() + 4.0;
@@ -209,7 +219,7 @@ pub fn fig16() -> String {
             Box::new(PanopticonEngine::new(PanopticonConfig::drain_variant())),
         );
         let mut attacker = PostponementAttacker::new(20_000, 128);
-        sim.run(&mut attacker, Nanos::from_millis(1))
+        sim.run_semi_scripted(&mut attacker, Nanos::from_millis(1))
     });
     for (budget, r) in budgets.iter().zip(reports) {
         out.push_str(&format!(

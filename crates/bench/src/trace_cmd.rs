@@ -111,8 +111,9 @@ fn info(path: &Path) -> Result<String, String> {
 }
 
 fn verify(path: &Path) -> Result<String, String> {
-    // open() validates the header, the length, and the full checksum.
-    let trace = TraceFile::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    // This command is the ground-truth check: open_strict() ignores the
+    // verified-once marker and always re-walks the full checksum (once).
+    let trace = TraceFile::open_strict(path).map_err(|e| format!("{}: {e}", path.display()))?;
     Ok(format!(
         "{}: OK — {} requests, checksum verified\n",
         path.display(),

@@ -140,6 +140,17 @@ impl MoatEngine {
         self.cma
     }
 
+    /// The SRAM shadow count held for `row`, if it is currently shadowed
+    /// (§4.3 safe reset). Exposed for adaptive attackers per the threat
+    /// model (§2.1): while a shadow is active, the *effective* count the
+    /// next activation reports is the shadow's, not the in-array
+    /// counter's — which is what an engine-aware semi-scripted attacker
+    /// must model to know exactly when its run trips the ALERT flag
+    /// (`effective > ATH`).
+    pub fn shadow_count(&self, row: RowId) -> Option<u32> {
+        self.shadows.iter().find(|s| s.row == row).map(|s| s.count)
+    }
+
     /// Engine statistics.
     pub fn stats(&self) -> MoatStats {
         self.stats

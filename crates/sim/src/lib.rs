@@ -42,6 +42,7 @@ pub use frontend::{hammer_address, AddressAccess, AddressStream};
 pub use perf::{PerfConfig, PerfReport, PerfSim, Request, RequestStream, DEFAULT_CHUNK};
 pub use security::{
     hammer_attacker, round_robin_attacker, AttackStep, Attacker, DefenseView, HammerAttacker,
-    RoundRobinAttacker, Scripted, ScriptedAttacker, SecurityConfig, SecurityReport, SecuritySim,
+    RoundRobinAttacker, RunGrant, Scripted, ScriptedAttacker, SecurityConfig, SecurityReport,
+    SecuritySim, SemiRun, SemiScriptedAttacker, SemiStepped,
 };
 pub use unit::{BankUnit, BankUnitStats, BankUnitView};

@@ -8,7 +8,7 @@
 //! defense. The attacker sees the complete defense state each step (threat
 //! model §2.1) and decides the next activation.
 //!
-//! Two execution modes share the same state machine:
+//! Three execution modes share the same state machine:
 //!
 //! * [`SecuritySim::run`] steps an adaptive [`Attacker`] one ACT slot at a
 //!   time — the bit-identical reference every experiment can fall back to.
@@ -20,6 +20,12 @@
 //!   whole run of scripted ACTs issues as one batched pass through the
 //!   bank unit instead of re-entering the four-way priority match per
 //!   slot.
+//! * [`SecuritySim::run_semi_scripted`] extends the same batching to
+//!   *adaptive* attackers via the [`SemiScriptedAttacker`] protocol: the
+//!   attacker observes one [`DefenseView`] snapshot per horizon and
+//!   publishes its next run — a burst of activations, an idle stretch, a
+//!   REF postponement, or a stop — valid until the published length or
+//!   the next event horizon, whichever comes first.
 
 use std::borrow::Cow;
 
@@ -143,6 +149,166 @@ impl<A: ScriptedAttacker> Attacker for Scripted<A> {
             AttackStep::Stop
         } else {
             AttackStep::Act(self.buf[0])
+        }
+    }
+
+    fn name(&self) -> Cow<'_, str> {
+        self.inner.name()
+    }
+}
+
+/// The grant handed to a [`SemiScriptedAttacker`] at each observation
+/// point: how many back-to-back ACT slots the next published run may
+/// cover, at two confidence tiers.
+///
+/// * [`max`](RunGrant::max) — the *hard event cap*: the number of slots
+///   before the next simulator-side event (REF deadline, ALERT
+///   activity-window stall point, a spacing-stalled ALERT becoming
+///   assertable, end of the run). No published run may exceed it.
+/// * [`alert_safe`](RunGrant::alert_safe) — the engine-guaranteed prefix
+///   of `max`: within this many ACTs the engine's
+///   [`min_acts_to_alert`](MitigationEngine::min_acts_to_alert) bound
+///   proves `alert_pending` cannot flip, whatever rows are activated.
+///
+/// A conservative attacker publishes at most `alert_safe` rows and never
+/// needs to reason about the defense. An *engine-aware* attacker (the
+/// threat model gives it full visibility, §2.1) may publish up to `max`
+/// rows, provided it ends the run at the first ACT that could set
+/// `alert_pending` — the paper's adaptive attacks know their own
+/// threshold crossings exactly, which is what lets Jailbreak publish
+/// whole tREFI-sized hammer bursts through a queue its pacing keeps
+/// permanently full (where the engine's conservative bound is a single
+/// slot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunGrant {
+    /// Hard event cap: no published run may exceed this many ACTs.
+    pub max: usize,
+    /// Prefix of `max` within which the engine guarantees no ALERT can
+    /// become pending (`alert_safe ≤ max`).
+    pub alert_safe: usize,
+}
+
+impl RunGrant {
+    /// A single-slot grant (the per-step reference form).
+    pub const SINGLE: RunGrant = RunGrant {
+        max: 1,
+        alert_safe: 1,
+    };
+}
+
+/// What a semi-scripted attacker publishes for its next grant of ACT
+/// slots (see [`SemiScriptedAttacker`] — the batched analogue of
+/// [`AttackStep`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SemiRun {
+    /// Activate the first `n` rows appended to the publish buffer,
+    /// back-to-back at tRC spacing (`1 ≤ n ≤ grant.max`).
+    Acts(usize),
+    /// Let up to `n` slots pass unused. The simulator may truncate the
+    /// idle stretch at the next event horizon and re-observe; publishing
+    /// `u64::MAX` means "idle until something changes".
+    Idle(u64),
+    /// Postpone the next REF (one slot, like [`AttackStep::PostponeRef`]:
+    /// costs no time, degrades to one idle slot when the postponement
+    /// budget is exhausted).
+    PostponeRef,
+    /// End the attack.
+    Stop,
+}
+
+/// A *semi-scripted* attacker: adaptive between event horizons, scripted
+/// within one.
+///
+/// This is the protocol that lets [`SecuritySim::run_semi_scripted`]
+/// extend event-horizon batching to the paper's adaptive attacks
+/// (Jailbreak, Ratchet, refresh postponement, Feinting): the attacker
+/// observes the complete defense state once per horizon and publishes its
+/// next run conditional on it — the same observe-then-burst structure
+/// real Rowhammer tooling uses.
+///
+/// # The publish contract
+///
+/// The simulator guarantees that no simulator-side event — REF, ALERT
+/// assertion, episode phase change, mitigation — occurs inside a grant
+/// of [`RunGrant::max`] slots. In return the published run must equal,
+/// slot for slot, what the equivalent per-step [`Attacker`] would decide
+/// at each of the granted slots: any state the decision depends on that
+/// *does* evolve inside the grant (the attacker's own counters, its
+/// per-tREFI pacing budget) must be modeled by the attacker when it
+/// vectorizes, and a run longer than [`RunGrant::alert_safe`] must end
+/// at the first ACT that could set the engine's `alert_pending` flag
+/// (the per-step loop would assert the ALERT at the very next slot).
+/// Rows handed out are consumed whether or not they land (an ACT
+/// published into a closing ALERT window is dropped, exactly like the
+/// per-step decision it replaces).
+pub trait SemiScriptedAttacker {
+    /// Observes `view` and publishes the next run: appends up to
+    /// `grant.max` rows to `buf` (the caller clears it) for
+    /// [`SemiRun::Acts`], or returns an idle/postpone/stop decision.
+    fn publish(&mut self, view: &DefenseView<'_>, buf: &mut Vec<RowId>, grant: RunGrant)
+        -> SemiRun;
+
+    /// A short name for reports.
+    fn name(&self) -> Cow<'_, str> {
+        Cow::Borrowed("semi-scripted")
+    }
+}
+
+/// Every non-adaptive script is trivially semi-scripted: it publishes its
+/// next `alert_safe` rows (a script models nothing about the defense, so
+/// it stays within the engine-guaranteed tier) and never looks at the
+/// view.
+impl<A: ScriptedAttacker> SemiScriptedAttacker for A {
+    fn publish(
+        &mut self,
+        _view: &DefenseView<'_>,
+        buf: &mut Vec<RowId>,
+        grant: RunGrant,
+    ) -> SemiRun {
+        match self.next_run(buf, grant.alert_safe) {
+            0 => SemiRun::Stop,
+            n => SemiRun::Acts(n),
+        }
+    }
+
+    fn name(&self) -> Cow<'_, str> {
+        ScriptedAttacker::name(self)
+    }
+}
+
+/// Adapter running a [`SemiScriptedAttacker`] as a per-step [`Attacker`]:
+/// every step is a grant of exactly one slot. This is the per-step
+/// reference form of a semi-script — handy for equivalence tests and for
+/// mixing a semi-scripted attacker into [`SecuritySim::run`].
+#[derive(Debug)]
+pub struct SemiStepped<A> {
+    inner: A,
+    buf: Vec<RowId>,
+}
+
+impl<A: SemiScriptedAttacker> SemiStepped<A> {
+    /// Wraps a semi-scripted attacker.
+    pub fn new(inner: A) -> Self {
+        SemiStepped {
+            inner,
+            buf: Vec::with_capacity(1),
+        }
+    }
+
+    /// Returns the wrapped attacker.
+    pub fn into_inner(self) -> A {
+        self.inner
+    }
+}
+
+impl<A: SemiScriptedAttacker> Attacker for SemiStepped<A> {
+    fn step(&mut self, view: &DefenseView<'_>) -> AttackStep {
+        self.buf.clear();
+        match self.inner.publish(view, &mut self.buf, RunGrant::SINGLE) {
+            SemiRun::Acts(_) => AttackStep::Act(self.buf[0]),
+            SemiRun::Idle(_) => AttackStep::Idle,
+            SemiRun::PostponeRef => AttackStep::PostponeRef,
+            SemiRun::Stop => AttackStep::Stop,
         }
     }
 
@@ -392,58 +558,14 @@ impl<E: MitigationEngine> SecuritySim<E> {
         let mut run: Vec<RowId> = Vec::with_capacity(MAX_RUN);
 
         while self.now < end {
-            // 1. ABO RFM phase has priority once the activity window
-            //    closes — flattened into one arithmetic step when the
-            //    whole phase runs before `end`. When `end` falls inside
-            //    the phase, the reference loop truncates mid-phase (RFM
-            //    `i` only issues while `now < end`), so drain per-RFM to
-            //    stop at the identical point.
-            match self.abo.phase() {
-                AboPhase::ActWindow { stall_at } if self.now >= stall_at => {
-                    let rfms = u64::from(self.abo.level().as_u8());
-                    let last_start = self.now + self.config.dram.timing.t_rfm * (rfms - 1);
-                    if last_start < end {
-                        let done = self
-                            .abo
-                            .complete_episode(self.now)
-                            .expect("episode after window");
-                        for _ in 0..rfms {
-                            self.unit.rfm_mitigate();
-                        }
-                        self.now = done;
-                    } else {
-                        let done = self.abo.start_rfm(self.now).expect("rfm after window");
-                        self.unit.rfm_mitigate();
-                        self.now = done;
-                    }
-                    continue;
-                }
-                AboPhase::Rfm { busy_until, .. } => {
-                    // Only reachable when a per-step `run` left off inside
-                    // an episode; drain it per-step.
-                    let t = self.now.max(busy_until);
-                    let done = self.abo.start_rfm(t).expect("chained rfm");
-                    self.unit.rfm_mitigate();
-                    self.now = done;
-                    continue;
-                }
-                _ => {}
-            }
-
-            // 2. REF when due and the sub-channel is not in an ALERT.
-            if matches!(self.abo.phase(), AboPhase::Idle) && self.unit.refresh().is_due(self.now) {
-                self.unit.perform_ref(self.now);
-                self.now += t_rfc;
+            if self.advance_defense(end, t_rfc) {
                 continue;
             }
 
-            // 3. Assert ALERT as soon as requested and permitted.
-            if self.config.alerts_enabled && self.unit.alert_pending() && self.abo.can_assert() {
-                self.abo.assert_alert(self.now).expect("can_assert checked");
-            }
-
             // 4. Issue the next event-free run (or a single guarded step).
-            let horizon = self.act_horizon(end, t_rc);
+            // A script models nothing about the defense, so it runs in
+            // the engine-guaranteed tier of the grant.
+            let horizon = self.act_grant(end, t_rc).alert_safe;
             run.clear();
             if horizon > 1 {
                 let n = attacker.next_run(&mut run, horizon);
@@ -481,29 +603,211 @@ impl<E: MitigationEngine> SecuritySim<E> {
         self.report()
     }
 
-    /// How many ACTs are provably free of state-changing events from
-    /// `self.now`. `1` (or `0`) means "no batching guarantee — step one
-    /// slot".
+    /// Steps 1–3 shared by both batched execution modes
+    /// ([`run_batched`](Self::run_batched) and
+    /// [`run_semi_scripted`](Self::run_semi_scripted)); returns `true`
+    /// when it advanced the defense (an RFM phase step or a REF) and the
+    /// caller must re-enter its loop to re-evaluate priorities.
     ///
-    /// * **Idle** — the defense is inert until the next REF deadline, the
-    ///   end of the run, and the earliest possible ALERT assertion. The
-    ///   ALERT bound is the engine's
-    ///   [`min_acts_to_alert`](MitigationEngine::min_acts_to_alert) hint
-    ///   while no ALERT is requested; once one is pending but stalled on
-    ///   the inter-ALERT spacing rule, it is the exact number of ACTs
-    ///   still owed (`L − acts_since_episode`) — the flag cannot clear
-    ///   (mitigations only happen at REF/RFM events) and the assertion
-    ///   fires precisely when the spacing is met, so the whole stalled
-    ///   run batches instead of stepping one slot at a time.
+    /// The RFM phase flattens into one arithmetic step via
+    /// [`AboProtocol::complete_episode`] when the whole phase runs before
+    /// `end`. When `end` falls inside the phase, the per-step reference
+    /// loop truncates mid-phase (RFM `i` only issues while `now < end`),
+    /// so the episode drains per-RFM to stop at the identical point — a
+    /// published run whose horizon lands inside an ALERT episode resumes
+    /// through the same per-RFM path on the next call.
+    fn advance_defense(&mut self, end: Nanos, t_rfc: Nanos) -> bool {
+        // 1. ABO RFM phase has priority once the activity window closes.
+        match self.abo.phase() {
+            AboPhase::ActWindow { stall_at } if self.now >= stall_at => {
+                let rfms = u64::from(self.abo.level().as_u8());
+                let last_start = self.now + self.config.dram.timing.t_rfm * (rfms - 1);
+                if last_start < end {
+                    let done = self
+                        .abo
+                        .complete_episode(self.now)
+                        .expect("episode after window");
+                    for _ in 0..rfms {
+                        self.unit.rfm_mitigate();
+                    }
+                    self.now = done;
+                } else {
+                    let done = self.abo.start_rfm(self.now).expect("rfm after window");
+                    self.unit.rfm_mitigate();
+                    self.now = done;
+                }
+                return true;
+            }
+            AboPhase::Rfm { busy_until, .. } => {
+                // Only reachable when an earlier run (per-step, or a
+                // batched run whose `end` fell mid-phase) left off inside
+                // an episode; drain it per-RFM.
+                let t = self.now.max(busy_until);
+                let done = self.abo.start_rfm(t).expect("chained rfm");
+                self.unit.rfm_mitigate();
+                self.now = done;
+                return true;
+            }
+            _ => {}
+        }
+
+        // 2. REF when due and the sub-channel is not in an ALERT.
+        if matches!(self.abo.phase(), AboPhase::Idle) && self.unit.refresh().is_due(self.now) {
+            self.unit.perform_ref(self.now);
+            self.now += t_rfc;
+            return true;
+        }
+
+        // 3. Assert ALERT as soon as requested and permitted.
+        if self.config.alerts_enabled && self.unit.alert_pending() && self.abo.can_assert() {
+            self.abo.assert_alert(self.now).expect("can_assert checked");
+        }
+        false
+    }
+
+    /// Runs a [`SemiScriptedAttacker`] for `duration` of virtual time (or
+    /// until it stops) — event-horizon batching for *adaptive* attackers.
+    ///
+    /// Each loop iteration hands the attacker one fresh [`DefenseView`]
+    /// snapshot and a two-tier [`RunGrant`] (the same
+    /// [`act_grant`](Self::act_grant) computation whose engine-safe tier
+    /// drives the scripted batched path); the attacker publishes its
+    /// next run against that snapshot and is only re-consulted at the
+    /// next horizon boundary. Published idle stretches batch the same
+    /// way, capped at the next REF deadline or ALERT stall point.
+    ///
+    /// Purely a host-side optimization: under the publish contract on
+    /// [`SemiScriptedAttacker`], the report is bit-identical to
+    /// [`run`](Self::run) over the equivalent per-step attacker (pinned
+    /// by the `semi_equivalence` proptests in `moat-attacks`). Like the
+    /// other modes, it can be called repeatedly and time continues.
+    pub fn run_semi_scripted<A: SemiScriptedAttacker + ?Sized>(
+        &mut self,
+        attacker: &mut A,
+        duration: Nanos,
+    ) -> SecurityReport {
+        let end = self.now + duration;
+        let t_rc = self.config.dram.timing.t_rc;
+        let t_rfc = self.config.dram.timing.t_rfc;
+        let mut run: Vec<RowId> = Vec::with_capacity(MAX_RUN);
+
+        while self.now < end {
+            if self.advance_defense(end, t_rfc) {
+                continue;
+            }
+
+            // Publish the next run against a fresh snapshot.
+            let grant = self.act_grant(end, t_rc);
+            run.clear();
+            let step = {
+                let view = DefenseView {
+                    now: self.now,
+                    unit: self.unit.as_view(),
+                    abo: &self.abo,
+                };
+                attacker.publish(&view, &mut run, grant)
+            };
+            match step {
+                SemiRun::Stop => break,
+                SemiRun::PostponeRef => {
+                    if self.unit.refresh_mut().postpone().is_err() {
+                        // Budget exhausted: burn the slot instead.
+                        self.now += t_rc;
+                    }
+                }
+                SemiRun::Idle(want) => {
+                    let n = self.idle_horizon(end, t_rc).min(want.max(1));
+                    self.now += t_rc * n;
+                }
+                SemiRun::Acts(n) => {
+                    let n = n.min(run.len()).min(grant.max);
+                    if n == 0 {
+                        break;
+                    }
+                    if grant.max > 1 {
+                        self.unit.activate_run(&run[..n], self.now, t_rc);
+                        self.abo.on_acts(n as u64);
+                        self.now += t_rc * (n as u64);
+                    } else {
+                        // Single guarded step: inside an ALERT window,
+                        // under a spacing-stalled ALERT, or with no
+                        // engine guarantee. An ACT that cannot finish
+                        // before the stall point is dropped (consumed
+                        // without landing), as in the per-step reference.
+                        let row = run[0];
+                        if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
+                            if self.now + t_rc > stall_at {
+                                self.now = stall_at;
+                                continue;
+                            }
+                        }
+                        let t = self.now.max(self.unit.bank().next_ready());
+                        self.unit
+                            .activate(row, t)
+                            .expect("published row within the bank");
+                        self.abo.on_act();
+                        self.now = t + t_rc;
+                    }
+                }
+            }
+        }
+
+        self.report()
+    }
+
+    /// How many idle slots (tRC each) are provably event-free from
+    /// `self.now`: capped at the end of the run, the next REF deadline
+    /// (REFs only fire while the ABO protocol is idle), and the stall
+    /// point inside an ALERT activity window. Idle slots perform no ACTs,
+    /// so neither the engine's alert horizon nor the inter-ALERT spacing
+    /// rule can fire inside the stretch; the cap lands the clock on
+    /// exactly the slot where the per-step loop would next act on the
+    /// event (REFs are performed at the first slot at or past their
+    /// deadline; an idling attacker overshoots the stall point by the
+    /// same sub-tRC remainder in both modes).
+    fn idle_horizon(&self, end: Nanos, t_rc: Nanos) -> u64 {
+        let ceil_div = |d: Nanos| d.as_u64().div_ceil(t_rc.as_u64()).max(1);
+        let n_end = ceil_div(end.saturating_sub(self.now));
+        match self.abo.phase() {
+            AboPhase::Idle => {
+                let n_ref = ceil_div(self.unit.refresh().next_due().saturating_sub(self.now));
+                n_ref.min(n_end)
+            }
+            AboPhase::ActWindow { stall_at } => {
+                ceil_div(stall_at.saturating_sub(self.now)).min(n_end)
+            }
+            AboPhase::Rfm { .. } => 1,
+        }
+    }
+
+    /// The two-tier run grant from `self.now` (see [`RunGrant`]).
+    /// `max == 1` (or a zero-slot ALERT window) means "no batching
+    /// guarantee — step one slot".
+    ///
+    /// * **Idle** — no simulator-side event before the next REF deadline
+    ///   and the end of the run, so the hard cap is their minimum — with
+    ///   one exception: once an ALERT is pending but stalled on the
+    ///   inter-ALERT spacing rule, the assertion fires after exactly the
+    ///   ACTs still owed (`L − acts_since_episode`; the flag cannot clear
+    ///   — mitigations only happen at REF/RFM events), so that count
+    ///   hard-caps the run. The `alert_safe` tier additionally applies
+    ///   the engine's
+    ///   [`min_acts_to_alert`](MitigationEngine::min_acts_to_alert)
+    ///   bound while no ALERT is requested: within it, `alert_pending`
+    ///   provably stays false whatever rows are activated. Engine-aware
+    ///   attackers may publish past it (up to `max`) under the publish
+    ///   contract's end-at-the-tripping-ACT rule.
     /// * **ALERT activity window** — the episode's in-window ACT count is
     ///   precomputed from the stall point: no REF, no assertion, and no
     ///   mitigation can occur before `stall_at`, so the
     ///   ⌊(stall_at − now)/tRC⌋ ACTs that fit the window (~3 at DDR5
-    ///   timings) issue as one batched run.
-    fn act_horizon(&self, end: Nanos, t_rc: Nanos) -> usize {
+    ///   timings) issue as one batched run; the flag may flip inside the
+    ///   window in both modes without an assertion, so the two tiers
+    ///   coincide.
+    fn act_grant(&self, end: Nanos, t_rc: Nanos) -> RunGrant {
         let now = self.now;
         if self.unit.bank().next_ready() > now {
-            return 1;
+            return RunGrant::SINGLE;
         }
         // Acts land at now + i·tRC; each bound counts the slots strictly
         // before its deadline (the per-step loop re-checks at ≥).
@@ -512,27 +816,43 @@ impl<E: MitigationEngine> SecuritySim<E> {
         match self.abo.phase() {
             AboPhase::Idle => {
                 let n_ref = ceil_div(self.unit.refresh().next_due().saturating_sub(now));
-                let n_alert = if !self.config.alerts_enabled {
-                    u64::MAX
-                } else if self.unit.alert_pending() {
+                let pending = self.config.alerts_enabled && self.unit.alert_pending();
+                let n_hard = if pending {
                     // Spacing-stalled ALERT: can_assert() was false at
-                    // step 3 (else the phase would be ActWindow), so
-                    // exactly this many ACTs are owed before assertion.
+                    // step 3 (else the phase would be ActWindow), so the
+                    // assertion fires after exactly this many owed ACTs —
+                    // a simulator-side event that hard-caps every run.
                     u64::from(self.abo.level().as_u8())
                         .saturating_sub(self.abo.acts_since_episode())
                 } else {
+                    u64::MAX
+                };
+                let max = (n_ref.min(n_end).min(n_hard).min(MAX_RUN as u64) as usize).max(1);
+                let n_alert = if !self.config.alerts_enabled || pending {
+                    u64::MAX
+                } else {
                     self.unit.min_acts_to_alert()
                 };
-                n_ref.min(n_end).min(n_alert).min(MAX_RUN as u64) as usize
+                RunGrant {
+                    max,
+                    alert_safe: ((max as u64).min(n_alert) as usize).max(1),
+                }
             }
             // An ACT must *finish* before the stall point (floor, not
             // ceil). A full window is ~3 ACTs; 0 falls through to the
             // per-step path, which advances to the stall point.
             AboPhase::ActWindow { stall_at } => {
+                // A zero-slot window clamps to a single-slot grant: the
+                // guarded step drops the published ACT at the stall
+                // point, exactly like the per-step reference.
                 let n_window = stall_at.saturating_sub(now).as_u64() / t_rc.as_u64();
-                n_window.min(n_end).min(MAX_RUN as u64) as usize
+                let max = (n_window.min(n_end).min(MAX_RUN as u64) as usize).max(1);
+                RunGrant {
+                    max,
+                    alert_safe: max,
+                }
             }
-            AboPhase::Rfm { .. } => 1,
+            AboPhase::Rfm { .. } => RunGrant::SINGLE,
         }
     }
 
@@ -916,6 +1236,196 @@ mod tests {
             "pressure {} exceeds ATH plus the in-window slack",
             report.max_pressure
         );
+    }
+
+    #[test]
+    fn semi_scripted_matches_per_step_for_scripts() {
+        // Every ScriptedAttacker is trivially semi-scripted; the semi
+        // loop must land on the identical trajectory, including ALERT
+        // episodes and REFs.
+        for millis in [1u64, 4] {
+            let mut per_step = moat_sim();
+            let expect = per_step.run(
+                &mut Scripted::new(hammer_attacker(10_000)),
+                Nanos::from_millis(millis),
+            );
+            let mut semi = moat_sim();
+            let got =
+                semi.run_semi_scripted(&mut hammer_attacker(10_000), Nanos::from_millis(millis));
+            assert_eq!(got, expect, "{millis} ms");
+            assert!(got.alerts > 0, "the comparison must exercise episodes");
+        }
+        let rows = vec![20_000, 20_006, 20_012, 20_018, 20_024];
+        let mut per_step = moat_sim();
+        let expect = per_step.run(
+            &mut Scripted::new(round_robin_attacker(rows.clone())),
+            Nanos::from_millis(2),
+        );
+        let mut semi = moat_sim();
+        let got = semi.run_semi_scripted(&mut round_robin_attacker(rows), Nanos::from_millis(2));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn semi_scripted_alert_at_published_run_boundary() {
+        // A single-row hammer against MOAT makes min_acts_to_alert exact:
+        // the granted run ends on precisely the ACT that trips the ALERT,
+        // so every episode in this run asserts at a published run
+        // boundary. The semi path must stay bit-identical through all of
+        // them, for every ABO level.
+        for level in moat_dram::AboLevel::ALL {
+            let mut cfg = SecurityConfig::paper_default();
+            cfg.abo_level = level;
+            let mk = || {
+                SecuritySim::new(
+                    cfg,
+                    Box::new(MoatEngine::new(MoatConfig::paper_default()))
+                        as Box<dyn moat_dram::MitigationEngine>,
+                )
+            };
+            let mut per_step = mk();
+            let expect = per_step.run(
+                &mut Scripted::new(hammer_attacker(10_000)),
+                Nanos::from_millis(3),
+            );
+            let mut semi = mk();
+            let got = semi.run_semi_scripted(&mut hammer_attacker(10_000), Nanos::from_millis(3));
+            assert_eq!(got, expect, "{level}");
+            assert!(got.alerts > 10, "episodes must be exercised at {level}");
+        }
+    }
+
+    #[test]
+    fn semi_scripted_idle_batches_to_the_same_trajectory() {
+        // A semi-scripted attacker that alternates bursts with long
+        // published idles: the batched idle stretch must land the clock
+        // exactly where per-step idling does, across REF boundaries.
+        #[derive(Debug, Clone)]
+        struct BurstyIdler {
+            row: RowId,
+            burst: u64,
+            left: u64,
+        }
+        impl SemiScriptedAttacker for BurstyIdler {
+            fn publish(
+                &mut self,
+                view: &DefenseView<'_>,
+                buf: &mut Vec<RowId>,
+                grant: RunGrant,
+            ) -> SemiRun {
+                let max = grant.alert_safe;
+                if self.left == 0 {
+                    return SemiRun::Stop;
+                }
+                // Idle through the second half of every tREFI. The
+                // half-tREFI point is an attacker-internal decision
+                // boundary, so published bursts must be capped at it —
+                // that is the publish contract.
+                let t_refi = view.unit.config().timing.t_refi.as_u64();
+                let t_rc = view.unit.config().timing.t_rc.as_u64();
+                let into = view.now.as_u64() % t_refi;
+                let half = t_refi.div_ceil(2);
+                if into >= half {
+                    let slots = (t_refi - into).div_ceil(t_rc).max(1);
+                    return SemiRun::Idle(slots);
+                }
+                let to_half = (half - into).div_ceil(t_rc).max(1);
+                let n = (max as u64).min(self.burst).min(self.left).min(to_half) as usize;
+                buf.extend(std::iter::repeat_n(self.row, n));
+                self.left -= n as u64;
+                SemiRun::Acts(n)
+            }
+        }
+        let attacker = BurstyIdler {
+            row: RowId::new(40_000),
+            burst: 17,
+            left: 5_000,
+        };
+        let mut per_step = moat_sim();
+        let expect = per_step.run(
+            &mut SemiStepped::new(attacker.clone()),
+            Nanos::from_millis(4),
+        );
+        let mut semi = moat_sim();
+        let got = semi.run_semi_scripted(&mut attacker.clone(), Nanos::from_millis(4));
+        assert_eq!(got, expect);
+        assert!(expect.refs > 0 && expect.total_acts > 1_000);
+    }
+
+    #[test]
+    fn semi_scripted_postpone_matches_per_step() {
+        // PostponeRef flows through the semi loop one slot at a time,
+        // including budget-exhausted degradation to an idle slot.
+        #[derive(Debug, Clone)]
+        struct PostponeThenHammer {
+            row: RowId,
+            left: u64,
+        }
+        impl SemiScriptedAttacker for PostponeThenHammer {
+            fn publish(
+                &mut self,
+                view: &DefenseView<'_>,
+                buf: &mut Vec<RowId>,
+                grant: RunGrant,
+            ) -> SemiRun {
+                if self.left == 0 {
+                    return SemiRun::Stop;
+                }
+                if view.unit.refresh().owed() < view.unit.config().max_postponed_refs {
+                    return SemiRun::PostponeRef;
+                }
+                let n = (grant.alert_safe as u64).min(self.left) as usize;
+                buf.extend(std::iter::repeat_n(self.row, n));
+                self.left -= n as u64;
+                SemiRun::Acts(n)
+            }
+        }
+        let mut cfg = SecurityConfig::paper_default();
+        cfg.dram = moat_dram::DramConfig::builder()
+            .max_postponed_refs(2)
+            .build();
+        let mk = || {
+            SecuritySim::new(
+                cfg,
+                Box::new(MoatEngine::new(MoatConfig::paper_default()))
+                    as Box<dyn moat_dram::MitigationEngine>,
+            )
+        };
+        let attacker = PostponeThenHammer {
+            row: RowId::new(30_000),
+            left: 3_000,
+        };
+        let mut per_step = mk();
+        let expect = per_step.run(
+            &mut SemiStepped::new(attacker.clone()),
+            Nanos::from_millis(2),
+        );
+        let mut semi = mk();
+        let got = semi.run_semi_scripted(&mut attacker.clone(), Nanos::from_millis(2));
+        assert_eq!(got, expect);
+        assert!(expect.refs > 0);
+    }
+
+    #[test]
+    fn semi_scripted_continues_across_calls_and_modes() {
+        let mut semi = moat_sim();
+        semi.run_semi_scripted(&mut hammer_attacker(77), Nanos::from_millis(1));
+        let semi_report = semi.run_semi_scripted(&mut hammer_attacker(77), Nanos::from_millis(1));
+        let mut per_step = moat_sim();
+        per_step.run(
+            &mut Scripted::new(hammer_attacker(77)),
+            Nanos::from_millis(1),
+        );
+        let per_step_report = per_step.run(
+            &mut Scripted::new(hammer_attacker(77)),
+            Nanos::from_millis(1),
+        );
+        assert_eq!(semi_report, per_step_report);
+        // All three modes interleave on the same trajectory.
+        let mut mixed = moat_sim();
+        mixed.run_batched(&mut hammer_attacker(77), Nanos::from_millis(1));
+        let mixed_report = mixed.run_semi_scripted(&mut hammer_attacker(77), Nanos::from_millis(1));
+        assert_eq!(mixed_report, per_step_report);
     }
 
     #[test]

@@ -133,11 +133,14 @@ impl TraceCache {
                 // Mislabeled (file name does not match its content
                 // address): evict so it gets re-recorded.
                 let _ = std::fs::remove_file(&path);
+                crate::reader::clear_marker(&path);
                 None
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Corrupt or truncated: evict so it gets re-recorded.
+                // Corrupt or truncated: evict (marker included) so it
+                // gets re-recorded.
                 let _ = std::fs::remove_file(&path);
+                crate::reader::clear_marker(&path);
                 None
             }
             Err(_) => None,
@@ -146,7 +149,10 @@ impl TraceCache {
 
     /// Records `stream` as `key`'s entry and opens it back. The recording
     /// lands in a process-unique temporary file first and is published
-    /// with an atomic rename.
+    /// with an atomic rename. Since the writer computed the checksum
+    /// over the very bytes it just wrote, the entry is marked verified
+    /// immediately — the open that follows (and every later one, until
+    /// the file changes) skips the checksum re-walk.
     ///
     /// # Errors
     ///
@@ -159,11 +165,12 @@ impl TraceCache {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
         ));
-        record_stream(&tmp, key.fingerprint, stream)?;
+        let header = record_stream(&tmp, key.fingerprint, stream)?;
         if let Err(e) = std::fs::rename(&tmp, &path) {
             let _ = std::fs::remove_file(&tmp);
             return Err(e);
         }
+        crate::reader::mark_verified(&path, header.checksum);
         TraceFile::open(&path)
     }
 
@@ -251,17 +258,50 @@ mod tests {
         let cache = temp_cache("corrupt");
         let key = TraceKey::new("unit", 9);
         cache.record(&key, stream(500, 1)).unwrap();
-        // Flip one record byte: checksum validation must reject it.
+        // Flip one record byte: checksum validation must reject it. The
+        // mtime is pushed explicitly so the verified-once marker goes
+        // stale even on filesystems with coarse timestamps (a real
+        // corrupting write moves the mtime the same way).
         let path = cache.path_of(&key);
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_times(std::fs::FileTimes::new().set_modified(
+            std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000),
+        ))
+        .unwrap();
+        drop(file);
 
         assert!(cache.lookup(&key).is_none(), "corruption is a miss");
         assert!(!path.exists(), "corrupt entry evicted");
+        assert!(
+            !crate::reader::has_marker(&path),
+            "the stale marker is evicted with the entry"
+        );
         let again = cache.open_or_record(&key, || stream(500, 1)).unwrap();
         assert_eq!(again.len(), 500);
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn record_marks_the_entry_verified() {
+        // The recording pass computes the checksum over the bytes it
+        // writes, so the published entry carries a verified-once marker
+        // from the start — the reopen per experiment skips the re-walk.
+        let cache = temp_cache("marker");
+        let key = TraceKey::new("unit", 44);
+        cache.record(&key, stream(200, 3)).unwrap();
+        let path = cache.path_of(&key);
+        assert!(
+            crate::reader::has_marker(&path),
+            "record() must publish the marker with the entry"
+        );
+        // A later lookup still opens (fast path) and fully verifies on
+        // demand.
+        let hit = cache.lookup(&key).expect("hit");
+        hit.verify().expect("marked entry passes the full walk");
         std::fs::remove_dir_all(cache.dir()).unwrap();
     }
 

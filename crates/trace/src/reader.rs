@@ -1,8 +1,27 @@
 //! The mmap-backed trace reader and its zero-copy replay stream.
+//!
+//! Opening a trace fully validates it — header, length, checksum — but a
+//! full checksum pass over a multi-gigabyte cache entry on *every* open
+//! is wasted work when the same process (or a previous run) already
+//! verified the identical bytes: a `--full` `repro all` opens each trace
+//! once per experiment. [`TraceFile::open`] therefore keeps a
+//! *verified-once marker*, a tiny `<file>.ok` sidecar recording the
+//! trace's size, mtime, and header checksum at the moment a full
+//! verification succeeded. While the metadata still matches, later opens
+//! skip the re-walk; any mismatch (or a missing/garbled marker) falls
+//! back to the full pass and rewrites the marker.
+//!
+//! The marker is a metadata-trust fast path, not a cryptographic seal: a
+//! writer that forges the sidecar (or corrupts the records without
+//! touching size or mtime) can slip past `open`. The ground truth stays
+//! [`TraceFile::verify`], which always re-walks the bytes — `repro trace
+//! verify` uses it, and the error-path tests pin that a
+//! corrupted-after-marking file is still rejected there.
 
 use std::fs::File;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::UNIX_EPOCH;
 
 use moat_sim::{Request, RequestStream, DEFAULT_CHUNK};
 
@@ -68,12 +87,127 @@ impl TraceInfo {
     }
 }
 
+/// The sidecar extension of the verified-once marker (appended to the
+/// trace's file name: `foo.mtrace` → `foo.mtrace.ok`).
+const MARKER_SUFFIX: &str = "ok";
+
+/// The identity a verified-once marker records: everything that must
+/// still match for a previous full verification to vouch for the bytes
+/// on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct VerifiedStamp {
+    /// Total file size in bytes.
+    bytes: u64,
+    /// Modification time, seconds + nanos since the epoch.
+    mtime_secs: u64,
+    mtime_nanos: u32,
+    /// The header checksum the verification confirmed.
+    checksum: u64,
+}
+
+impl VerifiedStamp {
+    /// Reads the trace's current identity from the filesystem.
+    fn of(path: &Path, checksum: u64) -> io::Result<VerifiedStamp> {
+        let meta = std::fs::metadata(path)?;
+        let mtime = meta
+            .modified()?
+            .duration_since(UNIX_EPOCH)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "mtime before the epoch"))?;
+        Ok(VerifiedStamp {
+            bytes: meta.len(),
+            mtime_secs: mtime.as_secs(),
+            mtime_nanos: mtime.subsec_nanos(),
+            checksum,
+        })
+    }
+
+    /// The marker path for `path`.
+    fn marker_path(path: &Path) -> PathBuf {
+        let mut name = path.as_os_str().to_os_string();
+        name.push(".");
+        name.push(MARKER_SUFFIX);
+        PathBuf::from(name)
+    }
+
+    /// Serializes the marker file body.
+    fn encode(&self) -> String {
+        format!(
+            "moat-trace-verified v1\nbytes {}\nmtime {}.{:09}\nchecksum {:016x}\n",
+            self.bytes, self.mtime_secs, self.mtime_nanos, self.checksum
+        )
+    }
+
+    /// Parses a marker file body; `None` on any malformation (a garbled
+    /// marker simply misses, forcing a full verification).
+    fn decode(text: &str) -> Option<VerifiedStamp> {
+        let mut lines = text.lines();
+        if lines.next()? != "moat-trace-verified v1" {
+            return None;
+        }
+        let bytes = lines.next()?.strip_prefix("bytes ")?.parse().ok()?;
+        let (secs, nanos) = lines.next()?.strip_prefix("mtime ")?.split_once('.')?;
+        let checksum = lines.next()?.strip_prefix("checksum ")?;
+        Some(VerifiedStamp {
+            bytes,
+            mtime_secs: secs.parse().ok()?,
+            mtime_nanos: nanos.parse().ok()?,
+            checksum: u64::from_str_radix(checksum, 16).ok()?,
+        })
+    }
+
+    /// Whether a matching marker exists for `path`.
+    fn matches_marker(&self, path: &Path) -> bool {
+        std::fs::read_to_string(Self::marker_path(path))
+            .ok()
+            .and_then(|text| Self::decode(&text))
+            .is_some_and(|stored| stored == *self)
+    }
+
+    /// Best-effort marker publication (tmp + rename so a concurrent
+    /// reader never sees a torn marker; failures are ignored — the worst
+    /// case is a future full re-verification).
+    fn write_marker(&self, path: &Path) {
+        let marker = Self::marker_path(path);
+        let tmp = marker.with_extension(format!("{MARKER_SUFFIX}.{}.tmp", std::process::id()));
+        if std::fs::write(&tmp, self.encode()).is_ok() && std::fs::rename(&tmp, &marker).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+/// Records a verified-once marker for `path`, vouching that its current
+/// on-disk bytes were fully validated against `checksum`. Used by
+/// [`TraceFile::open`] after a successful verification and by the trace
+/// cache right after it seals a recording (the writer just computed the
+/// checksum over the very bytes it wrote). Best-effort: failures only
+/// cost a future re-verification.
+pub(crate) fn mark_verified(path: &Path, checksum: u64) {
+    if let Ok(stamp) = VerifiedStamp::of(path, checksum) {
+        stamp.write_marker(path);
+    }
+}
+
+/// Removes the verified-once marker alongside `path`, if any (used when
+/// the cache evicts a corrupt entry).
+pub(crate) fn clear_marker(path: &Path) {
+    let _ = std::fs::remove_file(VerifiedStamp::marker_path(path));
+}
+
+/// Whether a verified-once marker file exists alongside `path` (test
+/// support; says nothing about whether it still matches).
+#[cfg(test)]
+pub(crate) fn has_marker(path: &Path) -> bool {
+    VerifiedStamp::marker_path(path).exists()
+}
+
 /// A validated, memory-mapped v2 trace.
 ///
 /// Opening verifies the header, the length, and the checksum — a
 /// corrupted cache entry surfaces as an [`io::Error`] here, never as a
 /// wrong replay. The one sequential verification pass doubles as a page
-/// warm-up, so first replay runs at memory speed.
+/// warm-up, so first replay runs at memory speed. A verified-once
+/// sidecar marker (see the module docs) lets re-opens of bytes this
+/// library already validated skip the checksum re-walk.
 ///
 /// `TraceFile` is `Send + Sync`: replays borrow the map immutably, so one
 /// open trace serves every sweep worker at once, each with its own
@@ -86,7 +220,13 @@ pub struct TraceFile {
 }
 
 impl TraceFile {
-    /// Opens, maps, and fully validates a trace.
+    /// Opens, maps, and validates a trace.
+    ///
+    /// The header and length are always checked. The checksum re-walk is
+    /// skipped when a verified-once marker (size + mtime + checksum
+    /// recorded by a previous successful verification — see the module
+    /// docs) still matches the file; otherwise the full pass runs and,
+    /// on success, refreshes the marker so the next open is cheap.
     ///
     /// # Errors
     ///
@@ -108,7 +248,47 @@ impl TraceFile {
             header: info.header,
             path: path.to_path_buf(),
         };
+        let stamp = VerifiedStamp::of(path, info.header.checksum).ok();
+        if stamp.is_some_and(|s| s.matches_marker(path)) {
+            // Verified once already, and neither size nor mtime moved:
+            // trust the earlier full pass.
+            return Ok(trace);
+        }
         trace.verify()?;
+        if let Some(stamp) = stamp {
+            stamp.write_marker(path);
+        }
+        Ok(trace)
+    }
+
+    /// Opens, maps, and *unconditionally* re-walks the full checksum,
+    /// ignoring any verified-once marker — exactly one validation pass
+    /// (the marker fast path of [`open`](Self::open) would make a
+    /// subsequent explicit [`verify`](Self::verify) call a second full
+    /// walk on unmarked files). The ground-truth entry point of
+    /// `repro trace verify`; refreshes the marker on success like
+    /// `open`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`open`](Self::open).
+    pub fn open_strict(path: &Path) -> io::Result<TraceFile> {
+        let info = TraceInfo::read(path)?;
+        let file = File::open(path)?;
+        let map = Mmap::map(&file)?;
+        if map.len() as u64 != info.file_bytes {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "trace changed size while opening",
+            ));
+        }
+        let trace = TraceFile {
+            map,
+            header: info.header,
+            path: path.to_path_buf(),
+        };
+        trace.verify()?;
+        mark_verified(path, info.header.checksum);
         Ok(trace)
     }
 

@@ -120,6 +120,114 @@ fn checksum_corruption_is_invalid_data() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// The verified-once sidecar path for a trace (format pinned by the
+/// reader's docs: `<file>.ok`).
+fn marker_of(path: &Path) -> PathBuf {
+    PathBuf::from(format!("{}.ok", path.display()))
+}
+
+/// Pushes the trace's mtime to a fixed distinct value, the way any
+/// real later write would, so marker staleness does not depend on the
+/// filesystem's timestamp granularity.
+fn push_mtime(path: &Path) {
+    let file = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+    file.set_times(std::fs::FileTimes::new().set_modified(
+        std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_234_567),
+    ))
+    .unwrap();
+}
+
+#[test]
+fn corruption_after_marking_is_rejected() {
+    // Opening writes the verified-once marker; a file corrupted *after*
+    // that (size intact, mtime moved, as any real write does) must still
+    // be rejected by the next open — the stale marker cannot vouch for
+    // the new bytes.
+    let (path, bytes) = valid_trace("post-marker", 64);
+    TraceFile::open(&path).expect("valid trace opens");
+    assert!(marker_of(&path).exists(), "open must publish the marker");
+
+    let mut corrupt = bytes.clone();
+    corrupt[HEADER_BYTES + 17] ^= 0x40;
+    std::fs::write(&path, &corrupt).unwrap();
+    push_mtime(&path);
+    let err = TraceFile::open(&path).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    assert!(err.to_string().contains("checksum"), "{err}");
+
+    std::fs::remove_file(&path).unwrap();
+    let _ = std::fs::remove_file(marker_of(&path));
+}
+
+#[test]
+fn verify_rejects_corruption_even_when_the_marker_is_forged() {
+    // The marker is metadata trust, not a seal: if an adversarial (or
+    // byzantine-filesystem) writer forges a marker matching the
+    // corrupted file's metadata, open() takes the fast path — but
+    // verify() is the ground truth and must still reject the bytes.
+    let (path, bytes) = valid_trace("forged-marker", 64);
+    TraceFile::open(&path).expect("valid trace opens");
+
+    let mut corrupt = bytes.clone();
+    corrupt[HEADER_BYTES + 5] ^= 0x08;
+    std::fs::write(&path, &corrupt).unwrap();
+    // Forge the marker against the corrupted file's current metadata and
+    // the (untouched) header checksum field.
+    let meta = std::fs::metadata(&path).unwrap();
+    let mtime = meta
+        .modified()
+        .unwrap()
+        .duration_since(std::time::SystemTime::UNIX_EPOCH)
+        .unwrap();
+    let checksum = u64::from_le_bytes(corrupt[32..40].try_into().unwrap());
+    std::fs::write(
+        marker_of(&path),
+        format!(
+            "moat-trace-verified v1\nbytes {}\nmtime {}.{:09}\nchecksum {checksum:016x}\n",
+            meta.len(),
+            mtime.as_secs(),
+            mtime.subsec_nanos()
+        ),
+    )
+    .unwrap();
+
+    let trace = TraceFile::open(&path).expect("forged marker rides the fast path");
+    let err = trace.verify().unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    assert!(err.to_string().contains("checksum"), "{err}");
+
+    // open_strict ignores the marker entirely: the ground-truth opener
+    // (and `repro trace verify`) rejects the same bytes outright.
+    let err = TraceFile::open_strict(&path).unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    assert!(err.to_string().contains("checksum"), "{err}");
+
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(marker_of(&path)).unwrap();
+}
+
+#[test]
+fn garbled_marker_falls_back_to_full_verification() {
+    let (path, _bytes) = valid_trace("garbled-marker", 32);
+    std::fs::write(marker_of(&path), "not a marker at all\n").unwrap();
+    // Valid bytes still open (full verify) and the marker is repaired.
+    TraceFile::open(&path).expect("garbled marker is ignored");
+    let repaired = std::fs::read_to_string(marker_of(&path)).unwrap();
+    assert!(repaired.starts_with("moat-trace-verified v1"), "{repaired}");
+
+    // A garbled marker on a *corrupted* file rejects like no marker.
+    let mut corrupt = std::fs::read(&path).unwrap();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0xFF;
+    std::fs::write(&path, &corrupt).unwrap();
+    push_mtime(&path);
+    std::fs::write(marker_of(&path), "junk").unwrap();
+    expect_invalid(&path, "corrupt bytes behind a garbled marker");
+
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(marker_of(&path)).unwrap();
+}
+
 #[test]
 fn missing_file_is_not_found() {
     let path = temp("does-not-exist");

@@ -19,6 +19,14 @@ use moat_dram::{ActCount, MitigationEngine, RowId};
 
 /// The idealized per-row SRAM tracker for one bank.
 ///
+/// The global argmax is maintained in a tournament tree: every count
+/// update re-plays one root-to-leaf path (`O(log rows)`, 16 node visits
+/// at 64 Ki rows), and selection reads the root in `O(1)`. The previous
+/// implementation rescanned all counts at every mitigation selection —
+/// at one selection per mitigation period that scan dominated the
+/// Table 2 feinting cells end to end. Ties resolve to the highest row
+/// index, bit-identical to the `max_by_key` scan it replaces.
+///
 /// # Examples
 ///
 /// ```
@@ -33,6 +41,12 @@ use moat_dram::{ActCount, MitigationEngine, RowId};
 #[derive(Debug, Clone)]
 pub struct IdealSramTracker {
     counts: Vec<u32>,
+    /// Tournament tree over `counts`, padded to a power of two:
+    /// `tree[1]` is the root, node `i` holds the index of the maximal
+    /// count in its span (ties → highest index). Leaves at `size + i`.
+    tree: Vec<u32>,
+    /// Leaf span of the tree (next power of two ≥ rows).
+    size: usize,
     /// Rows whose count dropped to zero are skipped at selection.
     mitigations: u64,
 }
@@ -40,8 +54,19 @@ pub struct IdealSramTracker {
 impl IdealSramTracker {
     /// Creates a tracker covering `rows` rows.
     pub fn new(rows: u32) -> Self {
+        let size = (rows as usize).next_power_of_two().max(1);
+        let mut tree = vec![0u32; 2 * size];
+        for i in 0..size {
+            tree[size + i] = i as u32;
+        }
+        for i in (1..size).rev() {
+            // All counts start 0: ties resolve right (highest index).
+            tree[i] = tree[2 * i + 1];
+        }
         IdealSramTracker {
             counts: vec![0; rows as usize],
+            tree,
+            size,
             mitigations: 0,
         }
     }
@@ -56,9 +81,34 @@ impl IdealSramTracker {
         self.mitigations
     }
 
+    /// The count at a (possibly padded) leaf index.
+    #[inline]
+    fn count_at(&self, idx: u32) -> u32 {
+        self.counts.get(idx as usize).copied().unwrap_or(0)
+    }
+
+    /// Re-plays the tournament along `row`'s root path after its count
+    /// changed.
+    #[inline]
+    fn reseed(&mut self, row: usize) {
+        let mut i = (self.size + row) / 2;
+        while i >= 1 {
+            let left = self.tree[2 * i];
+            let right = self.tree[2 * i + 1];
+            // `>=` resolves ties to the right child — the highest index —
+            // matching the `max_by_key` scan this tree replaces.
+            self.tree[i] = if self.count_at(right) >= self.count_at(left) {
+                right
+            } else {
+                left
+            };
+            i /= 2;
+        }
+    }
+
     fn argmax(&self) -> Option<RowId> {
-        let (idx, &max) = self.counts.iter().enumerate().max_by_key(|(_, &c)| c)?;
-        (max > 0).then(|| RowId::new(idx as u32))
+        let idx = self.tree[1];
+        (self.count_at(idx) > 0).then(|| RowId::new(idx))
     }
 }
 
@@ -69,6 +119,7 @@ impl MitigationEngine for IdealSramTracker {
 
     fn on_precharge_update(&mut self, row: RowId, _counter: ActCount) {
         self.counts[row.as_usize()] += 1;
+        self.reseed(row.as_usize());
     }
 
     fn alert_pending(&self) -> bool {
@@ -91,6 +142,7 @@ impl MitigationEngine for IdealSramTracker {
 
     fn on_mitigation_complete(&mut self, row: RowId) {
         self.counts[row.as_usize()] = 0;
+        self.reseed(row.as_usize());
     }
 
     fn on_refresh_group(
@@ -100,7 +152,10 @@ impl MitigationEngine for IdealSramTracker {
     ) {
         // Refreshed rows' victims are safe; restart their counts.
         for r in rows {
-            self.counts[r as usize] = 0;
+            if self.counts[r as usize] != 0 {
+                self.counts[r as usize] = 0;
+                self.reseed(r as usize);
+            }
         }
     }
 
@@ -178,6 +233,46 @@ mod tests {
         // 64 Ki rows × 2 bytes = 128 KiB per bank (Fig. 1a).
         let t = IdealSramTracker::new(65536);
         assert_eq!(t.sram_bytes_per_bank(), 128 * 1024);
+    }
+
+    #[test]
+    fn tree_argmax_matches_scan_reference() {
+        // The tournament tree must select exactly what the old full scan
+        // selected — including the last-index tie-breaking of
+        // `max_by_key` — across a randomized op mix of activations,
+        // refresh resets, and mitigation completions (incl. a non-power-
+        // of-two row count exercising the padded leaves).
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let rows = 100u32;
+        let mut t = IdealSramTracker::new(rows);
+        let mut rng = StdRng::seed_from_u64(0xA11);
+        for step in 0..20_000u32 {
+            match rng.random_range(0..10u32) {
+                0 => {
+                    let start = rng.random_range(0..rows / 8) * 8;
+                    t.on_refresh_group(start..start + 8, &mut |_| ActCount::ZERO);
+                }
+                1 => {
+                    if let Some(row) = t.select_ref_mitigation() {
+                        t.on_mitigation_complete(row);
+                    }
+                }
+                _ => {
+                    // Zipf-ish hot rows so ties and displacements happen.
+                    let row = rng.random_range(0..rows) / rng.random_range(1u32..4);
+                    t.on_precharge_update(RowId::new(row), ActCount::ZERO);
+                }
+            }
+            let scan = t
+                .counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .filter(|(_, &max)| max > 0)
+                .map(|(i, _)| RowId::new(i as u32));
+            assert_eq!(t.argmax(), scan, "diverged at step {step}");
+        }
     }
 
     #[test]
