@@ -3,9 +3,16 @@
 //!
 //! Usage:
 //!   repro list                  list experiment names
-//!   repro all [--full]          run everything
+//!   repro all [--full]          run everything, checkpointing each
+//!                               experiment's output as it completes
+//!   repro all --resume          resume a crashed `all` run: replay the
+//!                               checkpointed outputs, execute the rest
 //!   repro `<name>`... [--full]  run selected experiments
 //!   repro bench                 run the simulator-throughput benchmark
+//!   repro faults sweep          fault-sensitivity table: SEU-rate
+//!                               ladder x engine x attack (set
+//!                               MOAT_FAULTS=seed=N,... to pin the base
+//!                               fault plan; see `moat-faults`)
 //!   repro trace record [profile ...] [--full]
 //!                               record workload streams into the binary
 //!                               trace cache (see `moat-trace`)
@@ -35,7 +42,10 @@
 //! records every stream once, every later sweep cell (and every later
 //! run) replays the mmap'd bytes.
 
-use moat_bench::{bench_perf, run_experiment, run_trace_command, Scale, ALL_EXPERIMENTS};
+use moat_bench::{
+    bench_perf, run_experiment, run_faults_command, run_trace_command, Checkpoint, Scale,
+    ALL_EXPERIMENTS,
+};
 
 /// Allowed fractional drop of any gated metric (`uniform_mono_acts_per_sec`,
 /// `sweep_acts_per_sec`, `security_batched_acts_per_sec`,
@@ -43,10 +53,24 @@ use moat_bench::{bench_perf, run_experiment, run_trace_command, Scale, ALL_EXPER
 /// the `--baseline` perf smoke fails the run.
 const MAX_PERF_REGRESSION: f64 = 0.20;
 
+/// Writes `contents` to `path` with the same atomic tmp + `rename(2)`
+/// publish discipline as the trace cache and the experiment checkpoints:
+/// readers (CI's perf-smoke baseline copy, the committed-artifact diff)
+/// never observe a torn file.
+fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.{}.tmp", std::process::id());
+    let publish = std::fs::write(&tmp, contents).and_then(|()| std::fs::rename(&tmp, path));
+    if publish.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    publish
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
+    let resume = args.iter().any(|a| a == "--resume");
     let baseline = args.iter().position(|a| a == "--baseline").map(|i| {
         if i + 1 >= args.len() {
             eprintln!("--baseline needs a path to a committed BENCH_perf.json");
@@ -56,10 +80,10 @@ fn main() {
         args.drain(i..=i + 1);
         path
     });
-    args.retain(|a| a != "--full" && a != "--json");
+    args.retain(|a| a != "--full" && a != "--json" && a != "--resume");
     let scale = if full { Scale::full() } else { Scale::scaled() };
 
-    let usage = "usage: repro <list|all|bench|trace ...|experiment...> [--full] [--json] [--baseline <file>]";
+    let usage = "usage: repro <list|all [--resume]|bench|trace ...|faults ...|experiment...> [--full] [--json] [--baseline <file>]";
     if args.is_empty() && !json && baseline.is_none() {
         eprintln!("{usage}");
         std::process::exit(2);
@@ -85,14 +109,52 @@ fn main() {
         }
         return;
     }
+    if args.first().is_some_and(|a| a == "faults") {
+        match run_faults_command(&args[1..]) {
+            Ok(out) => print!("{out}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
 
-    let selected: Vec<String> = if args.first().is_some_and(|a| a == "all") {
+    let all_mode = args.first().is_some_and(|a| a == "all");
+    if resume && !all_mode {
+        eprintln!("--resume only applies to `repro all`");
+        std::process::exit(2);
+    }
+    let selected: Vec<String> = if all_mode {
         let mut v: Vec<String> = ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect();
         v.push("fig13".into());
         v.push("storage".into());
         v
     } else {
         args
+    };
+
+    // `repro all` checkpoints each experiment's output as it completes
+    // (atomic tmp + rename), so a crashed sweep resumes with `--resume`
+    // instead of starting over. A fresh `all` discards prior entries. A
+    // broken checkpoint store is never fatal: the run degrades to
+    // executing everything live.
+    let checkpoint = if all_mode {
+        let root = std::path::Path::new(".");
+        let open = if resume {
+            Checkpoint::open(root, scale)
+        } else {
+            Checkpoint::open_fresh(root, scale)
+        };
+        match open {
+            Ok(cp) => Some(cp),
+            Err(e) => {
+                eprintln!("warning: checkpoint store unavailable ({e}); running without resume");
+                None
+            }
+        }
+    } else {
+        None
     };
 
     let mut failed = false;
@@ -104,8 +166,21 @@ fn main() {
             bench_report = Some(report);
             continue;
         }
+        if resume {
+            if let Some(out) = checkpoint.as_ref().and_then(|cp| cp.lookup(name)) {
+                println!("{out}({name} resumed from checkpoint)");
+                continue;
+            }
+        }
         match run_experiment(name, scale) {
-            Some(out) => println!("{out}"),
+            Some(out) => {
+                println!("{out}");
+                if let Some(cp) = &checkpoint {
+                    if let Err(e) = cp.record(name, &out) {
+                        eprintln!("warning: could not checkpoint {name}: {e}");
+                    }
+                }
+            }
             None => {
                 eprintln!("unknown experiment: {name}");
                 failed = true;
@@ -122,7 +197,7 @@ fn main() {
         });
         if json {
             let path = "BENCH_perf.json";
-            match std::fs::write(path, report.to_json()) {
+            match write_atomic(path, &report.to_json()) {
                 Ok(()) => println!("wrote {path}"),
                 Err(e) => {
                     eprintln!("failed to write {path}: {e}");

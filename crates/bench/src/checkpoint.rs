@@ -1,0 +1,186 @@
+//! Checkpoint/resume for multi-experiment runs (`repro all --resume`).
+//!
+//! A full `repro all` at paper scale runs for a long time; a crash (or
+//! an injected fault, see `moat-faults`) halfway through used to throw
+//! the completed experiments away. This module persists each
+//! experiment's rendered output as it completes, under
+//! `.repro-checkpoint/<scale>/<name>.out`, so a rerun with `--resume`
+//! replays the recorded outputs and only executes the experiments that
+//! never finished.
+//!
+//! Entries are published with the same atomic discipline as the trace
+//! cache: the output is written to a `{name}.{pid}.{counter}.tmp`
+//! sibling and `rename(2)`d into place, so a checkpoint file either
+//! holds one complete experiment's output or does not exist — a crash
+//! mid-write can never produce a half-entry that `--resume` would
+//! replay as truth. Checkpoint I/O failures are deliberately
+//! non-fatal: the run degrades to executing the experiment live, which
+//! is always correct, just slower.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::scale::Scale;
+
+/// Directory (relative to the working directory) holding checkpoints.
+pub const CHECKPOINT_DIR: &str = ".repro-checkpoint";
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A per-scale store of completed experiment outputs.
+///
+/// Outputs recorded at one scale are never replayed at another: each
+/// [`Scale`] gets its own subdirectory, keyed by its bank/window
+/// geometry.
+#[derive(Debug)]
+pub struct Checkpoint {
+    dir: PathBuf,
+}
+
+impl Checkpoint {
+    /// Opens the checkpoint store for `scale` under `root`, creating it
+    /// if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(root: &Path, scale: Scale) -> io::Result<Checkpoint> {
+        let dir = root
+            .join(CHECKPOINT_DIR)
+            .join(format!("{}b-{}w", scale.banks, scale.windows));
+        fs::create_dir_all(&dir)?;
+        Ok(Checkpoint { dir })
+    }
+
+    /// Opens the store for `scale` after discarding any prior
+    /// checkpoints at that scale (a fresh, non-`--resume` run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory removal/creation failures.
+    pub fn open_fresh(root: &Path, scale: Scale) -> io::Result<Checkpoint> {
+        let dir = root
+            .join(CHECKPOINT_DIR)
+            .join(format!("{}b-{}w", scale.banks, scale.windows));
+        match fs::remove_dir_all(&dir) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        fs::create_dir_all(&dir)?;
+        Ok(Checkpoint { dir })
+    }
+
+    fn entry_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{name}.out"))
+    }
+
+    /// The recorded output of `name`, if that experiment completed in a
+    /// prior (or this) run.
+    ///
+    /// Unreadable entries count as absent — the experiment simply runs
+    /// live again.
+    pub fn lookup(&self, name: &str) -> Option<String> {
+        fs::read_to_string(self.entry_path(name)).ok()
+    }
+
+    /// Records the completed output of `name`, atomically.
+    ///
+    /// The entry becomes visible only via `rename(2)`, so concurrent or
+    /// crashed writers can never leave a torn entry behind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/rename failures (callers treat these as
+    /// non-fatal and keep running live).
+    pub fn record(&self, name: &str, output: &str) -> io::Result<()> {
+        let tmp = self.dir.join(format!(
+            "{name}.{}.{}.tmp",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        let publish =
+            fs::write(&tmp, output).and_then(|()| fs::rename(&tmp, self.entry_path(name)));
+        if publish.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        publish
+    }
+
+    /// Names of all completed experiments in this store, sorted.
+    pub fn completed(&self) -> Vec<String> {
+        let mut names: Vec<String> = match fs::read_dir(&self.dir) {
+            Ok(entries) => entries
+                .filter_map(Result::ok)
+                .filter_map(|e| {
+                    let name = e.file_name().into_string().ok()?;
+                    name.strip_suffix(".out").map(str::to_string)
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("moat-checkpoint-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn record_then_lookup_roundtrips() {
+        let root = temp_root("roundtrip");
+        let cp = Checkpoint::open(&root, Scale::scaled()).unwrap();
+        assert_eq!(cp.lookup("table2"), None);
+        cp.record("table2", "Table 2 output\n").unwrap();
+        assert_eq!(cp.lookup("table2").as_deref(), Some("Table 2 output\n"));
+        assert_eq!(cp.completed(), vec!["table2".to_string()]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn publish_is_atomic_no_tmp_left_behind() {
+        let root = temp_root("atomic");
+        let cp = Checkpoint::open(&root, Scale::scaled()).unwrap();
+        cp.record("fig13", "x\n").unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&cp.dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files must be renamed away");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn fresh_open_discards_prior_entries() {
+        let root = temp_root("fresh");
+        let cp = Checkpoint::open(&root, Scale::scaled()).unwrap();
+        cp.record("storage", "old\n").unwrap();
+        let cp = Checkpoint::open_fresh(&root, Scale::scaled()).unwrap();
+        assert_eq!(cp.lookup("storage"), None);
+        assert!(cp.completed().is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn scales_are_isolated() {
+        let root = temp_root("scales");
+        let scaled = Checkpoint::open(&root, Scale::scaled()).unwrap();
+        scaled.record("table2", "small\n").unwrap();
+        let full = Checkpoint::open(&root, Scale::full()).unwrap();
+        assert_eq!(full.lookup("table2"), None, "scales must not share entries");
+        assert_eq!(scaled.lookup("table2").as_deref(), Some("small\n"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

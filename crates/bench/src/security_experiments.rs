@@ -30,7 +30,7 @@ use crate::sweep::run_cells;
 /// Runs one security sweep in parallel with deterministic ordering:
 /// `run` maps a cell to its [`SecurityReport`], and the report's
 /// activation count feeds the sweep statistics.
-fn run_security_cells<C: Send>(
+fn run_security_cells<C: Send + Clone>(
     cells: Vec<C>,
     run: impl Fn(C) -> SecurityReport + Sync,
 ) -> Vec<SecurityReport> {

@@ -12,7 +12,8 @@
 //! scheduling, and each cell is seeded identically to a serial run, so
 //! every parallel sweep is bit-for-bit reproducible.
 
-use std::time::Instant;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use moat_core::MoatConfig;
 use moat_sim::{PerfReport, SlotBudget};
@@ -20,6 +21,11 @@ use moat_workloads::WorkloadProfile;
 use rayon::prelude::*;
 
 use crate::perf_experiments::PerfLab;
+
+/// Pause before retrying a crashed cell, giving a transient cause (a
+/// temporarily exhausted resource, a racing filesystem eviction) a
+/// moment to clear.
+const RETRY_BACKOFF: Duration = Duration::from_millis(50);
 
 /// One cell of a performance sweep.
 #[derive(Debug, Clone, Copy)]
@@ -83,32 +89,115 @@ impl SweepStats {
     }
 }
 
-/// Runs independent experiment cells in parallel, returning results in
-/// input order plus aggregate timing.
+/// The crash-isolated outcome of one sweep cell.
 ///
-/// This is the one parallel harness behind every figure and table: `run`
-/// maps a cell to `(result, simulated_acts)` — the activation count feeds
-/// [`SweepStats`] — and must be a pure function of the cell (each cell
-/// seeds its own simulators), which is what makes the parallel run
-/// bit-identical to a serial loop over `cells` in order. Results are
-/// collected through the chunked lock-free queue of the [`rayon`] shim,
-/// so ordering is deterministic regardless of scheduling. Each result
-/// comes back paired with its cell's wall-clock seconds (the same
-/// measurements `cell_seconds` sums), so callers never need a second,
-/// nested timer.
-pub fn run_cells<C, R, F>(cells: Vec<C>, run: F) -> (Vec<(R, f64)>, SweepStats)
+/// Produced by [`try_run_cells`]: a cell whose `run` closure panics is
+/// caught, retried once after [`RETRY_BACKOFF`], and — if it panics
+/// again — reported here as [`CellOutcome::Failed`] instead of tearing
+/// down the sibling workers. Outcomes come back in input order like
+/// every other sweep result.
+#[derive(Debug, Clone)]
+pub enum CellOutcome<R> {
+    /// The cell completed (possibly only on its retry).
+    Ok {
+        /// The cell's result.
+        result: R,
+        /// 1 if the first attempt succeeded, 2 if the retry did.
+        attempts: u32,
+    },
+    /// The cell panicked on every attempt.
+    Failed {
+        /// Attempts made (always 2: the initial run plus one retry).
+        attempts: u32,
+        /// The panic payload, stringified when possible.
+        message: String,
+    },
+}
+
+impl<R> CellOutcome<R> {
+    /// The result, if the cell completed.
+    pub fn ok(self) -> Option<R> {
+        match self {
+            CellOutcome::Ok { result, .. } => Some(result),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the cell failed both attempts.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellOutcome::Failed { .. })
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs independent experiment cells in parallel with crash isolation,
+/// returning per-cell outcomes in input order plus aggregate timing.
+///
+/// Each cell's `run` call executes under [`std::panic::catch_unwind`],
+/// so a panicking cell never kills its sibling workers or loses their
+/// results. A crashed cell is retried once after a short backoff (a
+/// transient cause — an evicted cache file, a briefly exhausted
+/// resource — often clears); a second panic marks the cell
+/// [`CellOutcome::Failed`] with the panic message. Failed cells
+/// contribute their wall time to [`SweepStats::cell_seconds`] but no
+/// activations to `total_acts`.
+///
+/// `run` must be a pure function of the cell (each cell seeds its own
+/// simulators), which keeps the parallel run bit-identical to a serial
+/// loop over `cells` in order — including the retry, which re-runs the
+/// same pure computation. Results are collected through the chunked
+/// lock-free queue of the [`rayon`] shim, so ordering is deterministic
+/// regardless of scheduling.
+pub fn try_run_cells<C, R, F>(cells: Vec<C>, run: F) -> (Vec<(CellOutcome<R>, f64)>, SweepStats)
 where
-    C: Send,
+    C: Send + Clone,
     R: Send,
     F: Fn(C) -> (R, u64) + Sync,
 {
     let start = Instant::now();
-    let timed: Vec<(R, u64, f64)> = cells
+    let timed: Vec<(CellOutcome<R>, u64, f64)> = cells
         .into_par_iter()
         .map(|cell| {
             let cell_start = Instant::now();
-            let (result, acts) = run(cell);
-            (result, acts, cell_start.elapsed().as_secs_f64())
+            let attempt = || panic::catch_unwind(AssertUnwindSafe(|| run(cell.clone())));
+            let outcome = match attempt() {
+                Ok((result, acts)) => (
+                    CellOutcome::Ok {
+                        result,
+                        attempts: 1,
+                    },
+                    acts,
+                ),
+                Err(_first) => {
+                    std::thread::sleep(RETRY_BACKOFF);
+                    match attempt() {
+                        Ok((result, acts)) => (
+                            CellOutcome::Ok {
+                                result,
+                                attempts: 2,
+                            },
+                            acts,
+                        ),
+                        Err(payload) => (
+                            CellOutcome::Failed {
+                                attempts: 2,
+                                message: panic_message(payload),
+                            },
+                            0,
+                        ),
+                    }
+                }
+            };
+            (outcome.0, outcome.1, cell_start.elapsed().as_secs_f64())
         })
         .collect();
 
@@ -119,6 +208,55 @@ where
         threads: rayon::current_num_threads(),
     };
     (timed.into_iter().map(|t| (t.0, t.2)).collect(), stats)
+}
+
+/// Runs independent experiment cells in parallel, returning results in
+/// input order plus aggregate timing.
+///
+/// This is the one parallel harness behind every figure and table: `run`
+/// maps a cell to `(result, simulated_acts)` — the activation count feeds
+/// [`SweepStats`] — and must be a pure function of the cell (each cell
+/// seeds its own simulators), which is what makes the parallel run
+/// bit-identical to a serial loop over `cells` in order. Each result
+/// comes back paired with its cell's wall-clock seconds (the same
+/// measurements `cell_seconds` sums), so callers never need a second,
+/// nested timer.
+///
+/// Cells run crash-isolated through [`try_run_cells`]: a panicking cell
+/// is retried once and never interrupts its siblings. Because this
+/// entry point promises a result for *every* cell, it re-raises after
+/// the whole sweep completes if any cell still failed — with a message
+/// naming each failed cell index and its panic text. Callers that want
+/// to keep partial results use [`try_run_cells`] directly.
+///
+/// # Panics
+///
+/// After all cells have run, if any cell panicked on both attempts.
+pub fn run_cells<C, R, F>(cells: Vec<C>, run: F) -> (Vec<(R, f64)>, SweepStats)
+where
+    C: Send + Clone,
+    R: Send,
+    F: Fn(C) -> (R, u64) + Sync,
+{
+    let (outcomes, stats) = try_run_cells(cells, run);
+    let total = outcomes.len();
+    let mut results = Vec::with_capacity(total);
+    let mut failures = Vec::new();
+    for (index, (outcome, wall_seconds)) in outcomes.into_iter().enumerate() {
+        match outcome {
+            CellOutcome::Ok { result, .. } => results.push((result, wall_seconds)),
+            CellOutcome::Failed { attempts, message } => {
+                failures.push(format!("cell {index} ({attempts} attempts): {message}"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {total} sweep cells failed after retries:\n  {}",
+        failures.len(),
+        failures.join("\n  "),
+    );
+    (results, stats)
 }
 
 /// Runs performance-sweep `cells` in parallel against `lab`, returning
@@ -208,6 +346,101 @@ mod tests {
         let summed: f64 = a.iter().map(|t| t.1).sum();
         assert!((summed - stats.cell_seconds).abs() < 1e-12);
         assert!(stats.threads >= 1);
+    }
+
+    #[test]
+    fn poisoned_cell_is_isolated_retried_and_siblings_report() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        let poisoned_attempts = AtomicU32::new(0);
+        let cells: Vec<u32> = (0..8).collect();
+        let (outcomes, stats) = try_run_cells(cells, |c| {
+            if c == 3 {
+                poisoned_attempts.fetch_add(1, Ordering::SeqCst);
+                panic!("poisoned cell {c}");
+            }
+            (c * 7, u64::from(c))
+        });
+
+        assert_eq!(outcomes.len(), 8, "every cell reports, poisoned included");
+        assert_eq!(
+            poisoned_attempts.load(Ordering::SeqCst),
+            2,
+            "poisoned cell is retried exactly once"
+        );
+        for (i, (outcome, wall)) in outcomes.iter().enumerate() {
+            assert!(*wall >= 0.0);
+            if i == 3 {
+                match outcome {
+                    CellOutcome::Failed { attempts, message } => {
+                        assert_eq!(*attempts, 2);
+                        assert!(message.contains("poisoned cell 3"), "got {message:?}");
+                    }
+                    CellOutcome::Ok { .. } => panic!("poisoned cell reported Ok"),
+                }
+            } else {
+                match outcome {
+                    CellOutcome::Ok { result, attempts } => {
+                        assert_eq!(*result, (i as u32) * 7, "sibling result intact");
+                        assert_eq!(*attempts, 1);
+                    }
+                    CellOutcome::Failed { message, .. } => {
+                        panic!("sibling cell {i} killed by poisoned cell: {message}")
+                    }
+                }
+            }
+        }
+        // The failed cell contributes wall time but no activations.
+        assert_eq!(stats.total_acts, (0u64..8).sum::<u64>() - 3);
+    }
+
+    #[test]
+    fn flaky_cell_succeeds_on_retry() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let first_attempt = AtomicBool::new(true);
+        let (outcomes, stats) = try_run_cells(vec![42u32], |c| {
+            if first_attempt.swap(false, Ordering::SeqCst) {
+                panic!("transient failure");
+            }
+            (c, 5u64)
+        });
+        match &outcomes[0].0 {
+            CellOutcome::Ok { result, attempts } => {
+                assert_eq!(*result, 42);
+                assert_eq!(*attempts, 2, "success on the retry is recorded as such");
+            }
+            CellOutcome::Failed { message, .. } => panic!("retry did not recover: {message}"),
+        }
+        assert_eq!(stats.total_acts, 5, "the successful retry's acts count");
+    }
+
+    #[test]
+    fn run_cells_reports_failures_only_after_all_siblings_complete() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        let siblings_done = AtomicU32::new(0);
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_cells((0..8u32).collect(), |c| {
+                if c == 2 {
+                    panic!("deliberate poison");
+                }
+                siblings_done.fetch_add(1, Ordering::SeqCst);
+                (c, 0u64)
+            })
+        }));
+        let message = panic_message(caught.expect_err("a poisoned cell must surface"));
+        assert!(
+            message.contains("1 of 8 sweep cells failed"),
+            "got {message:?}"
+        );
+        assert!(message.contains("cell 2"), "got {message:?}");
+        assert!(message.contains("deliberate poison"), "got {message:?}");
+        assert_eq!(
+            siblings_done.load(Ordering::SeqCst),
+            7,
+            "every sibling ran to completion before the failure surfaced"
+        );
     }
 
     #[test]

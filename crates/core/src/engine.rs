@@ -15,7 +15,7 @@
 use core::any::Any;
 use core::ops::Range;
 
-use moat_dram::{ActCount, MitigationEngine, RowId};
+use moat_dram::{ActCount, EngineFault, MitigationEngine, RowId};
 
 use crate::config::{MoatConfig, ResetPolicy};
 
@@ -417,6 +417,42 @@ impl MitigationEngine for MoatEngine {
             .iter()
             .find(|s| s.row == row)
             .map_or(in_array, |s| ActCount::new(s.count))
+    }
+
+    /// SEUs land in the tracked-entry SRAM (the `L ≤ 4` counters the CTA
+    /// maximum is computed over). After mutating a count the cached
+    /// maximum and the ALERT flag are rebuilt via `resync`, so the engine
+    /// stays internally consistent — but a previously promised horizon
+    /// may now be unsound, which is exactly what the fault sweep
+    /// measures. `LoseAlert` clears the request latch; the flag re-arms
+    /// the next time a counter update crosses ATH.
+    fn apply_fault(&mut self, fault: &EngineFault) -> bool {
+        match *fault {
+            EngineFault::FlipCounterBit { slot, bit } => {
+                if self.tracker.is_empty() {
+                    return false;
+                }
+                let slot = slot % self.tracker.len();
+                self.tracker[slot].count ^= 1 << (bit % u32::BITS);
+                self.resync();
+                true
+            }
+            EngineFault::LoseAlert => {
+                let was = self.alert_pending;
+                self.alert_pending = false;
+                was
+            }
+            EngineFault::StuckEntry { slot } => {
+                if self.tracker.is_empty() {
+                    return false;
+                }
+                let slot = slot % self.tracker.len();
+                let changed = self.tracker[slot].count != 0;
+                self.tracker[slot].count = 0;
+                self.resync();
+                changed
+            }
+        }
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -32,6 +32,37 @@ pub enum RefMitigationMode {
     DrainAll,
 }
 
+/// An injected single-event fault in an engine's private tracking state.
+///
+/// Real in-DRAM trackers are SRAM subject to single-event upsets; the
+/// fault-injection layer (crate `moat-faults`) uses these to measure how
+/// much counter corruption each design tolerates before its
+/// [`min_acts_to_alert`](MitigationEngine::min_acts_to_alert) bound goes
+/// unsound. Interpretation is engine-specific — `slot` indexes whatever
+/// per-bank tracking structure the design keeps (MOAT's tracked-row
+/// table, Panopticon's FIFO queue) and is taken modulo its length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineFault {
+    /// Flip one bit of the counter (or row tag) held in tracking slot
+    /// `slot`. `bit` is taken modulo the field width.
+    FlipCounterBit {
+        /// Index into the engine's tracking structure.
+        slot: usize,
+        /// Bit position to flip.
+        bit: u32,
+    },
+    /// A pending ALERT request is silently dropped (the assertion never
+    /// reaches the memory controller).
+    LoseAlert,
+    /// Tracking slot `slot` is stuck: its contents revert to an inert
+    /// value (a cleared counter, a repeated queue entry), losing whatever
+    /// the engine had recorded there.
+    StuckEntry {
+        /// Index into the engine's tracking structure.
+        slot: usize,
+    },
+}
+
 /// A Rowhammer mitigation engine for one DRAM bank.
 ///
 /// The simulator calls the methods in this order per event:
@@ -149,6 +180,21 @@ pub trait MitigationEngine: fmt::Debug {
         in_array
     }
 
+    /// Applies an injected [`EngineFault`] to the engine's private
+    /// tracking state, returning whether any state actually changed.
+    ///
+    /// Implementations must re-establish their internal invariants before
+    /// returning (e.g. recompute cached maxima and the pending-alert
+    /// flag), but the *horizon* guarantee of
+    /// [`min_acts_to_alert`](Self::min_acts_to_alert) is deliberately
+    /// **not** restored: a fault is exactly the kind of out-of-band write
+    /// that voids it, and the fault-injection layer measures when the
+    /// previously promised bound breaks. Engines without faultable state
+    /// ignore every fault (the default).
+    fn apply_fault(&mut self, _fault: &EngineFault) -> bool {
+        false
+    }
+
     /// Downcasting hook so adaptive attackers (threat model §2.1: "the
     /// attacker knows the defense algorithm, including which row has been
     /// selected for mitigation") can inspect concrete engine state.
@@ -241,6 +287,10 @@ impl<E: MitigationEngine> MitigationEngine for Box<E> {
         (**self).effective_counter(row, in_array)
     }
 
+    fn apply_fault(&mut self, fault: &EngineFault) -> bool {
+        (**self).apply_fault(fault)
+    }
+
     fn as_any(&self) -> &dyn Any {
         (**self).as_any()
     }
@@ -313,6 +363,10 @@ impl<'e> MitigationEngine for Box<dyn MitigationEngine + 'e> {
 
     fn effective_counter(&self, row: RowId, in_array: ActCount) -> ActCount {
         (**self).effective_counter(row, in_array)
+    }
+
+    fn apply_fault(&mut self, fault: &EngineFault) -> bool {
+        (**self).apply_fault(fault)
     }
 
     fn as_any(&self) -> &dyn Any {

@@ -30,6 +30,7 @@
 #![warn(missing_debug_implementations)]
 
 mod budget;
+mod fault_hook;
 mod faw;
 mod frontend;
 mod perf;
@@ -37,6 +38,7 @@ mod security;
 mod unit;
 
 pub use budget::SlotBudget;
+pub use fault_hook::{FaultHook, NoFaults};
 pub use faw::FawTracker;
 pub use frontend::{hammer_address, AddressAccess, AddressStream};
 pub use perf::{PerfConfig, PerfReport, PerfSim, Request, RequestStream, DEFAULT_CHUNK};

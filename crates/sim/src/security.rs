@@ -29,9 +29,12 @@
 
 use std::borrow::Cow;
 
-use moat_dram::{AboLevel, AboPhase, AboProtocol, DramConfig, MitigationEngine, Nanos, RowId};
+use moat_dram::{
+    AboLevel, AboPhase, AboProtocol, DramConfig, EngineFault, MitigationEngine, Nanos, RowId,
+};
 
 use crate::budget::SlotBudget;
+use crate::fault_hook::{FaultHook, NoFaults};
 use crate::unit::{BankUnit, BankUnitView};
 
 /// Upper bound on the rows fetched per scripted run. The REF cadence caps
@@ -443,23 +446,45 @@ impl<E: MitigationEngine> SecuritySim<E> {
     /// Runs `attacker` for `duration` of virtual time (or until it stops)
     /// and reports the outcome. Can be called repeatedly; time continues.
     pub fn run(&mut self, attacker: &mut dyn Attacker, duration: Nanos) -> SecurityReport {
+        self.run_with_faults(attacker, duration, &mut NoFaults)
+    }
+
+    /// [`run`](Self::run) with a [`FaultHook`] threaded through: the hook
+    /// sees every ACT slot as a boundary and may corrupt the engine,
+    /// drop RFMs, or lose ALERT assertions. With the disarmed
+    /// [`NoFaults`] hook (what [`run`](Self::run) passes) every fault
+    /// branch constant-folds away and this *is* the fault-free loop.
+    pub fn run_with_faults<F: FaultHook>(
+        &mut self,
+        attacker: &mut dyn Attacker,
+        duration: Nanos,
+        faults: &mut F,
+    ) -> SecurityReport {
         let end = self.now + duration;
         let t_rc = self.config.dram.timing.t_rc;
         let t_rfc = self.config.dram.timing.t_rfc;
 
         while self.now < end {
+            if F::ARMED {
+                faults.at_boundary(self.now, self.unit.engine_mut());
+            }
+
             // 1. ABO RFM phase has priority once the activity window closes.
             match self.abo.phase() {
                 AboPhase::ActWindow { stall_at } if self.now >= stall_at => {
                     let done = self.abo.start_rfm(self.now).expect("rfm after window");
-                    self.unit.rfm_mitigate();
+                    if !(F::ARMED && faults.drop_rfm(self.now)) {
+                        self.unit.rfm_mitigate();
+                    }
                     self.now = done;
                     continue;
                 }
                 AboPhase::Rfm { busy_until, .. } => {
                     let t = self.now.max(busy_until);
                     let done = self.abo.start_rfm(t).expect("chained rfm");
-                    self.unit.rfm_mitigate();
+                    if !(F::ARMED && faults.drop_rfm(self.now)) {
+                        self.unit.rfm_mitigate();
+                    }
                     self.now = done;
                     continue;
                 }
@@ -475,8 +500,14 @@ impl<E: MitigationEngine> SecuritySim<E> {
 
             // 3. Assert ALERT as soon as requested and permitted.
             if self.config.alerts_enabled && self.unit.alert_pending() && self.abo.can_assert() {
-                self.abo.assert_alert(self.now).expect("can_assert checked");
-                // Normal operation continues inside the 180 ns window.
+                if F::ARMED && faults.lose_alert(self.now) {
+                    // The assertion is lost in flight: clear the request
+                    // latch; it re-arms when a counter next crosses ATH.
+                    self.unit.engine_mut().apply_fault(&EngineFault::LoseAlert);
+                } else {
+                    self.abo.assert_alert(self.now).expect("can_assert checked");
+                    // Normal operation continues inside the 180 ns window.
+                }
             }
 
             // 4. The attacker takes the next ACT slot.
@@ -552,13 +583,37 @@ impl<E: MitigationEngine> SecuritySim<E> {
         attacker: &mut A,
         duration: Nanos,
     ) -> SecurityReport {
+        self.run_batched_with_faults(attacker, duration, &mut NoFaults)
+    }
+
+    /// [`run_batched`](Self::run_batched) with a [`FaultHook`] threaded
+    /// through: the hook sees every event-horizon boundary and may
+    /// corrupt the engine there. When armed, granted runs issue one ACT
+    /// at a time with the engine's promised horizon checked after each —
+    /// a fault that breaks the
+    /// [`min_acts_to_alert`](MitigationEngine::min_acts_to_alert)
+    /// invariant is reported via [`FaultHook::on_unsound_horizon`] and
+    /// the remainder of the grant still executes (the controller already
+    /// committed to the burst; the escaped ACTs are the measured damage).
+    /// With the disarmed [`NoFaults`] hook every fault branch
+    /// constant-folds away and the batched hot path is byte-for-byte the
+    /// fault-free one.
+    pub fn run_batched_with_faults<A: ScriptedAttacker + ?Sized, F: FaultHook>(
+        &mut self,
+        attacker: &mut A,
+        duration: Nanos,
+        faults: &mut F,
+    ) -> SecurityReport {
         let end = self.now + duration;
         let t_rc = self.config.dram.timing.t_rc;
         let t_rfc = self.config.dram.timing.t_rfc;
         let mut run: Vec<RowId> = Vec::with_capacity(MAX_RUN);
 
         while self.now < end {
-            if self.advance_defense(end, t_rfc) {
+            if F::ARMED {
+                faults.at_boundary(self.now, self.unit.engine_mut());
+            }
+            if self.advance_defense(end, t_rfc, faults) {
                 continue;
             }
 
@@ -572,9 +627,14 @@ impl<E: MitigationEngine> SecuritySim<E> {
                 if n == 0 {
                     break;
                 }
-                self.unit.activate_run(&run[..n], self.now, t_rc);
-                self.abo.on_acts(n as u64);
-                self.now += t_rc * (n as u64);
+                if F::ARMED {
+                    let promised = self.engine_promise(horizon);
+                    self.issue_run_checked(&run[..n], promised, t_rc, faults);
+                } else {
+                    self.unit.activate_run(&run[..n], self.now, t_rc);
+                    self.abo.on_acts(n as u64);
+                    self.now += t_rc * (n as u64);
+                }
             } else {
                 // Per-step fallback: inside an ALERT window, under a
                 // spacing-stalled ALERT, or with no engine guarantee.
@@ -616,7 +676,7 @@ impl<E: MitigationEngine> SecuritySim<E> {
     /// so the episode drains per-RFM to stop at the identical point — a
     /// published run whose horizon lands inside an ALERT episode resumes
     /// through the same per-RFM path on the next call.
-    fn advance_defense(&mut self, end: Nanos, t_rfc: Nanos) -> bool {
+    fn advance_defense<F: FaultHook>(&mut self, end: Nanos, t_rfc: Nanos, faults: &mut F) -> bool {
         // 1. ABO RFM phase has priority once the activity window closes.
         match self.abo.phase() {
             AboPhase::ActWindow { stall_at } if self.now >= stall_at => {
@@ -628,12 +688,16 @@ impl<E: MitigationEngine> SecuritySim<E> {
                         .complete_episode(self.now)
                         .expect("episode after window");
                     for _ in 0..rfms {
-                        self.unit.rfm_mitigate();
+                        if !(F::ARMED && faults.drop_rfm(self.now)) {
+                            self.unit.rfm_mitigate();
+                        }
                     }
                     self.now = done;
                 } else {
                     let done = self.abo.start_rfm(self.now).expect("rfm after window");
-                    self.unit.rfm_mitigate();
+                    if !(F::ARMED && faults.drop_rfm(self.now)) {
+                        self.unit.rfm_mitigate();
+                    }
                     self.now = done;
                 }
                 return true;
@@ -644,7 +708,9 @@ impl<E: MitigationEngine> SecuritySim<E> {
                 // an episode; drain it per-RFM.
                 let t = self.now.max(busy_until);
                 let done = self.abo.start_rfm(t).expect("chained rfm");
-                self.unit.rfm_mitigate();
+                if !(F::ARMED && faults.drop_rfm(self.now)) {
+                    self.unit.rfm_mitigate();
+                }
                 self.now = done;
                 return true;
             }
@@ -660,9 +726,66 @@ impl<E: MitigationEngine> SecuritySim<E> {
 
         // 3. Assert ALERT as soon as requested and permitted.
         if self.config.alerts_enabled && self.unit.alert_pending() && self.abo.can_assert() {
-            self.abo.assert_alert(self.now).expect("can_assert checked");
+            if F::ARMED && faults.lose_alert(self.now) {
+                // The assertion is lost in flight: clear the request
+                // latch; it re-arms when a counter next crosses ATH.
+                self.unit.engine_mut().apply_fault(&EngineFault::LoseAlert);
+            } else {
+                self.abo.assert_alert(self.now).expect("can_assert checked");
+            }
         }
         false
+    }
+
+    /// The engine-guaranteed ACT count behind a grant's `alert_safe`
+    /// tier, or `u64::MAX` when the grant carries no engine promise.
+    /// Only the idle-phase, no-pending-ALERT grant derives its
+    /// `alert_safe` from
+    /// [`min_acts_to_alert`](MitigationEngine::min_acts_to_alert);
+    /// inside an ALERT activity window (and under a spacing-stalled
+    /// ALERT) the flag legitimately flips mid-run without an assertion,
+    /// so flagging those as unsound would be a false positive.
+    fn engine_promise(&self, alert_safe: usize) -> u64 {
+        if self.config.alerts_enabled
+            && matches!(self.abo.phase(), AboPhase::Idle)
+            && !self.unit.alert_pending()
+        {
+            alert_safe as u64
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Issues a granted run one ACT at a time, checking the engine's
+    /// promise after each: with faults armed, `alert_pending` flipping
+    /// strictly inside the `promised` engine-guaranteed ACTs means a
+    /// fault corrupted state out from under the horizon invariant. Only
+    /// the first violation per run is reported (the flag stays set until
+    /// the next boundary). Called only on armed paths — the disarmed
+    /// build issues the whole run through the batched
+    /// [`BankUnit::activate_run`] pass.
+    fn issue_run_checked<F: FaultHook>(
+        &mut self,
+        run: &[RowId],
+        promised: u64,
+        t_rc: Nanos,
+        faults: &mut F,
+    ) {
+        // `u64::MAX` marks a promise-free grant (see `engine_promise`):
+        // the flag may flip mid-run legitimately, so nothing to check.
+        let mut reported = promised == u64::MAX;
+        for (i, &row) in run.iter().enumerate() {
+            self.unit
+                .activate(row, self.now)
+                .expect("event-free run respects bank timing");
+            self.abo.on_act();
+            self.now += t_rc;
+            let done = (i + 1) as u64;
+            if !reported && done < promised && self.unit.alert_pending() {
+                faults.on_unsound_horizon(self.now, promised, done);
+                reported = true;
+            }
+        }
     }
 
     /// Runs a [`SemiScriptedAttacker`] for `duration` of virtual time (or
@@ -686,13 +809,33 @@ impl<E: MitigationEngine> SecuritySim<E> {
         attacker: &mut A,
         duration: Nanos,
     ) -> SecurityReport {
+        self.run_semi_scripted_with_faults(attacker, duration, &mut NoFaults)
+    }
+
+    /// [`run_semi_scripted`](Self::run_semi_scripted) with a
+    /// [`FaultHook`] threaded through — the same injection points and
+    /// armed-run horizon checking as
+    /// [`run_batched_with_faults`](Self::run_batched_with_faults), with
+    /// the engine-guaranteed tier ([`RunGrant::alert_safe`]) as the
+    /// checked promise (engine-aware attackers may legitimately publish
+    /// past it). Disarmed ([`NoFaults`]), this is byte-for-byte the
+    /// fault-free loop.
+    pub fn run_semi_scripted_with_faults<A: SemiScriptedAttacker + ?Sized, F: FaultHook>(
+        &mut self,
+        attacker: &mut A,
+        duration: Nanos,
+        faults: &mut F,
+    ) -> SecurityReport {
         let end = self.now + duration;
         let t_rc = self.config.dram.timing.t_rc;
         let t_rfc = self.config.dram.timing.t_rfc;
         let mut run: Vec<RowId> = Vec::with_capacity(MAX_RUN);
 
         while self.now < end {
-            if self.advance_defense(end, t_rfc) {
+            if F::ARMED {
+                faults.at_boundary(self.now, self.unit.engine_mut());
+            }
+            if self.advance_defense(end, t_rfc, faults) {
                 continue;
             }
 
@@ -725,9 +868,14 @@ impl<E: MitigationEngine> SecuritySim<E> {
                         break;
                     }
                     if grant.max > 1 {
-                        self.unit.activate_run(&run[..n], self.now, t_rc);
-                        self.abo.on_acts(n as u64);
-                        self.now += t_rc * (n as u64);
+                        if F::ARMED {
+                            let promised = self.engine_promise(grant.alert_safe);
+                            self.issue_run_checked(&run[..n], promised, t_rc, faults);
+                        } else {
+                            self.unit.activate_run(&run[..n], self.now, t_rc);
+                            self.abo.on_acts(n as u64);
+                            self.now += t_rc * (n as u64);
+                        }
                     } else {
                         // Single guarded step: inside an ALERT window,
                         // under a spacing-stalled ALERT, or with no

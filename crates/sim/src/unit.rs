@@ -120,6 +120,14 @@ impl<E: MitigationEngine> BankUnit<E> {
         &self.engine
     }
 
+    /// Mutable engine access, for fault injection
+    /// ([`MitigationEngine::apply_fault`]). Out-of-band engine mutation
+    /// voids the [`MitigationEngine::min_acts_to_alert`] horizon
+    /// guarantee — which is exactly what the fault layer measures.
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
     /// A type-erased read-only view of this unit, used to hand the full
     /// defense state to adaptive attackers without making them generic
     /// over the engine type.

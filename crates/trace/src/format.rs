@@ -248,6 +248,7 @@ impl TraceWriter {
     /// Propagates write errors.
     #[inline]
     pub fn push(&mut self, request: Request) -> io::Result<()> {
+        crate::failpoint::check_write()?;
         let record = encode_record(request);
         self.checksum = fold_checksum(self.checksum, &record);
         self.count += 1;
@@ -279,6 +280,7 @@ impl TraceWriter {
     ///
     /// Propagates flush/seek/write/sync errors.
     pub fn finish(mut self) -> io::Result<TraceHeader> {
+        crate::failpoint::check_write()?;
         let header = TraceHeader {
             fingerprint: self.fingerprint,
             count: self.count,

@@ -45,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+pub mod failpoint;
 pub mod format;
 mod mmap;
 pub mod reader;

@@ -67,6 +67,7 @@ impl Mmap {
     pub fn map(file: &File) -> io::Result<Mmap> {
         use std::os::unix::io::AsRawFd;
 
+        crate::failpoint::check_mmap()?;
         let len = usize::try_from(file.metadata()?.len())
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
         if len == 0 {
@@ -107,6 +108,7 @@ impl Mmap {
     pub fn map(file: &File) -> io::Result<Mmap> {
         use std::io::Read;
 
+        crate::failpoint::check_mmap()?;
         let mut buf = Vec::new();
         let mut file = file;
         file.read_to_end(&mut buf)?;

@@ -57,16 +57,19 @@ impl TraceInfo {
         let mut file = File::open(path)?;
         let file_bytes = file.metadata()?.len();
         let mut head = [0u8; HEADER_BYTES];
-        file.read_exact(&mut head).map_err(|e| {
-            if e.kind() == io::ErrorKind::UnexpectedEof {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("trace truncated: {file_bytes} bytes, header needs {HEADER_BYTES}"),
-                )
-            } else {
-                e
-            }
-        })?;
+        // An injected short read takes the same wrap as a real one below.
+        crate::failpoint::check_read()
+            .and_then(|()| file.read_exact(&mut head))
+            .map_err(|e| {
+                if e.kind() == io::ErrorKind::UnexpectedEof {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("trace truncated: {file_bytes} bytes, header needs {HEADER_BYTES}"),
+                    )
+                } else {
+                    e
+                }
+            })?;
         let header = TraceHeader::decode(&head)?;
         let expect = HEADER_BYTES as u64 + header.count * RECORD_BYTES as u64;
         if file_bytes != expect {

@@ -17,7 +17,7 @@ use core::any::Any;
 use core::ops::Range;
 use std::collections::VecDeque;
 
-use moat_dram::{ActCount, Bank, MitigationEngine, RefMitigationMode, RowId};
+use moat_dram::{ActCount, Bank, EngineFault, MitigationEngine, RefMitigationMode, RowId};
 use rand::Rng;
 
 /// Configuration of a Panopticon bank tracker.
@@ -232,6 +232,43 @@ impl MitigationEngine for PanopticonEngine {
     fn sram_bytes_per_bank(&self) -> usize {
         // 8 entries × 2-byte row address.
         self.config.queue_entries * 2
+    }
+
+    /// Panopticon's queue stores bare row tags (no counters), so an SEU
+    /// lands in an address: `FlipCounterBit` flips one bit of the queued
+    /// tag at `slot` — the mitigation then refreshes the wrong row's
+    /// victims while the real aggressor keeps hammering. `StuckEntry`
+    /// models a stuck FIFO cell by repeating the front entry into `slot`.
+    /// The caller picks `bit` low enough that the corrupted tag still
+    /// names a real row (see `moat-faults`).
+    fn apply_fault(&mut self, fault: &EngineFault) -> bool {
+        match *fault {
+            EngineFault::FlipCounterBit { slot, bit } => {
+                if self.queue.is_empty() {
+                    return false;
+                }
+                let slot = slot % self.queue.len();
+                let tag = self.queue[slot].index() ^ (1 << (bit % 16));
+                self.queue[slot] = RowId::new(tag);
+                true
+            }
+            EngineFault::LoseAlert => {
+                let was = self.alert_pending;
+                self.alert_pending = false;
+                self.draining = false;
+                was
+            }
+            EngineFault::StuckEntry { slot } => {
+                if self.queue.is_empty() {
+                    return false;
+                }
+                let slot = slot % self.queue.len();
+                let front = self.queue[0];
+                let changed = self.queue[slot] != front;
+                self.queue[slot] = front;
+                changed
+            }
+        }
     }
 
     fn as_any(&self) -> &dyn Any {
