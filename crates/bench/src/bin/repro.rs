@@ -13,6 +13,14 @@
 //!                               ladder x engine x attack (set
 //!                               MOAT_FAULTS=seed=N,... to pin the base
 //!                               fault plan; see `moat-faults`)
+//!   repro fleet [--shards N] [--tenants M] [--acts N] [--threads T] [--resume]
+//!                               fleet-scale sharded serving under the
+//!                               self-healing shard supervisor; set
+//!                               MOAT_FLEET_FAULTS=seed=N,crash=R,... to
+//!                               inject shard-level faults (see
+//!                               `moat-fleet`). --resume replays shards
+//!                               completed by an interrupted run from
+//!                               .repro-checkpoint/
 //!   repro trace record [profile ...] [--full]
 //!                               record workload streams into the binary
 //!                               trace cache (see `moat-trace`)
@@ -28,11 +36,12 @@
 //!                               non-zero if uniform_mono_acts_per_sec,
 //!                               sweep_acts_per_sec,
 //!                               security_batched_acts_per_sec,
-//!                               adaptive_batched_acts_per_sec, or
-//!                               full_sweep_acts_per_sec regressed by
+//!                               adaptive_batched_acts_per_sec,
+//!                               full_sweep_acts_per_sec, or
+//!                               fleet_acts_per_sec regressed by
 //!                               more than 20% (the thread-scaled sweep
-//!                               gates are skipped when this run's
-//!                               thread count differs from the
+//!                               and fleet gates are skipped when this
+//!                               run's thread count differs from the
 //!                               baseline's)
 //!
 //! The performance sweeps fan their (profile × config) cells across all
@@ -43,14 +52,15 @@
 //! run) replays the mmap'd bytes.
 
 use moat_bench::{
-    bench_perf, run_experiment, run_faults_command, run_trace_command, Checkpoint, Scale,
-    ALL_EXPERIMENTS,
+    bench_perf, run_experiment, run_faults_command, run_fleet_command, run_trace_command,
+    Checkpoint, Scale, ALL_EXPERIMENTS,
 };
 
 /// Allowed fractional drop of any gated metric (`uniform_mono_acts_per_sec`,
 /// `sweep_acts_per_sec`, `security_batched_acts_per_sec`,
-/// `adaptive_batched_acts_per_sec`, `full_sweep_acts_per_sec`) before
-/// the `--baseline` perf smoke fails the run.
+/// `adaptive_batched_acts_per_sec`, `full_sweep_acts_per_sec`,
+/// `fleet_acts_per_sec`) before the `--baseline` perf smoke fails the
+/// run.
 const MAX_PERF_REGRESSION: f64 = 0.20;
 
 /// Writes `contents` to `path` with the same atomic tmp + `rename(2)`
@@ -66,7 +76,30 @@ fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
     publish
 }
 
+/// Validates every environment variable the harness consumes, before
+/// any work starts: a malformed `MOAT_FAULTS`, `MOAT_FLEET_FAULTS`,
+/// `MOAT_IO_FAULTS`, or `MOAT_TRACE_DIR` fails the invocation with a
+/// clear message instead of being silently ignored (which would run an
+/// *unfaulted* experiment while the operator believes chaos is armed)
+/// or panicking deep inside a sweep.
+fn validate_env() {
+    let results = [
+        moat_faults::FaultPlan::from_env().map(|_| ()),
+        moat_fleet::FleetFaultPlan::from_env().map(|_| ()),
+        moat_trace::failpoint::IoFaultConfig::from_env().map(|_| ()),
+        moat_trace::TraceCache::env_dir().map(|_| ()),
+    ];
+    let errors: Vec<String> = results.into_iter().filter_map(Result::err).collect();
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("repro: {e}");
+        }
+        std::process::exit(2);
+    }
+}
+
 fn main() {
+    validate_env();
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
@@ -83,7 +116,7 @@ fn main() {
     args.retain(|a| a != "--full" && a != "--json" && a != "--resume");
     let scale = if full { Scale::full() } else { Scale::scaled() };
 
-    let usage = "usage: repro <list|all [--resume]|bench|trace ...|faults ...|experiment...> [--full] [--json] [--baseline <file>]";
+    let usage = "usage: repro <list|all [--resume]|bench|trace ...|faults ...|fleet ... [--resume]|experiment...> [--full] [--json] [--baseline <file>]";
     if args.is_empty() && !json && baseline.is_none() {
         eprintln!("{usage}");
         std::process::exit(2);
@@ -96,7 +129,7 @@ fn main() {
         for name in ALL_EXPERIMENTS {
             println!("{name}");
         }
-        println!("fig13\nstorage\nbench\ntrace");
+        println!("fig13\nstorage\nbench\ntrace\nfleet");
         return;
     }
     if args.first().is_some_and(|a| a == "trace") {
@@ -111,6 +144,20 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "faults") {
         match run_faults_command(&args[1..]) {
+            Ok(out) => print!("{out}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if args.first().is_some_and(|a| a == "fleet") {
+        let mut fleet_args: Vec<String> = args[1..].to_vec();
+        if resume {
+            fleet_args.push("--resume".to_string());
+        }
+        match run_fleet_command(&fleet_args) {
             Ok(out) => print!("{out}"),
             Err(msg) => {
                 eprintln!("{msg}");

@@ -29,6 +29,11 @@ pub const CHECKPOINT_DIR: &str = ".repro-checkpoint";
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// The per-scale subdirectory key (`"2b-1w"`).
+fn scale_key(scale: Scale) -> String {
+    format!("{}b-{}w", scale.banks, scale.windows)
+}
+
 /// A per-scale store of completed experiment outputs.
 ///
 /// Outputs recorded at one scale are never replayed at another: each
@@ -47,11 +52,7 @@ impl Checkpoint {
     ///
     /// Propagates directory-creation failures.
     pub fn open(root: &Path, scale: Scale) -> io::Result<Checkpoint> {
-        let dir = root
-            .join(CHECKPOINT_DIR)
-            .join(format!("{}b-{}w", scale.banks, scale.windows));
-        fs::create_dir_all(&dir)?;
-        Ok(Checkpoint { dir })
+        Self::open_named(root, &scale_key(scale))
     }
 
     /// Opens the store for `scale` after discarding any prior
@@ -61,9 +62,31 @@ impl Checkpoint {
     ///
     /// Propagates directory removal/creation failures.
     pub fn open_fresh(root: &Path, scale: Scale) -> io::Result<Checkpoint> {
-        let dir = root
-            .join(CHECKPOINT_DIR)
-            .join(format!("{}b-{}w", scale.banks, scale.windows));
+        Self::open_named_fresh(root, &scale_key(scale))
+    }
+
+    /// Opens the checkpoint store keyed by an arbitrary `key` (the fleet
+    /// runner keys stores by its full topology + seed + fault-plan
+    /// fingerprint, so a resume can never replay shards from a
+    /// different configuration).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open_named(root: &Path, key: &str) -> io::Result<Checkpoint> {
+        let dir = root.join(CHECKPOINT_DIR).join(key);
+        fs::create_dir_all(&dir)?;
+        Ok(Checkpoint { dir })
+    }
+
+    /// [`open_named`](Self::open_named) after discarding any prior
+    /// entries under `key`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory removal/creation failures.
+    pub fn open_named_fresh(root: &Path, key: &str) -> io::Result<Checkpoint> {
+        let dir = root.join(CHECKPOINT_DIR).join(key);
         match fs::remove_dir_all(&dir) {
             Ok(()) => {}
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
@@ -170,6 +193,19 @@ mod tests {
         let cp = Checkpoint::open_fresh(&root, Scale::scaled()).unwrap();
         assert_eq!(cp.lookup("storage"), None);
         assert!(cp.completed().is_empty());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn named_stores_are_isolated_and_fresh_discards() {
+        let root = temp_root("named");
+        let named = Checkpoint::open_named(&root, "fleet-8s-24t").unwrap();
+        named.record("shard-0", "record\n").unwrap();
+        let scaled = Checkpoint::open(&root, Scale::scaled()).unwrap();
+        assert_eq!(scaled.lookup("shard-0"), None, "keys must not collide");
+        assert_eq!(named.lookup("shard-0").as_deref(), Some("record\n"));
+        let named = Checkpoint::open_named_fresh(&root, "fleet-8s-24t").unwrap();
+        assert_eq!(named.lookup("shard-0"), None);
         fs::remove_dir_all(&root).unwrap();
     }
 

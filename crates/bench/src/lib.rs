@@ -13,6 +13,7 @@
 mod ablation_experiments;
 mod checkpoint;
 mod faults_cmd;
+mod fleet_cmd;
 mod perf_experiments;
 mod perfbench;
 mod scale;
@@ -23,6 +24,7 @@ mod trace_cmd;
 pub use ablation_experiments::{ablation_refresh_order, ablation_tracker_class, energy};
 pub use checkpoint::{Checkpoint, CHECKPOINT_DIR};
 pub use faults_cmd::{faults_sweep, run_faults_command};
+pub use fleet_cmd::run_fleet_command;
 pub use perf_experiments::{
     fig11, fig12, fig13, fig17, run_perf, table4, table5, table6, table7, PerfLab,
 };
@@ -32,7 +34,8 @@ pub use security_experiments::{
     fig10_fig15, fig16, fig5, fig7, fig8, moat_bound_check, run_security, table2,
 };
 pub use sweep::{
-    run_cells, run_sweep, try_run_cells, CellOutcome, SweepCell, SweepOutcome, SweepStats,
+    run_cells, run_sweep, try_run_cells, try_run_cells_with_policy, CellOutcome, SweepCell,
+    SweepOutcome, SweepStats,
 };
 pub use trace_cmd::run_trace_command;
 

@@ -8,6 +8,7 @@ use std::time::Instant;
 use moat_attacks::{JailbreakAttacker, PostponementAttacker};
 use moat_core::{MoatConfig, MoatEngine};
 use moat_dram::{AboLevel, BankId, DramConfig, MitigationEngine, Nanos, RowId};
+use moat_fleet::{FleetConfig, FleetSupervisor, FleetTopology};
 use moat_sim::{
     hammer_attacker, Attacker, PerfConfig, PerfSim, Request, RequestStream, Scripted,
     SecurityConfig, SecuritySim, SemiScriptedAttacker, SlotBudget, DEFAULT_CHUNK,
@@ -112,6 +113,20 @@ pub struct TraceStoreResult {
     pub full_sweep_cells: usize,
 }
 
+/// Throughput of the fleet supervisor: a small clean (fault-free)
+/// fleet fanned across the worker pool, end to end through shard
+/// materialization, both simulators, and the merged report.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetPathResult {
+    /// Aggregate simulated ACTs per host second (perf + security acts
+    /// across all shards over the fleet's wall time).
+    pub acts_per_sec: f64,
+    /// Shards in the measured fleet.
+    pub shards: u32,
+    /// Tenant streams multiplexed across those shards.
+    pub tenants: u32,
+}
+
 /// The full benchmark report serialized into `BENCH_perf.json`.
 #[derive(Debug, Clone)]
 pub struct PerfBenchReport {
@@ -128,6 +143,8 @@ pub struct PerfBenchReport {
     /// The mmap-backed trace store: raw replay decode rate and the
     /// paper-scale trace-backed sweep.
     pub trace: TraceStoreResult,
+    /// The fleet supervisor on a small clean sharded topology.
+    pub fleet: FleetPathResult,
     /// Wall seconds for the (profile × ATH) sweep run serially.
     pub sweep_serial_seconds: f64,
     /// Wall seconds for the same sweep through the parallel runner.
@@ -167,6 +184,8 @@ impl PerfBenchReport {
              \"trace_replay_acts_per_sec\": {:.0},\n  \
              \"full_sweep_cells\": {},\n  \
              \"full_sweep_acts_per_sec\": {:.0},\n  \
+             \"fleet_shards\": {},\n  \
+             \"fleet_acts_per_sec\": {:.0},\n  \
              \"sweep_cells\": {},\n  \
              \"sweep_serial_seconds\": {:.3},\n  \
              \"sweep_parallel_seconds\": {:.3},\n  \
@@ -190,6 +209,8 @@ impl PerfBenchReport {
             self.trace.replay_acts_per_sec,
             self.trace.full_sweep_cells,
             self.trace.full_sweep_acts_per_sec,
+            self.fleet.shards,
+            self.fleet.acts_per_sec,
             self.cells,
             self.sweep_serial_seconds,
             self.sweep_parallel_seconds,
@@ -204,17 +225,19 @@ impl PerfBenchReport {
     /// dropped by more than `max_regression` (e.g. `0.20` for the CI
     /// gate's 20%), `Ok` with a per-metric summary otherwise.
     ///
-    /// Five metrics are gated: `uniform_mono_acts_per_sec` (the
+    /// Six metrics are gated: `uniform_mono_acts_per_sec` (the
     /// steady-state hot path every experiment rides on — required in the
     /// baseline), plus `sweep_acts_per_sec`,
     /// `security_batched_acts_per_sec`, `adaptive_batched_acts_per_sec`,
-    /// and `full_sweep_acts_per_sec` (the sweep harness, the batched and
-    /// semi-scripted security paths, and the trace-backed paper-scale
-    /// sweep; skipped with a note when an older baseline lacks them).
+    /// `full_sweep_acts_per_sec`, and `fleet_acts_per_sec` (the sweep
+    /// harness, the batched and semi-scripted security paths, the
+    /// trace-backed paper-scale sweep, and the fleet supervisor; skipped
+    /// with a note when an older baseline lacks them).
     /// The remaining fields are informational and machine-sensitive.
     ///
-    /// `sweep_acts_per_sec` and `full_sweep_acts_per_sec` scale with the
-    /// worker-thread count, so they are only comparable when this run
+    /// `sweep_acts_per_sec`, `full_sweep_acts_per_sec`, and
+    /// `fleet_acts_per_sec` scale with the worker-thread count, so they
+    /// are only comparable when this run
     /// used as many threads as the baseline run (`threads` in the JSON).
     /// On a mismatch — a single-core CI runner against a multi-core
     /// baseline, or vice versa — those gates are skipped with an
@@ -226,7 +249,7 @@ impl PerfBenchReport {
         max_regression: f64,
     ) -> Result<String, String> {
         // (key, current value, required in baseline, thread-scaled)
-        let gated: [(&str, f64, bool, bool); 5] = [
+        let gated: [(&str, f64, bool, bool); 6] = [
             (
                 "uniform_mono_acts_per_sec",
                 self.uniform.mono_acts_per_sec,
@@ -252,6 +275,7 @@ impl PerfBenchReport {
                 false,
                 true,
             ),
+            ("fleet_acts_per_sec", self.fleet.acts_per_sec, false, true),
         ];
         let baseline_threads = json_number(baseline_json, "threads");
         let mut lines = Vec::new();
@@ -319,6 +343,7 @@ impl PerfBenchReport {
              security hammer sim    : {:>6.1} M ACTs/s batched, {:>6.1} M per-step ({:.2}x)\n  \
              adaptive attack suite  : {:>6.1} M ACTs/s semi-scripted, {:>6.1} M per-step ({:.2}x)\n  \
              trace store            : {:>6.1} M req/s raw mmap replay, {:.1} M ACTs/s paper-scale sweep ({} cells)\n  \
+             fleet supervisor       : {:>6.1} M ACTs/s across {} shards x {} tenants\n  \
              sweep ({} cells)       : serial {:.2}s, parallel {:.2}s ({:.2}x on {} threads), {:.1} M ACTs/s\n",
             self.uniform.mono_acts_per_sec / 1e6,
             self.uniform.boxed_acts_per_sec / 1e6,
@@ -337,6 +362,9 @@ impl PerfBenchReport {
             self.trace.replay_acts_per_sec / 1e6,
             self.trace.full_sweep_acts_per_sec / 1e6,
             self.trace.full_sweep_cells,
+            self.fleet.acts_per_sec / 1e6,
+            self.fleet.shards,
+            self.fleet.tenants,
             self.cells,
             self.sweep_serial_seconds,
             self.sweep_parallel_seconds,
@@ -1033,6 +1061,34 @@ fn measure_trace_store() -> TraceStoreResult {
     }
 }
 
+/// Measures the fleet supervisor end to end on a small clean fleet:
+/// shard materialization, both simulators per shard, and the merged
+/// report, fanned across the worker pool. Fault-free so the number
+/// tracks the supervised hot path, not retry churn; best-of-2 because a
+/// whole fleet pass dominates the benchmark's time budget.
+fn measure_fleet() -> FleetPathResult {
+    let shards = 16u32;
+    let tenants = 128u32;
+    let config = FleetConfig::new(FleetTopology::with_shards(shards), tenants, 96, 0xF1EE7);
+    let supervisor = FleetSupervisor::new(config);
+    let order: Vec<u32> = (0..shards).collect();
+    let threads = rayon::current_num_threads();
+    let mut best = 0.0f64;
+    for _ in 0..2 {
+        let (report, stats) = supervisor.run_with(&order, threads, None);
+        assert!(
+            !report.degraded(),
+            "clean fleet benchmark must not quarantine shards"
+        );
+        best = best.max(stats.acts_per_sec());
+    }
+    FleetPathResult {
+        acts_per_sec: best,
+        shards,
+        tenants,
+    }
+}
+
 /// Runs the full benchmark at the given scale.
 pub fn bench_perf(scale: Scale) -> PerfBenchReport {
     let uniform_n: u32 = 400_000;
@@ -1042,6 +1098,7 @@ pub fn bench_perf(scale: Scale) -> PerfBenchReport {
     let security = measure_security(Nanos::from_millis(20));
     let adaptive = measure_adaptive();
     let trace = measure_trace_store();
+    let fleet = measure_fleet();
 
     // Sweep scaling: one ATH-64 cell per workload profile.
     let cells: Vec<SweepCell> = PROFILES
@@ -1070,6 +1127,7 @@ pub fn bench_perf(scale: Scale) -> PerfBenchReport {
         security,
         adaptive,
         trace,
+        fleet,
         sweep_serial_seconds,
         sweep_parallel_seconds,
         sweep_acts_per_sec: stats.acts_per_sec(),
@@ -1118,6 +1176,11 @@ mod tests {
                 full_sweep_acts_per_sec: 4.0e7,
                 full_sweep_cells: 6,
             },
+            fleet: FleetPathResult {
+                acts_per_sec: 2.4e7,
+                shards: 16,
+                tenants: 128,
+            },
             sweep_serial_seconds: 2.0,
             sweep_parallel_seconds: 0.5,
             sweep_acts_per_sec: 1.6e7,
@@ -1137,11 +1200,14 @@ mod tests {
         assert!(json.contains("\"adaptive_batched_speedup\": 3.000"));
         assert!(json.contains("\"sweep_speedup\": 4.000"));
         assert!(json.contains("\"full_sweep_acts_per_sec\": 40000000"));
-        assert_eq!(json.matches(':').count(), 23);
+        assert!(json.contains("\"fleet_acts_per_sec\": 24000000"));
+        assert!(json.contains("\"fleet_shards\": 16"));
+        assert_eq!(json.matches(':').count(), 25);
         assert!(report.summary().contains("Simulator performance"));
         assert!(report.summary().contains("security hammer sim"));
         assert!(report.summary().contains("adaptive attack suite"));
         assert!(report.summary().contains("trace store"));
+        assert!(report.summary().contains("fleet supervisor"));
 
         // The perf-smoke gate reads its own serialization back.
         assert_eq!(json_number(&json, "uniform_mono_acts_per_sec"), Some(2.0e7));
@@ -1195,6 +1261,13 @@ mod tests {
         );
         let err = report.check_regression(&adaptive_fast, 0.20).unwrap_err();
         assert!(err.contains("adaptive_batched_acts_per_sec"), "{err}");
+        // The fleet supervisor path is gated too.
+        let fleet_fast = json.replace(
+            "\"fleet_acts_per_sec\": 24000000",
+            "\"fleet_acts_per_sec\": 48000000",
+        );
+        let err = report.check_regression(&fleet_fast, 0.20).unwrap_err();
+        assert!(err.contains("fleet_acts_per_sec"), "{err}");
         // A zero current value means "not measured this run" (trace
         // cache unavailable): skipped, not a spurious regression.
         let mut unmeasured = report.clone();
@@ -1232,13 +1305,18 @@ mod tests {
             .replace(
                 "\"full_sweep_acts_per_sec\": 40000000",
                 "\"full_sweep_acts_per_sec\": 400000000",
+            )
+            .replace(
+                "\"fleet_acts_per_sec\": 24000000",
+                "\"fleet_acts_per_sec\": 240000000",
             );
         let ok = report
             .check_regression(&eight_thread_baseline, 0.20)
             .expect("thread mismatch must skip, not fail");
         assert!(
             ok.contains("sweep_acts_per_sec skipped")
-                && ok.contains("full_sweep_acts_per_sec skipped"),
+                && ok.contains("full_sweep_acts_per_sec skipped")
+                && ok.contains("fleet_acts_per_sec skipped"),
             "{ok}"
         );
         assert!(ok.contains("4 thread(s) vs the baseline's 8"), "{ok}");

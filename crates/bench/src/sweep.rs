@@ -13,19 +13,15 @@
 //! every parallel sweep is bit-for-bit reproducible.
 
 use std::panic::{self, AssertUnwindSafe};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use moat_core::MoatConfig;
+use moat_fleet::RetryPolicy;
 use moat_sim::{PerfReport, SlotBudget};
 use moat_workloads::WorkloadProfile;
 use rayon::prelude::*;
 
 use crate::perf_experiments::PerfLab;
-
-/// Pause before retrying a crashed cell, giving a transient cause (a
-/// temporarily exhausted resource, a racing filesystem eviction) a
-/// moment to clear.
-const RETRY_BACKOFF: Duration = Duration::from_millis(50);
 
 /// One cell of a performance sweep.
 #[derive(Debug, Clone, Copy)]
@@ -92,22 +88,23 @@ impl SweepStats {
 /// The crash-isolated outcome of one sweep cell.
 ///
 /// Produced by [`try_run_cells`]: a cell whose `run` closure panics is
-/// caught, retried once after [`RETRY_BACKOFF`], and — if it panics
-/// again — reported here as [`CellOutcome::Failed`] instead of tearing
-/// down the sibling workers. Outcomes come back in input order like
-/// every other sweep result.
+/// caught and retried under the harness's [`RetryPolicy`]
+/// (deterministic exponential backoff — a transient cause gets a moment
+/// to clear); a cell that panics on every attempt is reported here as
+/// [`CellOutcome::Failed`] instead of tearing down the sibling workers.
+/// Outcomes come back in input order like every other sweep result.
 #[derive(Debug, Clone)]
 pub enum CellOutcome<R> {
-    /// The cell completed (possibly only on its retry).
+    /// The cell completed (possibly only on a retry).
     Ok {
+        /// The attempt that succeeded (1 = the initial run).
+        attempts: u32,
         /// The cell's result.
         result: R,
-        /// 1 if the first attempt succeeded, 2 if the retry did.
-        attempts: u32,
     },
     /// The cell panicked on every attempt.
     Failed {
-        /// Attempts made (always 2: the initial run plus one retry).
+        /// Attempts made (the policy's `max_attempts`).
         attempts: u32,
         /// The panic payload, stringified when possible.
         message: String,
@@ -144,9 +141,10 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 ///
 /// Each cell's `run` call executes under [`std::panic::catch_unwind`],
 /// so a panicking cell never kills its sibling workers or loses their
-/// results. A crashed cell is retried once after a short backoff (a
-/// transient cause — an evicted cache file, a briefly exhausted
-/// resource — often clears); a second panic marks the cell
+/// results. A crashed cell retries under [`RetryPolicy::sweep_default`]
+/// — one retry after a deterministic 50 ms backoff (a transient cause,
+/// an evicted cache file or briefly exhausted resource, often clears);
+/// a cell that panics on every attempt is marked
 /// [`CellOutcome::Failed`] with the panic message. Failed cells
 /// contribute their wall time to [`SweepStats::cell_seconds`] but no
 /// activations to `total_acts`.
@@ -163,39 +161,39 @@ where
     R: Send,
     F: Fn(C) -> (R, u64) + Sync,
 {
+    try_run_cells_with_policy(cells, run, RetryPolicy::sweep_default())
+}
+
+/// [`try_run_cells`] with an explicit [`RetryPolicy`] — the shared
+/// retry machinery the fleet supervisor also builds on. The policy's
+/// backoff schedule is deterministic (no jitter), so retried sweeps
+/// stay bit-reproducible.
+pub fn try_run_cells_with_policy<C, R, F>(
+    cells: Vec<C>,
+    run: F,
+    policy: RetryPolicy,
+) -> (Vec<(CellOutcome<R>, f64)>, SweepStats)
+where
+    C: Send + Clone,
+    R: Send,
+    F: Fn(C) -> (R, u64) + Sync,
+{
     let start = Instant::now();
     let timed: Vec<(CellOutcome<R>, u64, f64)> = cells
         .into_par_iter()
         .map(|cell| {
             let cell_start = Instant::now();
-            let attempt = || panic::catch_unwind(AssertUnwindSafe(|| run(cell.clone())));
-            let outcome = match attempt() {
-                Ok((result, acts)) => (
-                    CellOutcome::Ok {
-                        result,
-                        attempts: 1,
+            let (result, attempts) =
+                policy.run(|_attempt| panic::catch_unwind(AssertUnwindSafe(|| run(cell.clone()))));
+            let outcome = match result {
+                Ok((result, acts)) => (CellOutcome::Ok { attempts, result }, acts),
+                Err(payload) => (
+                    CellOutcome::Failed {
+                        attempts,
+                        message: panic_message(payload),
                     },
-                    acts,
+                    0,
                 ),
-                Err(_first) => {
-                    std::thread::sleep(RETRY_BACKOFF);
-                    match attempt() {
-                        Ok((result, acts)) => (
-                            CellOutcome::Ok {
-                                result,
-                                attempts: 2,
-                            },
-                            acts,
-                        ),
-                        Err(payload) => (
-                            CellOutcome::Failed {
-                                attempts: 2,
-                                message: panic_message(payload),
-                            },
-                            0,
-                        ),
-                    }
-                }
             };
             (outcome.0, outcome.1, cell_start.elapsed().as_secs_f64())
         })
@@ -413,6 +411,33 @@ mod tests {
             CellOutcome::Failed { message, .. } => panic!("retry did not recover: {message}"),
         }
         assert_eq!(stats.total_acts, 5, "the successful retry's acts count");
+    }
+
+    #[test]
+    fn retry_policy_knob_controls_attempt_budget() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::time::Duration;
+
+        let calls = AtomicU32::new(0);
+        let policy = RetryPolicy::with_attempts(3, Duration::from_millis(0));
+        let (outcomes, _) = try_run_cells_with_policy(
+            vec![0u32],
+            |_| {
+                let n = calls.fetch_add(1, Ordering::SeqCst) + 1;
+                if n < 3 {
+                    panic!("flaky until third attempt");
+                }
+                (n, 1u64)
+            },
+            policy,
+        );
+        match &outcomes[0].0 {
+            CellOutcome::Ok { attempts, result } => {
+                assert_eq!(*attempts, 3, "a 3-attempt policy survives two panics");
+                assert_eq!(*result, 3);
+            }
+            CellOutcome::Failed { message, .. } => panic!("policy exhausted early: {message}"),
+        }
     }
 
     #[test]

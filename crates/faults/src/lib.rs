@@ -194,8 +194,14 @@ impl FaultPlan {
     /// Propagates [`parse`](Self::parse) errors on a malformed value.
     pub fn from_env() -> Result<Option<FaultPlan>, String> {
         match std::env::var(Self::ENV_VAR) {
-            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
-            _ => Ok(None),
+            Ok(spec) if spec.trim().is_empty() => Ok(None),
+            Ok(spec) => Self::parse(&spec).map(Some),
+            Err(std::env::VarError::NotPresent) => Ok(None),
+            // Previously swallowed by a catch-all arm: a non-Unicode
+            // value now surfaces instead of silently disarming the plan.
+            Err(std::env::VarError::NotUnicode(_)) => {
+                Err(format!("{} is set but not valid Unicode", Self::ENV_VAR))
+            }
         }
     }
 }
@@ -403,6 +409,43 @@ mod tests {
             FaultPlan::parse("").unwrap().is_empty(),
             "empty spec is the empty plan"
         );
+    }
+
+    #[test]
+    fn from_env_surfaces_malformed_values_as_errors() {
+        // One serial test owns the env var: parallel sub-tests would
+        // race on the process-global environment.
+        let check = |value: &str, expect_err: bool| {
+            std::env::set_var(FaultPlan::ENV_VAR, value);
+            let result = FaultPlan::from_env();
+            std::env::remove_var(FaultPlan::ENV_VAR);
+            assert_eq!(
+                result.is_err(),
+                expect_err,
+                "MOAT_FAULTS={value:?} -> {result:?}"
+            );
+        };
+        check("seu", true); // missing =
+        check("seu=2.0", true); // rate out of range
+        check("warp=0.1", true); // unknown key
+        check("seed=abc", true); // non-numeric seed
+        check("", false); // empty means unarmed, not an error
+        check("   ", false);
+        check("seed=7,seu=0.5", false);
+        assert_eq!(FaultPlan::from_env(), Ok(None), "unset means unarmed");
+
+        #[cfg(unix)]
+        {
+            use std::os::unix::ffi::OsStringExt;
+            let bogus = std::ffi::OsString::from_vec(vec![0x66, 0xFF, 0x67]);
+            std::env::set_var(FaultPlan::ENV_VAR, &bogus);
+            let result = FaultPlan::from_env();
+            std::env::remove_var(FaultPlan::ENV_VAR);
+            assert!(
+                result.is_err(),
+                "a non-Unicode value must error, not silently disarm: {result:?}"
+            );
+        }
     }
 
     #[test]

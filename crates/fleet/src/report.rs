@@ -1,0 +1,421 @@
+//! The merged fleet report and its structured incident log.
+//!
+//! Merging is the determinism choke point: outcomes arrive from worker
+//! threads in arbitrary completion order, so [`FleetReport::merge`]
+//! consumes them **sorted by shard index** and derives every field —
+//! aggregates, percentiles, incidents — by that single canonical order.
+//! [`FleetReport::render`] is the diffable artifact: it contains
+//! simulation results only, never wall-clock measurements, so two runs
+//! of the same seed diff clean byte-for-byte regardless of machine
+//! load. Wall-clock throughput lives in the separate [`FleetStats`],
+//! which the CLI prints to stderr.
+//!
+//! Incident taxonomy (one line per incident, shard-ordered):
+//!
+//! | kind                | meaning                                             |
+//! |---------------------|-----------------------------------------------------|
+//! | `slow-shard`        | shard completed but over its latency budget         |
+//! | `retry-recovered`   | shard failed, then a retry attempt succeeded        |
+//! | `quarantined-crash` | every attempt panicked; coverage lost               |
+//! | `quarantined-stall` | watchdog deadline fired on the final attempt        |
+//! | `poisoned-tenant`   | a tenant stream panicked and was dropped from the mux |
+//! | `blast-radius`      | shard's max pressure breached the blast threshold   |
+
+use std::fmt::Write as _;
+
+use crate::supervisor::{FleetConfig, QuarantineReason, ShardOutcome, ShardState};
+
+/// One structured incident in the fleet's log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Incident {
+    /// Taxonomy kind (see module docs).
+    pub kind: &'static str,
+    /// Shard index the incident is attributed to.
+    pub shard_index: u32,
+    /// Shard coordinates, pre-rendered (`ch03.d1.r0`).
+    pub shard: String,
+    /// Deterministic human-readable detail.
+    pub detail: String,
+}
+
+/// The merged, deterministic result of a fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Shards in the topology.
+    pub shards: u32,
+    /// Fleet-wide tenants configured.
+    pub tenants: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Topology summary, pre-rendered (`16ch x 2d x 2r x 8 banks`).
+    pub topology: String,
+    /// Shards whose first attempt succeeded.
+    pub completed: u32,
+    /// Shards that succeeded only after retry.
+    pub recovered: u32,
+    /// Shards quarantined (no report).
+    pub quarantined: u32,
+    /// Shard reports replayed from a checkpoint.
+    pub replayed: u32,
+    /// Tenants dropped as poisoned, fleet-wide.
+    pub poisoned_tenants: u32,
+    /// Requests executed across all surviving shards' perf sims.
+    pub perf_acts: u64,
+    /// ALERTs across surviving perf sims.
+    pub alerts: u64,
+    /// Mean ALERTs per tREFI across surviving shards.
+    pub alerts_per_trefi: f64,
+    /// Attacker activations across surviving security sims.
+    pub security_acts: u64,
+    /// ALERTs across surviving security sims.
+    pub security_alerts: u64,
+    /// Highest hammer pressure on any surviving shard.
+    pub max_pressure: u32,
+    /// Injected-fault unsound horizons, summed.
+    pub unsound_horizons: u64,
+    /// Activations escaping mitigation under injected faults, summed.
+    pub escaped_acts: u64,
+    /// Slowdown percentiles over surviving shards: (p50, p90, p99, max).
+    pub slowdown: (f64, f64, f64, f64),
+    /// Structured incident log, shard-ordered.
+    pub incidents: Vec<Incident>,
+}
+
+impl FleetReport {
+    /// Merges shard outcomes (already sorted by shard index) into the
+    /// fleet report.
+    pub fn merge(config: &FleetConfig, outcomes: &[ShardOutcome]) -> FleetReport {
+        debug_assert!(outcomes
+            .windows(2)
+            .all(|w| w[0].shard.index < w[1].shard.index));
+        let t = config.topology;
+        let mut report = FleetReport {
+            shards: t.shards(),
+            tenants: config.tenants,
+            seed: config.seed,
+            topology: format!(
+                "{}ch x {}d x {}r x {} banks",
+                t.channels, t.dimms_per_channel, t.ranks_per_dimm, t.banks_per_rank
+            ),
+            completed: 0,
+            recovered: 0,
+            quarantined: 0,
+            replayed: 0,
+            poisoned_tenants: 0,
+            perf_acts: 0,
+            alerts: 0,
+            alerts_per_trefi: 0.0,
+            security_acts: 0,
+            security_alerts: 0,
+            max_pressure: 0,
+            unsound_horizons: 0,
+            escaped_acts: 0,
+            slowdown: (0.0, 0.0, 0.0, 0.0),
+            incidents: Vec::new(),
+        };
+
+        let mut slowdowns: Vec<f64> = Vec::new();
+        let mut trefi_sum = 0.0;
+        for outcome in outcomes {
+            let shard = outcome.shard;
+            match &outcome.state {
+                ShardState::Completed => report.completed += 1,
+                ShardState::Recovered { attempts } => {
+                    report.recovered += 1;
+                    report.incidents.push(Incident {
+                        kind: "retry-recovered",
+                        shard_index: shard.index,
+                        shard: shard.to_string(),
+                        detail: format!("succeeded on attempt {attempts}"),
+                    });
+                }
+                ShardState::Quarantined { reason, attempts } => {
+                    report.quarantined += 1;
+                    let (kind, what) = match reason {
+                        QuarantineReason::Crash => ("quarantined-crash", "worker panicked"),
+                        QuarantineReason::Timeout => ("quarantined-stall", "watchdog deadline"),
+                    };
+                    report.incidents.push(Incident {
+                        kind,
+                        shard_index: shard.index,
+                        shard: shard.to_string(),
+                        detail: format!("{what} on all {attempts} attempts"),
+                    });
+                }
+            }
+            if outcome.replayed {
+                report.replayed += 1;
+            }
+            let Some(r) = &outcome.report else { continue };
+            report.perf_acts += r.perf_acts;
+            report.alerts += r.alerts;
+            trefi_sum += r.alerts_per_trefi;
+            report.security_acts += r.security_acts;
+            report.security_alerts += r.security_alerts;
+            report.max_pressure = report.max_pressure.max(r.max_pressure);
+            report.unsound_horizons += r.unsound_horizons;
+            report.escaped_acts += r.escaped_acts;
+            slowdowns.push(r.slowdown);
+            for &tenant in &r.poisoned {
+                report.poisoned_tenants += 1;
+                report.incidents.push(Incident {
+                    kind: "poisoned-tenant",
+                    shard_index: shard.index,
+                    shard: shard.to_string(),
+                    detail: format!("tenant {tenant} dropped from mux"),
+                });
+            }
+            if r.slow_injected {
+                report.incidents.push(Incident {
+                    kind: "slow-shard",
+                    shard_index: shard.index,
+                    shard: shard.to_string(),
+                    detail: "completed over latency budget".to_string(),
+                });
+            }
+            if r.max_pressure > config.blast_threshold {
+                report.incidents.push(Incident {
+                    kind: "blast-radius",
+                    shard_index: shard.index,
+                    shard: shard.to_string(),
+                    detail: format!(
+                        "max pressure {} breached threshold {}",
+                        r.max_pressure, config.blast_threshold
+                    ),
+                });
+            }
+        }
+
+        let survivors = slowdowns.len();
+        if survivors > 0 {
+            slowdowns.sort_by(f64::total_cmp);
+            let pct = |p: f64| {
+                // Nearest-rank percentile over the sorted survivors.
+                let rank = ((p / 100.0) * survivors as f64).ceil() as usize;
+                slowdowns[rank.clamp(1, survivors) - 1]
+            };
+            report.slowdown = (pct(50.0), pct(90.0), pct(99.0), slowdowns[survivors - 1]);
+            report.alerts_per_trefi = trefi_sum / survivors as f64;
+        }
+        report
+    }
+
+    /// Fraction of shards whose results made it into the merge.
+    pub fn coverage(&self) -> f64 {
+        if self.shards == 0 {
+            return 1.0;
+        }
+        f64::from(self.completed + self.recovered) / f64::from(self.shards)
+    }
+
+    /// Whether any shard's coverage was lost.
+    pub fn degraded(&self) -> bool {
+        self.quarantined > 0
+    }
+
+    /// Renders the deterministic report artifact: simulation results
+    /// and the incident log, never wall-clock data. CI diffs this
+    /// byte-for-byte between same-seed runs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "fleet report");
+        let _ = writeln!(out, "  topology            {}", self.topology);
+        let _ = writeln!(out, "  shards              {}", self.shards);
+        let _ = writeln!(out, "  tenants             {}", self.tenants);
+        let _ = writeln!(out, "  seed                {:#x}", self.seed);
+        let _ = writeln!(
+            out,
+            "  coverage            {:.2}% ({} completed, {} recovered, {} quarantined){}",
+            self.coverage() * 100.0,
+            self.completed,
+            self.recovered,
+            self.quarantined,
+            if self.degraded() { "  [DEGRADED]" } else { "" },
+        );
+        // `replayed` is deliberately absent: it is provenance (how the
+        // numbers were obtained), not a simulation result, and a resumed
+        // run must render byte-identically to an uninterrupted one.
+        let _ = writeln!(out, "  perf acts           {}", self.perf_acts);
+        let _ = writeln!(out, "  alerts              {}", self.alerts);
+        let _ = writeln!(out, "  alerts/tREFI        {:.6}", self.alerts_per_trefi);
+        let (p50, p90, p99, max) = self.slowdown;
+        let _ = writeln!(
+            out,
+            "  slowdown            p50 {:.4}%  p90 {:.4}%  p99 {:.4}%  max {:.4}%",
+            p50 * 100.0,
+            p90 * 100.0,
+            p99 * 100.0,
+            max * 100.0,
+        );
+        let _ = writeln!(out, "  security acts       {}", self.security_acts);
+        let _ = writeln!(out, "  security alerts     {}", self.security_alerts);
+        let _ = writeln!(out, "  max pressure        {}", self.max_pressure);
+        if self.unsound_horizons > 0 || self.escaped_acts > 0 {
+            let _ = writeln!(
+                out,
+                "  injected faults     {} unsound horizons, {} escaped acts",
+                self.unsound_horizons, self.escaped_acts,
+            );
+        }
+        if self.incidents.is_empty() {
+            let _ = writeln!(out, "  incidents           none");
+        } else {
+            let _ = writeln!(out, "  incidents           {}", self.incidents.len());
+            for i in &self.incidents {
+                let _ = writeln!(
+                    out,
+                    "    [{}] shard {} ({}): {}",
+                    i.kind, i.shard_index, i.shard, i.detail
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Wall-clock throughput of a fleet run — kept apart from
+/// [`FleetReport`] so the diffable artifact stays machine-independent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetStats {
+    /// Wall-clock duration of the run.
+    pub wall_seconds: f64,
+    /// Simulated activations (perf + security) across surviving shards.
+    pub simulated_acts: u64,
+    /// Worker threads used.
+    pub threads: usize,
+}
+
+impl FleetStats {
+    /// Simulated activations per wall-clock second — the gated
+    /// `fleet_acts_per_sec` metric.
+    pub fn acts_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.simulated_acts as f64 / self.wall_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::ShardReport;
+    use crate::supervisor::{FleetConfig, ShardOutcome, ShardState};
+    use crate::topology::FleetTopology;
+
+    fn outcome(index: u32, state: ShardState, report: Option<ShardReport>) -> ShardOutcome {
+        let topology = FleetTopology::with_shards(8);
+        ShardOutcome {
+            shard: topology.shard(index),
+            state,
+            report,
+            error: None,
+            replayed: false,
+        }
+    }
+
+    fn shard_report(index: u32, slowdown: f64) -> ShardReport {
+        ShardReport {
+            shard_index: index,
+            tenants: 2,
+            poisoned: Vec::new(),
+            perf_acts: 100,
+            alerts: 3,
+            alerts_per_trefi: 0.5,
+            slowdown,
+            security_acts: 50,
+            security_alerts: 1,
+            max_pressure: 90,
+            unsound_horizons: 0,
+            escaped_acts: 0,
+            slow_injected: false,
+        }
+    }
+
+    #[test]
+    fn merge_marks_degraded_coverage_and_orders_incidents() {
+        let config = FleetConfig::new(FleetTopology::with_shards(8), 16, 32, 1);
+        let outcomes: Vec<ShardOutcome> = (0..8)
+            .map(|i| {
+                if i == 3 {
+                    outcome(
+                        i,
+                        ShardState::Quarantined {
+                            reason: QuarantineReason::Crash,
+                            attempts: 3,
+                        },
+                        None,
+                    )
+                } else {
+                    outcome(
+                        i,
+                        ShardState::Completed,
+                        Some(shard_report(i, 0.01 * f64::from(i))),
+                    )
+                }
+            })
+            .collect();
+        let report = FleetReport::merge(&config, &outcomes);
+        assert!(report.degraded());
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.completed, 7);
+        assert_eq!(report.perf_acts, 700);
+        assert_eq!(report.incidents.len(), 1);
+        assert_eq!(report.incidents[0].kind, "quarantined-crash");
+        assert!(report.render().contains("[DEGRADED]"));
+        assert!(report.render().contains("quarantined-crash"));
+        assert!((report.coverage() - 7.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_over_survivors() {
+        let config = FleetConfig::new(FleetTopology::with_shards(4), 8, 32, 1);
+        let outcomes: Vec<ShardOutcome> = (0..4)
+            .map(|i| {
+                outcome(
+                    i,
+                    ShardState::Completed,
+                    Some(shard_report(i, f64::from(i) / 100.0)),
+                )
+            })
+            .collect();
+        let report = FleetReport::merge(&config, &outcomes);
+        let (p50, p90, p99, max) = report.slowdown;
+        assert_eq!(p50, 0.01);
+        assert_eq!(p90, 0.03);
+        assert_eq!(p99, 0.03);
+        assert_eq!(max, 0.03);
+    }
+
+    #[test]
+    fn blast_and_poison_incidents_are_recorded() {
+        let config = FleetConfig::new(FleetTopology::with_shards(2), 4, 32, 1);
+        let mut hot = shard_report(0, 0.0);
+        hot.max_pressure = 400;
+        let mut poisoned = shard_report(1, 0.0);
+        poisoned.poisoned = vec![3];
+        let outcomes = vec![
+            outcome(0, ShardState::Completed, Some(hot)),
+            outcome(1, ShardState::Recovered { attempts: 2 }, Some(poisoned)),
+        ];
+        let report = FleetReport::merge(&config, &outcomes);
+        let kinds: Vec<&str> = report.incidents.iter().map(|i| i.kind).collect();
+        assert_eq!(
+            kinds,
+            vec!["blast-radius", "retry-recovered", "poisoned-tenant"]
+        );
+        assert_eq!(report.poisoned_tenants, 1);
+        assert_eq!(report.max_pressure, 400);
+        assert!(!report.degraded(), "recovered shards keep full coverage");
+    }
+
+    #[test]
+    fn acts_per_sec_guards_zero_wall_time() {
+        let stats = FleetStats {
+            wall_seconds: 0.0,
+            simulated_acts: 10,
+            threads: 1,
+        };
+        assert_eq!(stats.acts_per_sec(), 0.0);
+    }
+}

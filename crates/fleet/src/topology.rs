@@ -1,0 +1,138 @@
+//! The fleet's physical shape: channels × DIMMs × ranks.
+//!
+//! MOAT is evaluated per sub-channel, but a production deployment serves
+//! a datacenter node with several memory channels, each with multiple
+//! DIMMs, each DIMM with multiple ranks. One **shard** is one rank's
+//! bank set — the natural unit of isolation, because a rank has its own
+//! per-row counters, its own ALERT wiring, and (in this harness) its own
+//! `PerfSim`/`SecuritySim` pair that can crash or stall without touching
+//! its neighbours.
+
+use std::fmt;
+
+/// A multi-channel × multi-DIMM × multi-rank fleet topology.
+///
+/// The shard count is the product of the three levels; shard indices
+/// enumerate ranks in channel-major order (`channel`, then `dimm`, then
+/// `rank`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetTopology {
+    /// Memory channels on the node.
+    pub channels: u32,
+    /// DIMMs per channel.
+    pub dimms_per_channel: u32,
+    /// Ranks per DIMM.
+    pub ranks_per_dimm: u32,
+    /// Banks in each rank's sub-channel (the per-shard sim width).
+    pub banks_per_rank: u16,
+}
+
+impl FleetTopology {
+    /// Total shards (= ranks) in the fleet.
+    pub fn shards(&self) -> u32 {
+        self.channels * self.dimms_per_channel * self.ranks_per_dimm
+    }
+
+    /// Builds a topology with exactly `n` shards by factoring `n` into
+    /// levels: dual-rank DIMMs when `n` is even, two DIMMs per channel
+    /// when divisible by four, the remainder as channels. 64 shards
+    /// become 16 channels × 2 DIMMs × 2 ranks; odd counts degenerate to
+    /// `n` single-rank channels.
+    pub fn with_shards(n: u32) -> Self {
+        let n = n.max(1);
+        let ranks_per_dimm = if n.is_multiple_of(2) { 2 } else { 1 };
+        let dimms_per_channel = if n.is_multiple_of(4) { 2 } else { 1 };
+        let channels = n / (ranks_per_dimm * dimms_per_channel);
+        FleetTopology {
+            channels,
+            dimms_per_channel,
+            ranks_per_dimm,
+            banks_per_rank: 8,
+        }
+    }
+
+    /// Sets the per-rank bank count.
+    #[must_use]
+    pub fn banks(mut self, banks_per_rank: u16) -> Self {
+        self.banks_per_rank = banks_per_rank;
+        self
+    }
+
+    /// The shard at fleet-wide index `index` (`0..shards()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= shards()`.
+    pub fn shard(&self, index: u32) -> ShardId {
+        assert!(index < self.shards(), "shard index {index} out of range");
+        let ranks_per_channel = self.dimms_per_channel * self.ranks_per_dimm;
+        ShardId {
+            index,
+            channel: index / ranks_per_channel,
+            dimm: (index % ranks_per_channel) / self.ranks_per_dimm,
+            rank: index % self.ranks_per_dimm,
+        }
+    }
+
+    /// Iterates every shard in index order.
+    pub fn iter(&self) -> impl Iterator<Item = ShardId> + '_ {
+        (0..self.shards()).map(|i| self.shard(i))
+    }
+}
+
+/// One shard's position in the fleet: its flat index plus the
+/// channel/DIMM/rank coordinates it decodes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardId {
+    /// Flat fleet-wide index (channel-major).
+    pub index: u32,
+    /// Channel coordinate.
+    pub channel: u32,
+    /// DIMM coordinate within the channel.
+    pub dimm: u32,
+    /// Rank coordinate within the DIMM.
+    pub rank: u32,
+}
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{:02}.d{}.r{}", self.channel, self.dimm, self.rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_shards_factors_and_round_trips() {
+        for n in [1, 2, 3, 4, 7, 8, 64, 100, 1000] {
+            let t = FleetTopology::with_shards(n);
+            assert_eq!(t.shards(), n, "factorization must preserve count for {n}");
+        }
+        let t = FleetTopology::with_shards(64);
+        assert_eq!(
+            (t.channels, t.dimms_per_channel, t.ranks_per_dimm),
+            (16, 2, 2)
+        );
+    }
+
+    #[test]
+    fn shard_coordinates_enumerate_channel_major() {
+        let t = FleetTopology::with_shards(8); // 2ch × 2d × 2r
+        assert_eq!(
+            (t.channels, t.dimms_per_channel, t.ranks_per_dimm),
+            (2, 2, 2)
+        );
+        let ids: Vec<ShardId> = t.iter().collect();
+        assert_eq!(ids.len(), 8);
+        assert_eq!((ids[0].channel, ids[0].dimm, ids[0].rank), (0, 0, 0));
+        assert_eq!((ids[1].channel, ids[1].dimm, ids[1].rank), (0, 0, 1));
+        assert_eq!((ids[2].channel, ids[2].dimm, ids[2].rank), (0, 1, 0));
+        assert_eq!((ids[7].channel, ids[7].dimm, ids[7].rank), (1, 1, 1));
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.index, i as u32);
+        }
+        assert_eq!(ids[2].to_string(), "ch00.d1.r0");
+    }
+}

@@ -76,12 +76,44 @@ impl TraceCache {
     /// cache key component): bump when [`crate::VERSION`] bumps.
     pub const FORMAT_TAG: &'static str = "v2";
 
+    /// The environment variable overriding the cache directory.
+    pub const ENV_VAR: &'static str = "MOAT_TRACE_DIR";
+
     /// The default cache directory: `$MOAT_TRACE_DIR`, or
     /// `.trace-cache/v2` under the current directory.
     pub fn default_dir() -> PathBuf {
-        match std::env::var_os("MOAT_TRACE_DIR") {
-            Some(dir) if !dir.is_empty() => PathBuf::from(dir),
-            _ => Path::new(".trace-cache").join(Self::FORMAT_TAG),
+        match Self::env_dir() {
+            Ok(Some(dir)) => dir,
+            Ok(None) => Path::new(".trace-cache").join(Self::FORMAT_TAG),
+            // Library callers degrade to the default (with a warning);
+            // the repro binary validates eagerly at startup and turns
+            // the same error into a clean exit.
+            Err(e) => {
+                eprintln!("moat-trace: {e}; using the default cache directory");
+                Path::new(".trace-cache").join(Self::FORMAT_TAG)
+            }
+        }
+    }
+
+    /// The cache directory override from [`Self::ENV_VAR`], validated:
+    /// `None` when unset, an error when set to something unusable (empty
+    /// — which previously fell back silently, hiding a misconfigured CI
+    /// variable — or not valid Unicode).
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed value.
+    pub fn env_dir() -> Result<Option<PathBuf>, String> {
+        match std::env::var(Self::ENV_VAR) {
+            Ok(dir) if dir.trim().is_empty() => Err(format!(
+                "{} is set but empty (unset it to use the default directory)",
+                Self::ENV_VAR
+            )),
+            Ok(dir) => Ok(Some(PathBuf::from(dir))),
+            Err(std::env::VarError::NotPresent) => Ok(None),
+            Err(std::env::VarError::NotUnicode(_)) => {
+                Err(format!("{} is set but not valid Unicode", Self::ENV_VAR))
+            }
         }
     }
 
@@ -212,6 +244,33 @@ mod tests {
             bank: BankId::new(0),
             row: RowId::new(i.wrapping_mul(31).wrapping_add(salt) % 512),
         })
+    }
+
+    #[test]
+    fn env_dir_validates_the_override() {
+        // One serial test owns the env var; the other cache tests use
+        // explicit directories and never consult it.
+        std::env::set_var(TraceCache::ENV_VAR, "");
+        assert!(
+            TraceCache::env_dir().is_err(),
+            "set-but-empty must error, not silently fall back"
+        );
+        std::env::set_var(TraceCache::ENV_VAR, "   ");
+        assert!(TraceCache::env_dir().is_err(), "whitespace-only is empty");
+        std::env::set_var(TraceCache::ENV_VAR, "/tmp/moat-custom-cache");
+        assert_eq!(
+            TraceCache::env_dir().unwrap(),
+            Some(PathBuf::from("/tmp/moat-custom-cache"))
+        );
+        #[cfg(unix)]
+        {
+            use std::os::unix::ffi::OsStringExt;
+            let bogus = std::ffi::OsString::from_vec(vec![0x2F, 0xFF]);
+            std::env::set_var(TraceCache::ENV_VAR, &bogus);
+            assert!(TraceCache::env_dir().is_err(), "non-Unicode must error");
+        }
+        std::env::remove_var(TraceCache::ENV_VAR);
+        assert_eq!(TraceCache::env_dir(), Ok(None), "unset means no override");
     }
 
     #[test]

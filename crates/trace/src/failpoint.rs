@@ -43,6 +43,27 @@ pub struct IoFaultConfig {
 }
 
 impl IoFaultConfig {
+    /// The config armed via [`ENV_VAR`]: `None` when unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`parse`](Self::parse) errors, and rejects a value
+    /// that is not valid Unicode instead of silently ignoring it. The
+    /// repro binary calls this eagerly at startup so a malformed spec
+    /// fails the invocation with a clear message; the lazy in-library
+    /// arming path degrades with a warning instead (chaos tooling must
+    /// never turn a production run into a panic).
+    pub fn from_env() -> Result<Option<IoFaultConfig>, String> {
+        match std::env::var(ENV_VAR) {
+            Ok(spec) if spec.trim().is_empty() => Ok(None),
+            Ok(spec) => Self::parse(&spec).map(Some),
+            Err(std::env::VarError::NotPresent) => Ok(None),
+            Err(std::env::VarError::NotUnicode(_)) => {
+                Err(format!("{ENV_VAR} is set but not valid Unicode"))
+            }
+        }
+    }
+
     /// Parses a `key=value` list, e.g. `write=0,mmap=2,read=1`.
     ///
     /// # Errors
@@ -120,19 +141,15 @@ pub fn injected() -> u64 {
 }
 
 /// Reads [`ENV_VAR`] once per process (called lazily by the first
-/// check). A malformed value is reported and ignored — chaos tooling
-/// must degrade gracefully too.
+/// check). A malformed value is reported loudly and left disarmed —
+/// this path sits under arbitrary library I/O, so it cannot fail-fast;
+/// binaries that want a hard error call [`IoFaultConfig::from_env`]
+/// eagerly at startup (as `repro` does) before any check runs.
 fn init_from_env() {
-    ENV_INIT.call_once(|| {
-        if let Ok(spec) = std::env::var(ENV_VAR) {
-            if spec.trim().is_empty() {
-                return;
-            }
-            match IoFaultConfig::parse(&spec) {
-                Ok(config) => arm(config),
-                Err(e) => eprintln!("moat-trace: ignoring malformed {ENV_VAR}: {e}"),
-            }
-        }
+    ENV_INIT.call_once(|| match IoFaultConfig::from_env() {
+        Ok(Some(config)) => arm(config),
+        Ok(None) => {}
+        Err(e) => eprintln!("moat-trace: malformed {ENV_VAR} ignored (failpoints disarmed): {e}"),
     });
 }
 
@@ -192,6 +209,40 @@ pub(crate) fn check_read() -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_env_surfaces_malformed_values_as_errors() {
+        // Malformed and empty values only: a *valid* value here could
+        // race the lazy `init_from_env` latch of a concurrently running
+        // I/O test and arm the failpoints process-wide. Valid parsing
+        // is covered by `parse_accepts_the_documented_form`.
+        let check = |value: &str, expect_err: bool| {
+            std::env::set_var(ENV_VAR, value);
+            let result = IoFaultConfig::from_env();
+            std::env::remove_var(ENV_VAR);
+            assert_eq!(
+                result.is_err(),
+                expect_err,
+                "{ENV_VAR}={value:?} -> {result:?}"
+            );
+        };
+        check("write", true); // missing =
+        check("write=x", true); // non-numeric count
+        check("scribble=1", true); // unknown key
+        check("", false); // empty means disarmed, not an error
+        check("  ", false);
+        assert_eq!(IoFaultConfig::from_env(), Ok(None), "unset means disarmed");
+
+        #[cfg(unix)]
+        {
+            use std::os::unix::ffi::OsStringExt;
+            let bogus = std::ffi::OsString::from_vec(vec![0x77, 0xFE]);
+            std::env::set_var(ENV_VAR, &bogus);
+            let result = IoFaultConfig::from_env();
+            std::env::remove_var(ENV_VAR);
+            assert!(result.is_err(), "non-Unicode must error: {result:?}");
+        }
+    }
 
     #[test]
     fn parse_accepts_the_documented_form() {
