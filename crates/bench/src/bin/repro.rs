@@ -13,6 +13,11 @@
 //!                               ladder x engine x attack (set
 //!                               MOAT_FAULTS=seed=N,... to pin the base
 //!                               fault plan; see `moat-faults`)
+//!   repro recover sweep         recovery table: guard ladder x SEU
+//!                               ladder x engine x attack (set
+//!                               MOAT_RECOVERY=scrub=NS[,fallback=on|off]
+//!                               to override the full rung's policy; see
+//!                               `moat-guard`)
 //!   repro fleet [--shards N] [--tenants M] [--acts N] [--threads T] [--resume]
 //!                               fleet-scale sharded serving under the
 //!                               self-healing shard supervisor; set
@@ -52,8 +57,8 @@
 //! run) replays the mmap'd bytes.
 
 use moat_bench::{
-    bench_perf, run_experiment, run_faults_command, run_fleet_command, run_trace_command,
-    Checkpoint, Scale, ALL_EXPERIMENTS,
+    bench_perf, run_experiment, run_faults_command, run_fleet_command, run_recover_command,
+    run_trace_command, Checkpoint, Scale, ALL_EXPERIMENTS,
 };
 
 /// Allowed fractional drop of any gated metric (`uniform_mono_acts_per_sec`,
@@ -78,7 +83,7 @@ fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
 
 /// Validates every environment variable the harness consumes, before
 /// any work starts: a malformed `MOAT_FAULTS`, `MOAT_FLEET_FAULTS`,
-/// `MOAT_IO_FAULTS`, or `MOAT_TRACE_DIR` fails the invocation with a
+/// `MOAT_RECOVERY`, `MOAT_IO_FAULTS`, or `MOAT_TRACE_DIR` fails the invocation with a
 /// clear message instead of being silently ignored (which would run an
 /// *unfaulted* experiment while the operator believes chaos is armed)
 /// or panicking deep inside a sweep.
@@ -86,6 +91,7 @@ fn validate_env() {
     let results = [
         moat_faults::FaultPlan::from_env().map(|_| ()),
         moat_fleet::FleetFaultPlan::from_env().map(|_| ()),
+        moat_guard::RecoveryPlan::from_env().map(|_| ()),
         moat_trace::failpoint::IoFaultConfig::from_env().map(|_| ()),
         moat_trace::TraceCache::env_dir().map(|_| ()),
     ];
@@ -116,7 +122,7 @@ fn main() {
     args.retain(|a| a != "--full" && a != "--json" && a != "--resume");
     let scale = if full { Scale::full() } else { Scale::scaled() };
 
-    let usage = "usage: repro <list|all [--resume]|bench|trace ...|faults ...|fleet ... [--resume]|experiment...> [--full] [--json] [--baseline <file>]";
+    let usage = "usage: repro <list|all [--resume]|bench|trace ...|faults ...|recover ...|fleet ... [--resume]|experiment...> [--full] [--json] [--baseline <file>]";
     if args.is_empty() && !json && baseline.is_none() {
         eprintln!("{usage}");
         std::process::exit(2);
@@ -129,7 +135,7 @@ fn main() {
         for name in ALL_EXPERIMENTS {
             println!("{name}");
         }
-        println!("fig13\nstorage\nbench\ntrace\nfleet");
+        println!("fig13\nstorage\nbench\ntrace\nfleet\nrecover");
         return;
     }
     if args.first().is_some_and(|a| a == "trace") {
@@ -144,6 +150,16 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "faults") {
         match run_faults_command(&args[1..]) {
+            Ok(out) => print!("{out}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if args.first().is_some_and(|a| a == "recover") {
+        match run_recover_command(&args[1..]) {
             Ok(out) => print!("{out}"),
             Err(msg) => {
                 eprintln!("{msg}");

@@ -21,6 +21,7 @@
 use std::path::Path;
 
 use moat_fleet::{FleetConfig, FleetFaultPlan, FleetSupervisor, FleetTopology, ShardStore};
+use moat_guard::RecoveryPlan;
 
 use crate::checkpoint::Checkpoint;
 
@@ -135,6 +136,7 @@ impl ShardStore for FleetCheckpoint {
 pub fn run_fleet_command(args: &[String]) -> Result<String, String> {
     let parsed = parse_args(args)?;
     let faults = FleetFaultPlan::from_env()?.unwrap_or_else(|| FleetFaultPlan::none(DEFAULT_SEED));
+    let recovery = RecoveryPlan::from_env()?;
 
     let topology = FleetTopology::with_shards(parsed.shards);
     let mut config = FleetConfig::new(
@@ -144,16 +146,25 @@ pub fn run_fleet_command(args: &[String]) -> Result<String, String> {
         DEFAULT_SEED,
     );
     config = config.with_faults(faults);
+    if let Some(plan) = recovery {
+        config = config.with_recovery(plan);
+    }
 
     // Key the store by everything that shapes a shard's record, so
-    // `--resume` can only ever replay this exact configuration.
+    // `--resume` can only ever replay this exact configuration. An
+    // armed recovery policy extends the key (guarded shard records are
+    // not interchangeable with unguarded ones).
     let key = format!(
-        "fleet-{}s-{}t-{}a-{:016x}-{:08x}",
+        "fleet-{}s-{}t-{}a-{:016x}-{:08x}{}",
         parsed.shards,
         parsed.tenants,
         parsed.acts_per_tenant,
         config.seed,
         fnv(&config.faults.to_string()) as u32,
+        match config.recovery {
+            Some(plan) => format!("-r{:08x}", fnv(&plan.to_string()) as u32),
+            None => String::new(),
+        },
     );
     let root = Path::new(".");
     let open = if parsed.resume {

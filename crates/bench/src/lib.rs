@@ -16,6 +16,7 @@ mod faults_cmd;
 mod fleet_cmd;
 mod perf_experiments;
 mod perfbench;
+mod recover_cmd;
 mod scale;
 mod security_experiments;
 mod sweep;
@@ -29,6 +30,7 @@ pub use perf_experiments::{
     fig11, fig12, fig13, fig17, run_perf, table4, table5, table6, table7, PerfLab,
 };
 pub use perfbench::{bench_perf, uniform_stream, PerfBenchReport};
+pub use recover_cmd::{recover_sweep, run_recover_command};
 pub use scale::Scale;
 pub use security_experiments::{
     fig10_fig15, fig16, fig5, fig7, fig8, moat_bound_check, run_security, table2,

@@ -15,7 +15,7 @@
 use core::any::Any;
 use core::ops::Range;
 
-use moat_dram::{ActCount, EngineFault, MitigationEngine, RowId};
+use moat_dram::{ActCount, EngineFault, IntegrityReport, MitigationEngine, RowId};
 
 use crate::config::{MoatConfig, ResetPolicy};
 
@@ -33,6 +33,35 @@ pub struct TrackedEntry {
 struct ShadowCounter {
     row: RowId,
     count: u32,
+}
+
+/// Parity byte over a tracked count: the XOR fold of its four bytes.
+/// Any single-bit upset in the count flips exactly one bit of the fold,
+/// so the SEU fault model (`EngineFault::FlipCounterBit`) is detected
+/// with certainty; multi-bit corruption (`StuckEntry`) is detected
+/// whenever the zeroed count had a non-zero fold.
+#[inline]
+fn parity_of(count: u32) -> u8 {
+    let b = count.to_le_bytes();
+    b[0] ^ b[1] ^ b[2] ^ b[3]
+}
+
+/// Parity shadow over one tracker slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SlotShadow {
+    row: RowId,
+    parity: u8,
+}
+
+/// The armed integrity guard: a parity shadow of the tracker plus an
+/// exact copy of the ALERT latch. Legitimate mutations re-derive the
+/// shadow ([`MoatEngine::reguard`]); `apply_fault` deliberately does
+/// not, which is what makes injected corruption visible to
+/// [`MitigationEngine::integrity_check`].
+#[derive(Debug, Clone, Default)]
+struct MoatGuard {
+    slots: Vec<SlotShadow>,
+    alert: bool,
 }
 
 /// Running statistics the engine keeps about itself.
@@ -91,6 +120,8 @@ pub struct MoatEngine {
     /// whenever an attributed hazard is demoted or a count leaves the
     /// tracker unattributed). Never decays — conservative.
     hazard_base: u32,
+    /// Armed integrity guard (`None` when disarmed — the default).
+    guard: Option<MoatGuard>,
     stats: MoatStats,
 }
 
@@ -114,6 +145,7 @@ impl MoatEngine {
             hazard_row: None,
             hazard_count: 0,
             hazard_base: config.eth.saturating_sub(1),
+            guard: None,
             stats: MoatStats::default(),
         }
     }
@@ -245,6 +277,23 @@ impl MoatEngine {
         }
     }
 
+    /// Re-derives the parity shadow from the current tracker and ALERT
+    /// latch. Called at the end of every *legitimate* mutating trait hook
+    /// — and pointedly **not** from [`MitigationEngine::apply_fault`], so
+    /// injected corruption leaves the shadow stale and detectable. A no-op
+    /// while the guard is disarmed.
+    #[inline]
+    fn reguard(&mut self) {
+        if let Some(g) = self.guard.as_mut() {
+            g.slots.clear();
+            g.slots.extend(self.tracker.iter().map(|e| SlotShadow {
+                row: e.row,
+                parity: parity_of(e.count),
+            }));
+            g.alert = self.alert_pending;
+        }
+    }
+
     /// Retires the attributed hazard when `row` stops being a standing
     /// threat — it was (re-)inserted into the tracker (the CTA maximum
     /// covers it again) or its counter was just reset by a completed
@@ -319,6 +368,7 @@ impl MitigationEngine for MoatEngine {
                 self.note_untracked(row, effective);
             }
         }
+        self.reguard();
     }
 
     fn alert_pending(&self) -> bool {
@@ -343,6 +393,7 @@ impl MitigationEngine for MoatEngine {
         let entry = self.take_max()?;
         self.cma = Some(entry.row);
         self.stats.proactive_selected += 1;
+        self.reguard();
         Some(entry.row)
     }
 
@@ -350,6 +401,7 @@ impl MitigationEngine for MoatEngine {
         let entry = self.take_max()?;
         self.cma = Some(entry.row);
         self.stats.reactive_selected += 1;
+        self.reguard();
         Some(entry.row)
     }
 
@@ -366,6 +418,7 @@ impl MitigationEngine for MoatEngine {
         // what restores a wide horizon after each ALERT episode.
         self.clear_hazard_if(row);
         self.resync();
+        self.reguard();
     }
 
     fn on_refresh_group(
@@ -453,6 +506,67 @@ impl MitigationEngine for MoatEngine {
                 changed
             }
         }
+    }
+
+    fn guard_arm(&mut self) -> bool {
+        if self.guard.is_none() {
+            self.guard = Some(MoatGuard::default());
+        }
+        self.reguard();
+        true
+    }
+
+    /// Compares each tracker slot against its parity shadow and the ALERT
+    /// latch against its shadow bit. Counter corruption is **detect-only**
+    /// — a parity byte cannot reconstruct the pre-fault count, so the
+    /// mismatched row is reported untrusted for the caller's conservative
+    /// fallback (a forced mitigation resets the row to a trusted zero). A
+    /// lost ALERT is fully shadowed and restored exactly.
+    fn integrity_check(&mut self) -> IntegrityReport {
+        let Some(guard) = self.guard.as_ref() else {
+            return IntegrityReport::unguarded();
+        };
+        let mut report = IntegrityReport::clean();
+        for (e, s) in self.tracker.iter().zip(guard.slots.iter()) {
+            if e.row != s.row || parity_of(e.count) != s.parity {
+                report.detected += 1;
+                report.untrusted.push(e.row);
+            }
+        }
+        let shadow_alert = guard.alert;
+        if self.alert_pending != shadow_alert {
+            report.detected += 1;
+            report.repaired += 1;
+            // The latch is a single shadowed bit: restore it exactly. The
+            // request was already counted when the latch first set, so the
+            // stats are left alone.
+            self.alert_pending = shadow_alert;
+        }
+        report
+    }
+
+    /// Resyncs every tracked count against the authoritative effective
+    /// counter (in-array value, §4.3-shadow-aware), rebuilds the CTA
+    /// maximum and ALERT latch from the corrected counts, and re-arms the
+    /// parity shadow. Setting a tracked count to the true standing count
+    /// is sound by definition — the horizon promise is a statement about
+    /// true counts reaching ATH.
+    fn scrub_resync(&mut self, counter_of: &mut dyn FnMut(RowId) -> ActCount) -> u32 {
+        if self.guard.is_none() {
+            return 0;
+        }
+        let mut corrected = 0;
+        for i in 0..self.tracker.len() {
+            let row = self.tracker[i].row;
+            let truth = self.effective_counter(row, counter_of(row)).get();
+            if self.tracker[i].count != truth {
+                self.tracker[i].count = truth;
+                corrected += 1;
+            }
+        }
+        self.resync();
+        self.reguard();
+        corrected
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -730,6 +844,109 @@ mod tests {
             "horizon {} must cover the rejected row at 55",
             m.min_acts_to_alert()
         );
+    }
+
+    #[test]
+    fn disarmed_guard_is_inert() {
+        let mut m = engine();
+        m.on_precharge_update(RowId::new(1), ActCount::new(50));
+        let report = m.integrity_check();
+        assert!(
+            !report.guarded,
+            "disarmed check is a no-op, not a clean bill"
+        );
+        assert_eq!(m.scrub_resync(&mut |_| ActCount::new(0)), 0);
+        // A fault lands undetected without the guard.
+        m.apply_fault(&EngineFault::FlipCounterBit { slot: 0, bit: 4 });
+        assert!(!m.integrity_check().guarded);
+    }
+
+    #[test]
+    fn guard_detects_injected_bit_flip() {
+        let mut m = engine();
+        assert!(m.guard_arm());
+        m.on_precharge_update(RowId::new(1), ActCount::new(50));
+        assert_eq!(m.integrity_check(), IntegrityReport::clean());
+        assert!(m.apply_fault(&EngineFault::FlipCounterBit { slot: 0, bit: 4 }));
+        let report = m.integrity_check();
+        assert_eq!(report.detected, 1);
+        assert_eq!(report.repaired, 0, "count corruption is detect-only");
+        assert_eq!(report.untrusted, vec![RowId::new(1)]);
+    }
+
+    #[test]
+    fn guard_repairs_lost_alert_exactly() {
+        let mut m = engine();
+        m.guard_arm();
+        m.on_precharge_update(RowId::new(5), ActCount::new(65));
+        assert!(m.alert_pending());
+        assert!(m.apply_fault(&EngineFault::LoseAlert));
+        assert!(!m.alert_pending());
+        let report = m.integrity_check();
+        assert_eq!(report.detected, 1);
+        assert_eq!(report.repaired, 1);
+        assert!(report.untrusted.is_empty());
+        assert!(m.alert_pending(), "latch restored from the shadow bit");
+    }
+
+    #[test]
+    fn legitimate_mutations_keep_the_shadow_in_sync() {
+        let mut m = engine();
+        m.guard_arm();
+        m.on_precharge_update(RowId::new(1), ActCount::new(40));
+        m.on_precharge_update(RowId::new(2), ActCount::new(65));
+        let row = m.select_alert_mitigation().unwrap();
+        m.on_mitigation_complete(row);
+        let counts = [30u32; 8];
+        m.on_refresh_group(0..8, &mut |r: RowId| ActCount::new(counts[r.as_usize()]));
+        assert_eq!(m.integrity_check(), IntegrityReport::clean());
+    }
+
+    #[test]
+    fn scrub_resyncs_tracker_to_authoritative_counts() {
+        let mut m = engine();
+        m.guard_arm();
+        m.on_precharge_update(RowId::new(1), ActCount::new(60));
+        // Corrupt the count low — the dangerous direction (horizon promises
+        // too much).
+        m.apply_fault(&EngineFault::FlipCounterBit { slot: 0, bit: 5 });
+        assert_eq!(m.tracker()[0].count, 60 ^ (1 << 5));
+        assert!(m.integrity_check().corrupt());
+        let corrected = m.scrub_resync(&mut |_| ActCount::new(60));
+        assert_eq!(corrected, 1);
+        assert_eq!(m.tracker()[0].count, 60);
+        assert_eq!(m.integrity_check(), IntegrityReport::clean());
+    }
+
+    #[test]
+    fn scrub_restores_a_suppressed_alert_from_truth() {
+        let mut m = engine();
+        m.guard_arm();
+        m.on_precharge_update(RowId::new(1), ActCount::new(65));
+        assert!(m.alert_pending());
+        // A flip that lowers the count below ATH also clears the latch via
+        // the fault path's resync.
+        m.apply_fault(&EngineFault::FlipCounterBit { slot: 0, bit: 6 });
+        assert_eq!(m.tracker()[0].count, 1);
+        assert!(!m.alert_pending());
+        let corrected = m.scrub_resync(&mut |_| ActCount::new(65));
+        assert_eq!(corrected, 1);
+        assert!(m.alert_pending(), "truth 65 > ATH re-arms the latch");
+    }
+
+    #[test]
+    fn scrub_is_shadow_aware() {
+        let mut m = engine();
+        m.guard_arm();
+        let counts = [50u32; 8];
+        m.on_refresh_group(0..8, &mut |r: RowId| ActCount::new(counts[r.as_usize()]));
+        m.on_precharge_update(RowId::new(7), ActCount::new(1)); // shadow 51
+        m.apply_fault(&EngineFault::FlipCounterBit { slot: 0, bit: 3 });
+        // The in-array counter was reset by the refresh; the §4.3 shadow
+        // (51) is the authority the scrub must consult.
+        let corrected = m.scrub_resync(&mut |_| ActCount::new(1));
+        assert_eq!(corrected, 1);
+        assert_eq!(m.tracker()[0].count, 51);
     }
 
     #[test]

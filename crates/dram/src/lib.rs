@@ -52,7 +52,9 @@ pub use error::DramError;
 pub use hint::prefetch_read;
 pub use ledger::SecurityLedger;
 pub use mapping::{AddressMapping, DramAddress};
-pub use mitigation::{EngineFault, MitigationEngine, NullEngine, RefMitigationMode};
+pub use mitigation::{
+    EngineFault, IntegrityReport, MitigationEngine, NullEngine, RefMitigationMode,
+};
 pub use refresh::{RefreshEngine, RefreshedGroup};
 pub use timing::DramTiming;
 pub use types::{ActCount, BankId, Nanos, RowId};

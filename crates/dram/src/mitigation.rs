@@ -63,6 +63,49 @@ pub enum EngineFault {
     },
 }
 
+/// What an armed integrity guard found when it verified an engine's
+/// tracking state against its parity/ECC shadow.
+///
+/// Returned by [`MitigationEngine::integrity_check`]. `detected` counts
+/// shadow mismatches found this check; `repaired` counts the subset the
+/// engine restored exactly from the shadow (ECC-correctable state: a
+/// flipped queue tag, a lost ALERT flag); `untrusted` lists the rows
+/// whose counts the engine can no longer vouch for — the caller's
+/// conservative fallback proactively mitigates those, which resets them
+/// to a trusted (zero) state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Whether a guard shadow was armed at all. `false` means the check
+    /// was a no-op (unguarded engine), not a clean bill of health.
+    pub guarded: bool,
+    /// Shadow mismatches detected by this check.
+    pub detected: u32,
+    /// Mismatches repaired exactly from the shadow.
+    pub repaired: u32,
+    /// Rows whose tracked counts remain untrusted after repair.
+    pub untrusted: Vec<RowId>,
+}
+
+impl IntegrityReport {
+    /// The report of an unguarded engine: nothing checked.
+    pub fn unguarded() -> Self {
+        IntegrityReport::default()
+    }
+
+    /// The report of an armed guard that found every shadow consistent.
+    pub fn clean() -> Self {
+        IntegrityReport {
+            guarded: true,
+            ..IntegrityReport::default()
+        }
+    }
+
+    /// Whether this check found any corruption.
+    pub fn corrupt(&self) -> bool {
+        self.detected > 0
+    }
+}
+
 /// A Rowhammer mitigation engine for one DRAM bank.
 ///
 /// The simulator calls the methods in this order per event:
@@ -195,6 +238,45 @@ pub trait MitigationEngine: fmt::Debug {
         false
     }
 
+    /// Arms the engine's parity/ECC shadow over its private tracking
+    /// state, returning whether the engine supports guarding at all.
+    ///
+    /// Once armed, every legitimate state mutation (the trait hooks
+    /// above) keeps the shadow in sync, while out-of-band corruption
+    /// ([`apply_fault`](Self::apply_fault)) deliberately does not — that
+    /// divergence is exactly what
+    /// [`integrity_check`](Self::integrity_check) detects. Arming is
+    /// idempotent; the default (no guard support) returns `false`.
+    fn guard_arm(&mut self) -> bool {
+        false
+    }
+
+    /// Verifies the engine's tracking state against its armed shadow.
+    ///
+    /// Repairs what the shadow can restore *exactly* (ECC-correctable
+    /// state such as flipped row tags or a dropped ALERT flag) and
+    /// reports the rows whose counts remain untrusted — a parity shadow
+    /// detects a corrupted count but cannot recover its value, so the
+    /// caller applies the conservative fallback (proactive mitigation)
+    /// to those rows. Unguarded engines return
+    /// [`IntegrityReport::unguarded`] (the default) at zero cost.
+    fn integrity_check(&mut self) -> IntegrityReport {
+        IntegrityReport::unguarded()
+    }
+
+    /// Resynchronizes the engine's tracked counts against the
+    /// authoritative in-array counters (`counter_of` reads the bank's
+    /// raw per-row counter; safe-reset designs fold in their own §4.3
+    /// shadow offsets), restoring any state the scrub can derive — a
+    /// desynced count, an ALERT the corrupted counts had suppressed —
+    /// and re-arming the shadow over the repaired state. Returns how
+    /// many tracking slots the scrub corrected. Unguarded or
+    /// scrub-less designs return `0` (the default).
+    fn scrub_resync(&mut self, counter_of: &mut dyn FnMut(RowId) -> ActCount) -> u32 {
+        let _ = counter_of;
+        0
+    }
+
     /// Downcasting hook so adaptive attackers (threat model §2.1: "the
     /// attacker knows the defense algorithm, including which row has been
     /// selected for mitigation") can inspect concrete engine state.
@@ -291,6 +373,18 @@ impl<E: MitigationEngine> MitigationEngine for Box<E> {
         (**self).apply_fault(fault)
     }
 
+    fn guard_arm(&mut self) -> bool {
+        (**self).guard_arm()
+    }
+
+    fn integrity_check(&mut self) -> IntegrityReport {
+        (**self).integrity_check()
+    }
+
+    fn scrub_resync(&mut self, counter_of: &mut dyn FnMut(RowId) -> ActCount) -> u32 {
+        (**self).scrub_resync(counter_of)
+    }
+
     fn as_any(&self) -> &dyn Any {
         (**self).as_any()
     }
@@ -367,6 +461,18 @@ impl<'e> MitigationEngine for Box<dyn MitigationEngine + 'e> {
 
     fn apply_fault(&mut self, fault: &EngineFault) -> bool {
         (**self).apply_fault(fault)
+    }
+
+    fn guard_arm(&mut self) -> bool {
+        (**self).guard_arm()
+    }
+
+    fn integrity_check(&mut self) -> IntegrityReport {
+        (**self).integrity_check()
+    }
+
+    fn scrub_resync(&mut self, counter_of: &mut dyn FnMut(RowId) -> ActCount) -> u32 {
+        (**self).scrub_resync(counter_of)
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -520,6 +626,31 @@ mod tests {
         // Double boxing unwraps recursively through the sized impl.
         let double: Box<Box<dyn MitigationEngine>> = Box::new(Box::new(NullEngine::new()));
         assert_eq!(double.as_dyn().name(), "none");
+    }
+
+    #[test]
+    fn guard_hooks_default_to_unguarded_and_forward_through_boxes() {
+        let mut e = NullEngine::new();
+        assert!(!e.guard_arm(), "no guard support by default");
+        let report = e.integrity_check();
+        assert_eq!(report, IntegrityReport::unguarded());
+        assert!(!report.guarded);
+        assert!(!report.corrupt());
+        assert_eq!(e.scrub_resync(&mut |_| ActCount::new(0)), 0);
+
+        let mut boxed: Box<dyn MitigationEngine> = Box::new(NullEngine::new());
+        assert!(!boxed.guard_arm());
+        assert_eq!(boxed.integrity_check(), IntegrityReport::unguarded());
+        assert_eq!(boxed.scrub_resync(&mut |_| ActCount::new(0)), 0);
+        let mut sized = Box::new(NullEngine::new());
+        assert!(!MitigationEngine::guard_arm(&mut sized));
+        assert_eq!(
+            MitigationEngine::integrity_check(&mut sized),
+            IntegrityReport::unguarded()
+        );
+
+        assert!(IntegrityReport::clean().guarded);
+        assert!(!IntegrityReport::clean().corrupt());
     }
 
     #[test]

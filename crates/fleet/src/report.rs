@@ -20,6 +20,8 @@
 //! | `quarantined-stall` | watchdog deadline fired on the final attempt        |
 //! | `poisoned-tenant`   | a tenant stream panicked and was dropped from the mux |
 //! | `blast-radius`      | shard's max pressure breached the blast threshold   |
+//! | `scrub-resync`      | guard detected tracker corruption and recovered it (no horizon broke) |
+//! | `integrity-degraded`| corruption broke mitigation horizons despite the armed guard |
 
 use std::fmt::Write as _;
 
@@ -75,6 +77,14 @@ pub struct FleetReport {
     pub unsound_horizons: u64,
     /// Activations escaping mitigation under injected faults, summed.
     pub escaped_acts: u64,
+    /// Tracker corruptions the integrity guard detected, summed.
+    pub integrity_detected: u64,
+    /// Corruptions restored exactly from the guard's shadow, summed.
+    pub integrity_repaired: u64,
+    /// Conservative fallback mitigations issued, summed.
+    pub fallback_mitigations: u64,
+    /// Scrub passes performed across shards, summed.
+    pub scrubs: u64,
     /// Slowdown percentiles over surviving shards: (p50, p90, p99, max).
     pub slowdown: (f64, f64, f64, f64),
     /// Structured incident log, shard-ordered.
@@ -110,6 +120,10 @@ impl FleetReport {
             max_pressure: 0,
             unsound_horizons: 0,
             escaped_acts: 0,
+            integrity_detected: 0,
+            integrity_repaired: 0,
+            fallback_mitigations: 0,
+            scrubs: 0,
             slowdown: (0.0, 0.0, 0.0, 0.0),
             incidents: Vec::new(),
         };
@@ -155,6 +169,10 @@ impl FleetReport {
             report.max_pressure = report.max_pressure.max(r.max_pressure);
             report.unsound_horizons += r.unsound_horizons;
             report.escaped_acts += r.escaped_acts;
+            report.integrity_detected += r.integrity_detected;
+            report.integrity_repaired += r.integrity_repaired;
+            report.fallback_mitigations += r.fallback_mitigations;
+            report.scrubs += r.scrubs;
             slowdowns.push(r.slowdown);
             for &tenant in &r.poisoned {
                 report.poisoned_tenants += 1;
@@ -183,6 +201,37 @@ impl FleetReport {
                         r.max_pressure, config.blast_threshold
                     ),
                 });
+            }
+            // Recovery incidents fire only under an armed guard: a
+            // shard whose corruption was fully absorbed reports
+            // recovered coverage (`scrub-resync`) instead of silently
+            // carrying untrusted state; residual broken horizons under
+            // the guard are the real integrity losses.
+            if config.recovery.is_some() && r.integrity_detected > 0 {
+                if r.unsound_horizons == 0 {
+                    report.incidents.push(Incident {
+                        kind: "scrub-resync",
+                        shard_index: shard.index,
+                        shard: shard.to_string(),
+                        detail: format!(
+                            "{} corruptions recovered ({} repaired, {} fallback mitigations, {} scrubs)",
+                            r.integrity_detected,
+                            r.integrity_repaired,
+                            r.fallback_mitigations,
+                            r.scrubs,
+                        ),
+                    });
+                } else {
+                    report.incidents.push(Incident {
+                        kind: "integrity-degraded",
+                        shard_index: shard.index,
+                        shard: shard.to_string(),
+                        detail: format!(
+                            "{} unsound horizons despite {} detections",
+                            r.unsound_horizons, r.integrity_detected,
+                        ),
+                    });
+                }
             }
         }
 
@@ -257,6 +306,16 @@ impl FleetReport {
                 self.unsound_horizons, self.escaped_acts,
             );
         }
+        if self.integrity_detected > 0 || self.scrubs > 0 {
+            let _ = writeln!(
+                out,
+                "  integrity           {} detected, {} repaired, {} fallback mitigations, {} scrubs",
+                self.integrity_detected,
+                self.integrity_repaired,
+                self.fallback_mitigations,
+                self.scrubs,
+            );
+        }
         if self.incidents.is_empty() {
             let _ = writeln!(out, "  incidents           none");
         } else {
@@ -328,6 +387,10 @@ mod tests {
             max_pressure: 90,
             unsound_horizons: 0,
             escaped_acts: 0,
+            integrity_detected: 0,
+            integrity_repaired: 0,
+            fallback_mitigations: 0,
+            scrubs: 0,
             slow_injected: false,
         }
     }
@@ -407,6 +470,43 @@ mod tests {
         assert_eq!(report.poisoned_tenants, 1);
         assert_eq!(report.max_pressure, 400);
         assert!(!report.degraded(), "recovered shards keep full coverage");
+    }
+
+    #[test]
+    fn recovery_incidents_distinguish_recovered_from_degraded() {
+        let config = FleetConfig::new(FleetTopology::with_shards(2), 4, 32, 1)
+            .with_recovery(moat_guard::RecoveryPlan::full());
+        let mut recovered = shard_report(0, 0.0);
+        recovered.integrity_detected = 5;
+        recovered.integrity_repaired = 2;
+        recovered.fallback_mitigations = 3;
+        recovered.scrubs = 7;
+        let mut degraded = shard_report(1, 0.0);
+        degraded.integrity_detected = 4;
+        degraded.unsound_horizons = 2;
+        let outcomes = vec![
+            outcome(0, ShardState::Completed, Some(recovered.clone())),
+            outcome(1, ShardState::Completed, Some(degraded)),
+        ];
+        let report = FleetReport::merge(&config, &outcomes);
+        let kinds: Vec<&str> = report.incidents.iter().map(|i| i.kind).collect();
+        assert_eq!(kinds, vec!["scrub-resync", "integrity-degraded"]);
+        assert_eq!(report.integrity_detected, 9);
+        assert_eq!(report.fallback_mitigations, 3);
+        assert!(report.render().contains("integrity"));
+        assert!(
+            !report.degraded(),
+            "counter corruption is recovered coverage, not quarantine"
+        );
+
+        // The same outcomes under an unguarded config stay silent: the
+        // recovery incidents only narrate an armed guard.
+        let unguarded = FleetConfig::new(FleetTopology::with_shards(2), 4, 32, 1);
+        let report = FleetReport::merge(&unguarded, &outcomes);
+        assert!(report
+            .incidents
+            .iter()
+            .all(|i| i.kind != "scrub-resync" && i.kind != "integrity-degraded"));
     }
 
     #[test]

@@ -167,4 +167,34 @@ mod tests {
         };
         assert_eq!(p.backoff_before(70), Some(Duration::from_millis(7)));
     }
+
+    #[test]
+    fn extreme_attempt_counts_pin_to_the_cap() {
+        // The pathological corner: every quantity at its maximum. The
+        // exponent saturates in u64, the factor clamps to u32::MAX, the
+        // Duration multiply saturates, and the cap still wins — no
+        // shift/mul overflow panic at any rung.
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff: Duration::from_secs(u64::MAX),
+            multiplier: u32::MAX,
+            max_backoff: Duration::from_millis(250),
+        };
+        for attempt in [2, 3, 64, 65, 66, 1 << 20, u32::MAX - 1, u32::MAX] {
+            assert_eq!(
+                p.backoff_before(attempt),
+                Some(Duration::from_millis(250)),
+                "attempt {attempt} must clamp to max_backoff"
+            );
+        }
+        // A zero multiplier degenerates cleanly: first retry sleeps the
+        // base, later rungs collapse to zero rather than panicking.
+        let zero = RetryPolicy {
+            multiplier: 0,
+            base_backoff: Duration::from_millis(5),
+            ..p
+        };
+        assert_eq!(zero.backoff_before(2), Some(Duration::from_millis(5)));
+        assert_eq!(zero.backoff_before(u32::MAX), Some(Duration::ZERO));
+    }
 }

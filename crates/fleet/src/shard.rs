@@ -19,6 +19,7 @@
 use moat_core::{MoatConfig, MoatEngine};
 use moat_dram::BankId;
 use moat_faults::FaultInjector;
+use moat_guard::EngineGuard;
 use moat_sim::{
     hammer_attacker, PerfConfig, PerfSim, Request, RequestStream, SecurityConfig, SecuritySim,
 };
@@ -63,6 +64,15 @@ pub struct ShardReport {
     pub unsound_horizons: u64,
     /// Activations that escaped mitigation due to injected faults.
     pub escaped_acts: u64,
+    /// Tracker-state corruptions the integrity guard detected (0 when
+    /// no recovery policy is armed).
+    pub integrity_detected: u64,
+    /// Corruptions the guard restored exactly from its shadow.
+    pub integrity_repaired: u64,
+    /// Conservative fallback mitigations issued for untrusted rows.
+    pub fallback_mitigations: u64,
+    /// Scrub passes resyncing the tracker against in-array counters.
+    pub scrubs: u64,
     /// Whether the fault plan marked this shard slow (recorded from the
     /// *plan decision*, not measured time, to keep reports deterministic).
     pub slow_injected: bool,
@@ -82,7 +92,8 @@ impl ShardReport {
         format!(
             "shard={} tenants={} poisoned={} perf_acts={} alerts={} \
              alerts_per_trefi={:016x} slowdown={:016x} security_acts={} \
-             security_alerts={} max_pressure={} unsound={} escaped={} slow={}",
+             security_alerts={} max_pressure={} unsound={} escaped={} \
+             idet={} irep={} ifb={} iscr={} slow={}",
             self.shard_index,
             self.tenants,
             poisoned,
@@ -95,6 +106,10 @@ impl ShardReport {
             self.max_pressure,
             self.unsound_horizons,
             self.escaped_acts,
+            self.integrity_detected,
+            self.integrity_repaired,
+            self.fallback_mitigations,
+            self.scrubs,
             self.slow_injected,
         )
     }
@@ -133,6 +148,10 @@ impl ShardReport {
             max_pressure: int("max_pressure")? as u32,
             unsound_horizons: int("unsound")?,
             escaped_acts: int("escaped")?,
+            integrity_detected: int("idet")?,
+            integrity_repaired: int("irep")?,
+            fallback_mitigations: int("ifb")?,
+            scrubs: int("iscr")?,
             slow_injected: fields.get("slow")?.parse::<bool>().ok()?,
         })
     }
@@ -265,7 +284,8 @@ pub fn run_shard(
     };
 
     // Security: a hammer adversary on this rank under the shard's
-    // derived engine-level fault plan.
+    // derived engine-level fault plan, with the counter-integrity guard
+    // armed when the config carries a recovery policy.
     let mut injector = FaultInjector::new(
         config.faults.engine_plan(shard.index),
         SecurityConfig::paper_default().dram.rows_per_bank,
@@ -275,8 +295,27 @@ pub fn run_shard(
         MoatEngine::new(MoatConfig::paper_default()),
     );
     let mut attacker = hammer_attacker(5 + shard.index % 32);
-    let security =
-        security_sim.run_batched_with_faults(&mut attacker, config.security_window, &mut injector);
+    let (security, recovery) = match config.recovery {
+        None => (
+            security_sim.run_batched_with_faults(
+                &mut attacker,
+                config.security_window,
+                &mut injector,
+            ),
+            None,
+        ),
+        Some(plan) => {
+            let mut guard = EngineGuard::new(plan);
+            guard.arm(security_sim.unit_mut());
+            let report = security_sim.run_batched_guarded(
+                &mut attacker,
+                config.security_window,
+                &mut injector,
+                &mut guard,
+            );
+            (report, Some(guard.stats()))
+        }
+    };
     let fault_stats = injector.stats();
 
     ShardReport {
@@ -292,6 +331,10 @@ pub fn run_shard(
         max_pressure: security.max_pressure,
         unsound_horizons: fault_stats.unsound_horizons,
         escaped_acts: fault_stats.escaped_acts,
+        integrity_detected: recovery.map_or(0, |r| r.detected),
+        integrity_repaired: recovery.map_or(0, |r| r.repaired),
+        fallback_mitigations: recovery.map_or(0, |r| r.fallback_mitigations),
+        scrubs: recovery.map_or(0, |r| r.scrubs),
         slow_injected: fault.slow,
     }
 }
@@ -365,6 +408,48 @@ mod tests {
         }
         let ok = run_shard(&config, shard, &fault, 3);
         assert_eq!(ok, run_shard(&config, shard, &ShardFault::none(), 1));
+    }
+
+    #[test]
+    fn recovery_policy_closes_unsound_horizons_in_shard() {
+        use crate::faults::FleetFaultPlan;
+        use moat_faults::FaultPlan;
+        use moat_guard::RecoveryPlan;
+
+        let mut config = tiny_config();
+        config.faults = FleetFaultPlan {
+            base: FaultPlan::seu(0xF1EE7, 1e-2),
+            ..FleetFaultPlan::none(0xF1EE7)
+        };
+        let shard = config.topology.shard(1);
+        let unguarded = run_shard(&config, shard, &ShardFault::none(), 1);
+        assert_eq!(unguarded.integrity_detected, 0, "no guard, no telemetry");
+
+        let guarded_config = config.with_recovery(RecoveryPlan::full());
+        let guarded = run_shard(&guarded_config, shard, &ShardFault::none(), 1);
+        assert!(
+            guarded.integrity_detected > 0,
+            "SEU at 1e-2 must corrupt tracker state the guard sees"
+        );
+        assert_eq!(
+            guarded.unsound_horizons, 0,
+            "the full recovery policy closes every horizon"
+        );
+        assert_eq!(guarded.escaped_acts, 0);
+        assert!(guarded.unsound_horizons <= unguarded.unsound_horizons);
+
+        // The extended record (integrity fields included) round-trips.
+        let parsed = ShardReport::parse(&guarded.to_record()).expect("record parses");
+        assert_eq!(parsed, guarded);
+        // Legacy records without the integrity keys are rejected, which
+        // makes the supervisor fall back to a live re-run.
+        let legacy = guarded
+            .to_record()
+            .split_whitespace()
+            .filter(|t| !t.starts_with("idet") && !t.starts_with("irep"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_eq!(ShardReport::parse(&legacy), None);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use moat_dram::Nanos;
+use moat_guard::RecoveryPlan;
 
 use crate::faults::FleetFaultPlan;
 use crate::report::{FleetReport, FleetStats};
@@ -63,6 +64,11 @@ pub struct FleetConfig {
     pub retry: RetryPolicy,
     /// Fleet- and engine-level fault injection.
     pub faults: FleetFaultPlan,
+    /// Per-shard recovery policy: when set, every shard's security sim
+    /// runs with an armed counter-integrity guard executing this plan,
+    /// so transient tracker corruption is detected and recovered
+    /// in-shard instead of surfacing as lost coverage.
+    pub recovery: Option<RecoveryPlan>,
 }
 
 impl FleetConfig {
@@ -81,6 +87,7 @@ impl FleetConfig {
             blast_threshold: 256,
             retry: RetryPolicy::fleet_default(),
             faults: FleetFaultPlan::none(seed),
+            recovery: None,
         }
     }
 
@@ -89,6 +96,13 @@ impl FleetConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FleetFaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Arms the per-shard counter-integrity guard with `recovery`.
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryPlan) -> Self {
+        self.recovery = Some(recovery);
         self
     }
 }

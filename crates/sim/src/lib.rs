@@ -33,6 +33,7 @@ mod budget;
 mod fault_hook;
 mod faw;
 mod frontend;
+mod guard_hook;
 mod perf;
 mod security;
 mod unit;
@@ -41,6 +42,7 @@ pub use budget::SlotBudget;
 pub use fault_hook::{FaultHook, NoFaults};
 pub use faw::FawTracker;
 pub use frontend::{hammer_address, AddressAccess, AddressStream};
+pub use guard_hook::{GuardHook, NoGuard};
 pub use perf::{PerfConfig, PerfReport, PerfSim, Request, RequestStream, DEFAULT_CHUNK};
 pub use security::{
     hammer_attacker, round_robin_attacker, AttackStep, Attacker, DefenseView, HammerAttacker,

@@ -35,6 +35,7 @@ use moat_dram::{
 
 use crate::budget::SlotBudget;
 use crate::fault_hook::{FaultHook, NoFaults};
+use crate::guard_hook::{GuardHook, NoGuard};
 use crate::unit::{BankUnit, BankUnitView};
 
 /// Upper bound on the rows fetched per scripted run. The REF cadence caps
@@ -460,6 +461,23 @@ impl<E: MitigationEngine> SecuritySim<E> {
         duration: Nanos,
         faults: &mut F,
     ) -> SecurityReport {
+        self.run_guarded(attacker, duration, faults, &mut NoGuard)
+    }
+
+    /// [`run_with_faults`](Self::run_with_faults) with a [`GuardHook`]
+    /// threaded through as well: the guard observes every boundary
+    /// immediately *after* the fault hook's injection point (inject →
+    /// detect/repair → act), so boundary-injected corruption never
+    /// reaches the defense priority match unchecked. With the disarmed
+    /// [`NoGuard`] hook every guard branch constant-folds away and this
+    /// *is* [`run_with_faults`](Self::run_with_faults).
+    pub fn run_guarded<F: FaultHook, G: GuardHook>(
+        &mut self,
+        attacker: &mut dyn Attacker,
+        duration: Nanos,
+        faults: &mut F,
+        guard: &mut G,
+    ) -> SecurityReport {
         let end = self.now + duration;
         let t_rc = self.config.dram.timing.t_rc;
         let t_rfc = self.config.dram.timing.t_rfc;
@@ -467,6 +485,9 @@ impl<E: MitigationEngine> SecuritySim<E> {
         while self.now < end {
             if F::ARMED {
                 faults.at_boundary(self.now, self.unit.engine_mut());
+            }
+            if G::ARMED {
+                guard.at_boundary(self.now, &mut self.unit);
             }
 
             // 1. ABO RFM phase has priority once the activity window closes.
@@ -604,6 +625,24 @@ impl<E: MitigationEngine> SecuritySim<E> {
         duration: Nanos,
         faults: &mut F,
     ) -> SecurityReport {
+        self.run_batched_guarded(attacker, duration, faults, &mut NoGuard)
+    }
+
+    /// [`run_batched_with_faults`](Self::run_batched_with_faults) with a
+    /// [`GuardHook`] threaded through as well: the guard observes every
+    /// event-horizon boundary immediately *after* the fault hook's
+    /// injection point, so the engine's promise for the upcoming grant is
+    /// computed on checked (and possibly repaired) state — an armed guard
+    /// with the conservative fallback closes boundary-injected unsound
+    /// horizons entirely. With the disarmed [`NoGuard`] hook this *is*
+    /// [`run_batched_with_faults`](Self::run_batched_with_faults).
+    pub fn run_batched_guarded<A: ScriptedAttacker + ?Sized, F: FaultHook, G: GuardHook>(
+        &mut self,
+        attacker: &mut A,
+        duration: Nanos,
+        faults: &mut F,
+        guard: &mut G,
+    ) -> SecurityReport {
         let end = self.now + duration;
         let t_rc = self.config.dram.timing.t_rc;
         let t_rfc = self.config.dram.timing.t_rfc;
@@ -612,6 +651,9 @@ impl<E: MitigationEngine> SecuritySim<E> {
         while self.now < end {
             if F::ARMED {
                 faults.at_boundary(self.now, self.unit.engine_mut());
+            }
+            if G::ARMED {
+                guard.at_boundary(self.now, &mut self.unit);
             }
             if self.advance_defense(end, t_rfc, faults) {
                 continue;
@@ -826,6 +868,26 @@ impl<E: MitigationEngine> SecuritySim<E> {
         duration: Nanos,
         faults: &mut F,
     ) -> SecurityReport {
+        self.run_semi_scripted_guarded(attacker, duration, faults, &mut NoGuard)
+    }
+
+    /// [`run_semi_scripted_with_faults`](Self::run_semi_scripted_with_faults)
+    /// with a [`GuardHook`] threaded through as well — the same
+    /// inject-then-check boundary ordering as
+    /// [`run_batched_guarded`](Self::run_batched_guarded). With the
+    /// disarmed [`NoGuard`] hook this *is* the `_with_faults` loop.
+    pub fn run_semi_scripted_guarded<A, F, G>(
+        &mut self,
+        attacker: &mut A,
+        duration: Nanos,
+        faults: &mut F,
+        guard: &mut G,
+    ) -> SecurityReport
+    where
+        A: SemiScriptedAttacker + ?Sized,
+        F: FaultHook,
+        G: GuardHook,
+    {
         let end = self.now + duration;
         let t_rc = self.config.dram.timing.t_rc;
         let t_rfc = self.config.dram.timing.t_rfc;
@@ -834,6 +896,9 @@ impl<E: MitigationEngine> SecuritySim<E> {
         while self.now < end {
             if F::ARMED {
                 faults.at_boundary(self.now, self.unit.engine_mut());
+            }
+            if G::ARMED {
+                guard.at_boundary(self.now, &mut self.unit);
             }
             if self.advance_defense(end, t_rfc, faults) {
                 continue;

@@ -4,8 +4,8 @@
 //! simulator are built out of bank units.
 
 use moat_dram::{
-    ActCount, Bank, DramConfig, DramError, MitigationEngine, Nanos, RefMitigationMode,
-    RefreshEngine, RowId, SecurityLedger,
+    ActCount, Bank, DramConfig, DramError, IntegrityReport, MitigationEngine, Nanos,
+    RefMitigationMode, RefreshEngine, RowId, SecurityLedger,
 };
 
 use crate::budget::SlotBudget;
@@ -284,6 +284,34 @@ impl<E: MitigationEngine> BankUnit<E> {
             self.complete_mitigation(row);
             self.stats.reactive_mitigations += 1;
         }
+    }
+
+    /// Runs the engine's
+    /// [`integrity_check`](MitigationEngine::integrity_check) against its
+    /// parity/ECC shadow. A no-op report (`guarded == false`) when the
+    /// engine's guard is disarmed.
+    #[inline]
+    pub fn integrity_check(&mut self) -> IntegrityReport {
+        self.engine.integrity_check()
+    }
+
+    /// Scrubs the engine's tracker against the authoritative in-array
+    /// counters (see [`MitigationEngine::scrub_resync`]), returning the
+    /// number of corrected slots. Zero when the engine's guard is
+    /// disarmed.
+    pub fn scrub_resync(&mut self) -> u32 {
+        let (engine, bank) = (&mut self.engine, &self.bank);
+        engine.scrub_resync(&mut |r: RowId| bank.counter(r))
+    }
+
+    /// Forces a full, immediate mitigation of `row` — the integrity
+    /// guard's conservative fallback for a row whose tracked count is
+    /// untrusted: victims refreshed, counter reset to a trusted zero,
+    /// engine notified. Counted as a proactive mitigation (it spends
+    /// defense-side work, not attacker time).
+    pub fn force_mitigate(&mut self, row: RowId) {
+        self.complete_mitigation(row);
+        self.stats.proactive_mitigations += 1;
     }
 
     /// Spends one gradual mitigation slot: starts a new in-flight

@@ -17,7 +17,9 @@ use core::any::Any;
 use core::ops::Range;
 use std::collections::VecDeque;
 
-use moat_dram::{ActCount, Bank, EngineFault, MitigationEngine, RefMitigationMode, RowId};
+use moat_dram::{
+    ActCount, Bank, EngineFault, IntegrityReport, MitigationEngine, RefMitigationMode, RowId,
+};
 use rand::Rng;
 
 /// Configuration of a Panopticon bank tracker.
@@ -59,6 +61,20 @@ impl Default for PanopticonConfig {
     }
 }
 
+/// The armed integrity guard: a full copy of the queue tags plus the
+/// ALERT/draining latches. Unlike MOAT's parity-only count shadow, the
+/// queue stores bare 2-byte row tags, so the shadow is an exact replica —
+/// detected corruption is **restored in place** (ECC-repair semantics)
+/// and no row is ever left untrusted. Legitimate mutations re-derive the
+/// shadow ([`PanopticonEngine::reguard`]); `apply_fault` deliberately
+/// does not.
+#[derive(Debug, Clone, Default)]
+struct PanopticonGuard {
+    queue: Vec<RowId>,
+    alert: bool,
+    draining: bool,
+}
+
 /// The Panopticon engine for one bank.
 ///
 /// # Examples
@@ -86,6 +102,8 @@ pub struct PanopticonEngine {
     draining: bool,
     /// Insertions dropped because the queue was full.
     overflow_drops: u64,
+    /// Armed integrity guard (`None` when disarmed — the default).
+    guard: Option<PanopticonGuard>,
 }
 
 impl PanopticonEngine {
@@ -108,6 +126,7 @@ impl PanopticonEngine {
             alert_pending: false,
             draining: false,
             overflow_drops: 0,
+            guard: None,
         }
     }
 
@@ -145,7 +164,23 @@ impl PanopticonEngine {
             // Overflow pressure is relieved once an entry drains.
             self.alert_pending = false;
         }
+        self.reguard();
         row
+    }
+
+    /// Re-derives the guard shadow from the current queue and latches.
+    /// Called at the end of every *legitimate* mutating path — and
+    /// pointedly **not** from [`MitigationEngine::apply_fault`], so
+    /// injected corruption leaves the shadow stale and detectable. A
+    /// no-op while the guard is disarmed.
+    #[inline]
+    fn reguard(&mut self) {
+        if let Some(g) = self.guard.as_mut() {
+            g.queue.clear();
+            g.queue.extend(self.queue.iter().copied());
+            g.alert = self.alert_pending;
+            g.draining = self.draining;
+        }
     }
 }
 
@@ -167,6 +202,7 @@ impl MitigationEngine for PanopticonEngine {
             self.overflow_drops += 1;
             self.alert_pending = true;
         }
+        self.reguard();
     }
 
     fn alert_pending(&self) -> bool {
@@ -210,6 +246,7 @@ impl MitigationEngine for PanopticonEngine {
             // are issued until the queue drains.
             self.draining = true;
             self.alert_pending = true;
+            self.reguard();
         }
     }
 
@@ -269,6 +306,54 @@ impl MitigationEngine for PanopticonEngine {
                 changed
             }
         }
+    }
+
+    fn guard_arm(&mut self) -> bool {
+        if self.guard.is_none() {
+            self.guard = Some(PanopticonGuard::default());
+        }
+        self.reguard();
+        true
+    }
+
+    /// Compares the queue and latches against the exact shadow and
+    /// **restores** any mismatch in place: a flipped tag is rewritten
+    /// from the shadow copy, a lost (or spurious) ALERT/draining latch is
+    /// reset to the shadowed value. Everything is repaired, so the
+    /// untrusted list stays empty — the caller never needs a conservative
+    /// fallback for Panopticon.
+    fn integrity_check(&mut self) -> IntegrityReport {
+        let Some(guard) = self.guard.take() else {
+            return IntegrityReport::unguarded();
+        };
+        let mut report = IntegrityReport::clean();
+        for (i, &shadow_tag) in guard.queue.iter().enumerate() {
+            if let Some(slot) = self.queue.get_mut(i) {
+                if *slot != shadow_tag {
+                    report.detected += 1;
+                    report.repaired += 1;
+                    *slot = shadow_tag;
+                }
+            }
+        }
+        if self.alert_pending != guard.alert || self.draining != guard.draining {
+            report.detected += 1;
+            report.repaired += 1;
+            self.alert_pending = guard.alert;
+            self.draining = guard.draining;
+        }
+        self.guard = Some(guard);
+        report
+    }
+
+    /// The queue stores no counters, so there is nothing to resync against
+    /// the in-array state — the scrub merely re-derives the shadow.
+    fn scrub_resync(&mut self, _counter_of: &mut dyn FnMut(RowId) -> ActCount) -> u32 {
+        if self.guard.is_none() {
+            return 0;
+        }
+        self.reguard();
+        0
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -438,6 +523,58 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn disarmed_guard_is_inert() {
+        let mut p = engine();
+        p.on_precharge_update(RowId::new(1), ActCount::new(128));
+        assert!(!p.integrity_check().guarded);
+        assert_eq!(p.scrub_resync(&mut |_| ActCount::ZERO), 0);
+    }
+
+    #[test]
+    fn guard_restores_flipped_queue_tag() {
+        let mut p = engine();
+        assert!(p.guard_arm());
+        p.on_precharge_update(RowId::new(5), ActCount::new(128));
+        assert_eq!(p.integrity_check(), IntegrityReport::clean());
+        assert!(p.apply_fault(&EngineFault::FlipCounterBit { slot: 0, bit: 3 }));
+        assert_ne!(p.queue()[0], RowId::new(5));
+        let report = p.integrity_check();
+        assert_eq!(report.detected, 1);
+        assert_eq!(report.repaired, 1, "tag shadow is an exact replica");
+        assert!(report.untrusted.is_empty());
+        assert_eq!(p.queue()[0], RowId::new(5), "tag restored in place");
+    }
+
+    #[test]
+    fn guard_restores_stuck_entry_and_lost_alert() {
+        let mut p = engine();
+        p.guard_arm();
+        for r in 0..9u32 {
+            p.on_precharge_update(RowId::new(r), ActCount::new(128));
+        }
+        assert!(p.alert_pending());
+        p.apply_fault(&EngineFault::StuckEntry { slot: 3 });
+        p.apply_fault(&EngineFault::LoseAlert);
+        let report = p.integrity_check();
+        assert_eq!(report.detected, 2, "stuck tag + lost latch");
+        assert_eq!(report.repaired, 2);
+        assert_eq!(p.queue()[3], RowId::new(3));
+        assert!(p.alert_pending());
+    }
+
+    #[test]
+    fn legitimate_mutations_keep_the_shadow_in_sync() {
+        let mut p = PanopticonEngine::new(PanopticonConfig::drain_variant());
+        p.guard_arm();
+        for r in 0..3u32 {
+            p.on_precharge_update(RowId::new(r), ActCount::new(128));
+        }
+        p.on_refresh_group(0..8, &mut |_| ActCount::ZERO);
+        assert!(p.select_ref_mitigation().is_some());
+        assert_eq!(p.integrity_check(), IntegrityReport::clean());
     }
 
     #[test]
