@@ -33,8 +33,17 @@
 //!                               inspect / fully validate a v2 trace
 //!   repro trace convert <in> <out>
 //!                               convert text v1 <-> binary v2 traces
+//!   repro ... --telemetry       append deterministic telemetry after
+//!                               the canonical output (`all`, `faults
+//!                               sweep`, `recover sweep`, and `fleet`
+//!                               accept it); MOAT_TELEMETRY=level=off|
+//!                               spans|full,sink=text|json|chrome takes
+//!                               precedence when set, and
+//!                               MOAT_LOG=error|warn|info tunes the
+//!                               stderr degradation log (default warn)
 //!   repro --json [names...]     also write BENCH_perf.json (ACTs/sec,
-//!                               sweep wall time, mono-vs-boxed speedup)
+//!                               sweep wall time, mono-vs-boxed speedup,
+//!                               per-phase simulated-time profiles)
 //!   repro --json --baseline <file>
 //!                               perf smoke: additionally compare against
 //!                               a committed BENCH_perf.json and exit
@@ -57,9 +66,10 @@
 //! run) replays the mmap'd bytes.
 
 use moat_bench::{
-    bench_perf, run_experiment, run_faults_command, run_fleet_command, run_recover_command,
-    run_trace_command, Checkpoint, Scale, ALL_EXPERIMENTS,
+    bench_perf, effective_config, render_registry, run_experiment, run_faults_command,
+    run_fleet_command, run_recover_command, run_trace_command, Checkpoint, Scale, ALL_EXPERIMENTS,
 };
+use moat_telemetry::{log, MetricsRegistry, TelemetryLevel};
 
 /// Allowed fractional drop of any gated metric (`uniform_mono_acts_per_sec`,
 /// `sweep_acts_per_sec`, `security_batched_acts_per_sec`,
@@ -83,9 +93,11 @@ fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
 
 /// Validates every environment variable the harness consumes, before
 /// any work starts: a malformed `MOAT_FAULTS`, `MOAT_FLEET_FAULTS`,
-/// `MOAT_RECOVERY`, `MOAT_IO_FAULTS`, or `MOAT_TRACE_DIR` fails the invocation with a
-/// clear message instead of being silently ignored (which would run an
-/// *unfaulted* experiment while the operator believes chaos is armed)
+/// `MOAT_RECOVERY`, `MOAT_IO_FAULTS`, `MOAT_TRACE_DIR`,
+/// `MOAT_TELEMETRY`, or `MOAT_LOG` fails the invocation with a clear
+/// message instead of being silently ignored (which would run an
+/// *unfaulted* experiment while the operator believes chaos is armed,
+/// or an *unobserved* one while they believe telemetry is recording)
 /// or panicking deep inside a sweep.
 fn validate_env() {
     let results = [
@@ -94,6 +106,8 @@ fn validate_env() {
         moat_guard::RecoveryPlan::from_env().map(|_| ()),
         moat_trace::failpoint::IoFaultConfig::from_env().map(|_| ()),
         moat_trace::TraceCache::env_dir().map(|_| ()),
+        moat_telemetry::TelemetryConfig::from_env().map(|_| ()),
+        moat_telemetry::log::LogLevel::from_env().map(|_| ()),
     ];
     let errors: Vec<String> = results.into_iter().filter_map(Result::err).collect();
     if !errors.is_empty() {
@@ -106,6 +120,10 @@ fn validate_env() {
 
 fn main() {
     validate_env();
+    // MOAT_LOG was just validated, so arming the degradation logger
+    // cannot fail here; the default is `warn` when the variable is
+    // unset (tests stay silent — only the CLI arms the level).
+    log::init_from_env().expect("MOAT_LOG validated at startup");
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let json = args.iter().any(|a| a == "--json");
@@ -122,7 +140,7 @@ fn main() {
     args.retain(|a| a != "--full" && a != "--json" && a != "--resume");
     let scale = if full { Scale::full() } else { Scale::scaled() };
 
-    let usage = "usage: repro <list|all [--resume]|bench|trace ...|faults ...|recover ...|fleet ... [--resume]|experiment...> [--full] [--json] [--baseline <file>]";
+    let usage = "usage: repro <list|all [--resume]|bench|trace ...|faults ...|recover ...|fleet ... [--resume]|experiment...> [--full] [--json] [--telemetry] [--baseline <file>]";
     if args.is_empty() && !json && baseline.is_none() {
         eprintln!("{usage}");
         std::process::exit(2);
@@ -183,6 +201,14 @@ fn main() {
         return;
     }
 
+    // The sub-commands above strip `--telemetry` themselves (the flag
+    // flows to them inside `&args[1..]`); from here on it belongs to
+    // the experiment runner. The env grammar was validated at startup,
+    // so resolving the effective config cannot fail.
+    let telemetry_flag = args.iter().any(|a| a == "--telemetry");
+    args.retain(|a| a != "--telemetry");
+    let telemetry = effective_config(telemetry_flag).expect("MOAT_TELEMETRY validated at startup");
+
     let all_mode = args.first().is_some_and(|a| a == "all");
     if resume && !all_mode {
         eprintln!("--resume only applies to `repro all`");
@@ -212,7 +238,10 @@ fn main() {
         match open {
             Ok(cp) => Some(cp),
             Err(e) => {
-                eprintln!("warning: checkpoint store unavailable ({e}); running without resume");
+                log::warn(
+                    "repro",
+                    format_args!("checkpoint store unavailable ({e}); running without resume"),
+                );
                 None
             }
         }
@@ -222,30 +251,38 @@ fn main() {
 
     let mut failed = false;
     let mut bench_report = None;
+    let mut tel_reg = MetricsRegistry::new();
     for name in &selected {
         if name == "bench" {
             let report = bench_perf(scale);
             println!("{}", report.summary());
             bench_report = Some(report);
+            tel_reg.add("repro.experiments.run", 1);
             continue;
         }
         if resume {
             if let Some(out) = checkpoint.as_ref().and_then(|cp| cp.lookup(name)) {
                 println!("{out}({name} resumed from checkpoint)");
+                tel_reg.add("repro.experiments.resumed", 1);
                 continue;
             }
         }
         match run_experiment(name, scale) {
             Some(out) => {
                 println!("{out}");
+                tel_reg.add("repro.experiments.run", 1);
                 if let Some(cp) = &checkpoint {
-                    if let Err(e) = cp.record(name, &out) {
-                        eprintln!("warning: could not checkpoint {name}: {e}");
+                    match cp.record(name, &out) {
+                        Ok(()) => tel_reg.add("repro.checkpoint.records", 1),
+                        Err(e) => {
+                            log::warn("repro", format_args!("could not checkpoint {name}: {e}"))
+                        }
                     }
                 }
             }
             None => {
                 eprintln!("unknown experiment: {name}");
+                tel_reg.add("repro.experiments.unknown", 1);
                 failed = true;
             }
         }
@@ -285,6 +322,13 @@ fn main() {
                 }
             }
         }
+    }
+    // Telemetry rides after every canonical artifact (summaries, JSON
+    // confirmation, smoke verdicts) so armed runs only ever *append*
+    // to the disarmed output — CI byte-diffs of the artifacts above
+    // are unaffected by arming.
+    if telemetry.level != TelemetryLevel::Off {
+        print!("{}", render_registry(&tel_reg, telemetry.sink));
     }
     if failed {
         std::process::exit(1);

@@ -23,7 +23,10 @@ use moat_faults::{FaultInjector, FaultPlan, FaultStats};
 use moat_sim::{hammer_attacker, round_robin_attacker, SecurityConfig, SecuritySim};
 use moat_trackers::{PanopticonConfig, PanopticonEngine};
 
-use crate::sweep::{try_run_cells, CellOutcome};
+use moat_telemetry::{MetricsRegistry, TelemetryLevel};
+
+use crate::sweep::{cell_metrics, try_run_cells, CellOutcome};
+use crate::telemetry_cli::{effective_config, render_registry, take_telemetry_flag};
 
 /// Virtual time each cell simulates (per-boundary fault rates make the
 /// injected-fault count proportional to this).
@@ -99,6 +102,15 @@ fn run_cell(cell: FaultCell) -> ((u32, u64, FaultStats), u64) {
 /// Renders the fault-sensitivity table. Bit-identical across runs with
 /// equal base plans (CI asserts this by diffing two runs).
 pub fn faults_sweep(base: FaultPlan) -> String {
+    faults_sweep_traced(base).0
+}
+
+/// [`faults_sweep`] plus the sweep's derived telemetry registry:
+/// crash-isolation accounting from the harness and per engine × attack
+/// fault aggregates from the Ok cells. The registry is built from the
+/// outcomes in input order, so its render is bit-identical across
+/// worker thread counts — same invariance as the table itself.
+pub fn faults_sweep_traced(base: FaultPlan) -> (String, MetricsRegistry) {
     let mut cells = Vec::new();
     for engine in ENGINES {
         for attack in ATTACKS {
@@ -118,7 +130,8 @@ pub fn faults_sweep(base: FaultPlan) -> String {
         }
     }
 
-    let (outcomes, _stats) = try_run_cells(cells.clone(), run_cell);
+    let (outcomes, stats) = try_run_cells(cells.clone(), run_cell);
+    let mut reg = cell_metrics(&outcomes, &stats);
 
     let mut out = format!(
         "Fault sensitivity: SEU ladder x engine x attack ({} ms virtual time/cell)\n\
@@ -126,7 +139,7 @@ pub fn faults_sweep(base: FaultPlan) -> String {
          engine      | attack      | seu   | acts   | maxP | flips | stuck | unsound | escaped | first-unsound\n",
         CELL_DURATION.as_u64() / 1_000_000,
     );
-    for (cell, (outcome, _wall)) in cells.iter().zip(outcomes) {
+    for (cell, (outcome, _wall)) in cells.iter().zip(&outcomes) {
         match outcome {
             CellOutcome::Ok { result, .. } => {
                 let (max_pressure, total_acts, stats) = result;
@@ -146,6 +159,13 @@ pub fn faults_sweep(base: FaultPlan) -> String {
                     stats.unsound_horizons,
                     stats.escaped_acts,
                 ));
+                let key = format!("faults.{}.{}", cell.engine, cell.attack);
+                reg.add(&format!("{key}.acts"), *total_acts);
+                reg.add(&format!("{key}.seu_flips"), stats.seu_flips);
+                reg.add(&format!("{key}.stuck_entries"), stats.stuck_entries);
+                reg.add(&format!("{key}.unsound_horizons"), stats.unsound_horizons);
+                reg.add(&format!("{key}.escaped_acts"), stats.escaped_acts);
+                reg.gauge_max(&format!("{key}.max_pressure"), u64::from(*max_pressure));
             }
             CellOutcome::Failed { attempts, message } => {
                 out.push_str(&format!(
@@ -155,7 +175,7 @@ pub fn faults_sweep(base: FaultPlan) -> String {
             }
         }
     }
-    out
+    (out, reg)
 }
 
 /// Dispatches `repro faults <subcommand>`.
@@ -165,15 +185,23 @@ pub fn faults_sweep(base: FaultPlan) -> String {
 /// Returns a usage or diagnostic message for the caller to print to
 /// stderr (with a nonzero exit).
 pub fn run_faults_command(args: &[String]) -> Result<String, String> {
-    let usage = "usage: repro faults sweep\n\
+    let usage = "usage: repro faults sweep [--telemetry]\n\
                  (set MOAT_FAULTS=seed=N[,drop-rfm=R,lose-alert=R,stuck=R] to pin the base plan; \
-                 the sweep ladders the SEU rate itself)";
-    match args.first().map(String::as_str) {
+                 the sweep ladders the SEU rate itself. --telemetry, or MOAT_TELEMETRY with a \
+                 level above off, appends the sweep's metrics registry)";
+    let (rest, telemetry_flag) = take_telemetry_flag(args);
+    match rest.first().map(String::as_str) {
         Some("sweep") => {
             let base = FaultPlan::from_env()
                 .map_err(|e| format!("invalid {}: {e}", FaultPlan::ENV_VAR))?
                 .unwrap_or_else(|| FaultPlan::none(0xFA17));
-            Ok(faults_sweep(base))
+            let tel = effective_config(telemetry_flag)?;
+            if tel.level == TelemetryLevel::Off {
+                Ok(faults_sweep(base))
+            } else {
+                let (table, reg) = faults_sweep_traced(base);
+                Ok(format!("{table}\n{}", render_registry(&reg, tel.sink)))
+            }
         }
         _ => Err(usage.to_string()),
     }

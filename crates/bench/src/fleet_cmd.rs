@@ -22,8 +22,10 @@ use std::path::Path;
 
 use moat_fleet::{FleetConfig, FleetFaultPlan, FleetSupervisor, FleetTopology, ShardStore};
 use moat_guard::RecoveryPlan;
+use moat_telemetry::{log, TelemetryLevel};
 
 use crate::checkpoint::Checkpoint;
+use crate::telemetry_cli::{effective_config, take_telemetry_flag};
 
 /// Default shard count (the acceptance-scale topology).
 const DEFAULT_SHARDS: u32 = 64;
@@ -98,7 +100,7 @@ fn parse_args(args: &[String]) -> Result<FleetArgs, String> {
             other => {
                 return Err(format!(
                     "unknown fleet argument `{other}` \
-                     (usage: repro fleet [--shards N] [--tenants M] [--acts N] [--threads T] [--resume])"
+                     (usage: repro fleet [--shards N] [--tenants M] [--acts N] [--threads T] [--resume] [--telemetry])"
                 ))
             }
         }
@@ -120,7 +122,10 @@ impl ShardStore for FleetCheckpoint {
     }
     fn record(&self, shard: u32, record: &str) {
         if let Err(e) = self.0.record(&format!("shard-{shard:05}"), record) {
-            eprintln!("warning: could not checkpoint shard {shard}: {e}");
+            log::warn(
+                "fleet",
+                format_args!("could not checkpoint shard {shard}: {e}"),
+            );
         }
     }
 }
@@ -134,7 +139,9 @@ impl ShardStore for FleetCheckpoint {
 /// Returns a usage/parse error message (including a malformed
 /// [`FleetFaultPlan::ENV_VAR`] value).
 pub fn run_fleet_command(args: &[String]) -> Result<String, String> {
-    let parsed = parse_args(args)?;
+    let (rest, telemetry_flag) = take_telemetry_flag(args);
+    let tel = effective_config(telemetry_flag)?;
+    let parsed = parse_args(&rest)?;
     let faults = FleetFaultPlan::from_env()?.unwrap_or_else(|| FleetFaultPlan::none(DEFAULT_SEED));
     let recovery = RecoveryPlan::from_env()?;
 
@@ -175,7 +182,10 @@ pub fn run_fleet_command(args: &[String]) -> Result<String, String> {
     let store = match open {
         Ok(cp) => Some(FleetCheckpoint(cp)),
         Err(e) => {
-            eprintln!("warning: fleet checkpoint store unavailable ({e}); running without resume");
+            log::warn(
+                "fleet",
+                format_args!("fleet checkpoint store unavailable ({e}); running without resume"),
+            );
             None
         }
     };
@@ -196,7 +206,17 @@ pub fn run_fleet_command(args: &[String]) -> Result<String, String> {
         stats.wall_seconds,
         stats.acts_per_sec(),
     );
-    Ok(report.render())
+    // The telemetry section is *appended after* the report so the
+    // disarmed artifact CI byte-diffs stays untouched.
+    if tel.level == TelemetryLevel::Off {
+        Ok(report.render())
+    } else {
+        Ok(format!(
+            "{}\n{}",
+            report.render(),
+            report.render_telemetry(tel.sink)
+        ))
+    }
 }
 
 #[cfg(test)]

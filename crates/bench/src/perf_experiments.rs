@@ -225,9 +225,11 @@ impl PerfLab {
             match TraceCache::open_default() {
                 Ok(cache) => self.trace_cache = Some(cache),
                 Err(e) => {
-                    eprintln!(
-                        "moat-bench: trace cache unavailable ({e}); over-budget streams \
-                         regenerate live"
+                    moat_telemetry::log::warn(
+                        "moat-bench",
+                        format_args!(
+                            "trace cache unavailable ({e}); over-budget streams regenerate live"
+                        ),
                     );
                     for plan in &mut plans {
                         if *plan == Plan::Disk {
@@ -257,9 +259,12 @@ impl PerfLab {
                             (p.name, Loaded::Mapped(trace), base)
                         }
                         Err(e) => {
-                            eprintln!(
-                                "moat-bench: recording {} failed ({e}); regenerating live",
-                                p.name
+                            moat_telemetry::log::warn(
+                                "moat-bench",
+                                format_args!(
+                                    "recording {} failed ({e}); regenerating live",
+                                    p.name
+                                ),
                             );
                             (p.name, Loaded::Live, shared.compute_baseline(p))
                         }

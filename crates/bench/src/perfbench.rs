@@ -5,16 +5,17 @@
 
 use std::time::Instant;
 
-use moat_attacks::{JailbreakAttacker, PostponementAttacker};
+use moat_attacks::{FeintingAttacker, JailbreakAttacker, PostponementAttacker, RatchetAttacker};
 use moat_core::{MoatConfig, MoatEngine};
 use moat_dram::{AboLevel, BankId, DramConfig, MitigationEngine, Nanos, RowId};
 use moat_fleet::{FleetConfig, FleetSupervisor, FleetTopology};
 use moat_sim::{
-    hammer_attacker, Attacker, PerfConfig, PerfSim, Request, RequestStream, Scripted,
-    SecurityConfig, SecuritySim, SemiScriptedAttacker, SlotBudget, DEFAULT_CHUNK,
+    hammer_attacker, Attacker, NoFaults, NoGuard, PerfConfig, PerfSim, Request, RequestStream,
+    Scripted, SecurityConfig, SecuritySim, SemiScriptedAttacker, SlotBudget, DEFAULT_CHUNK,
 };
+use moat_telemetry::{PhaseProfile, SimPhase, TelemetryLevel, Tracer};
 use moat_trace::{Fingerprint, TraceCache, TraceKey};
-use moat_trackers::{PanopticonConfig, PanopticonEngine};
+use moat_trackers::{IdealSramTracker, PanopticonConfig, PanopticonEngine};
 use moat_workloads::{WorkloadProfile, PROFILES};
 
 use crate::scale::Scale;
@@ -127,6 +128,35 @@ pub struct FleetPathResult {
     pub tenants: u32,
 }
 
+/// Per-phase simulated-time attribution for one named security cell,
+/// produced by running the cell through the traced event-horizon path
+/// with a [`Tracer`]. Attribution is keyed to simulated nanoseconds,
+/// not host wall-clock, so the profile is bit-stable across machines
+/// and runs.
+#[derive(Debug, Clone)]
+pub struct CellPhaseProfile {
+    /// Cell label used in JSON keys (`profile_{cell}_{phase}_ns`).
+    pub cell: &'static str,
+    /// Simulated nanoseconds and units attributed per [`SimPhase`].
+    pub profile: PhaseProfile,
+}
+
+impl CellPhaseProfile {
+    /// One summary line: each phase's share of simulated time, in the
+    /// fixed [`SimPhase::ALL`] order, zero-time zero-unit phases elided.
+    fn summary_line(&self) -> String {
+        let mut parts = Vec::new();
+        for phase in SimPhase::ALL {
+            let pm = self.profile.permille(phase);
+            if pm == 0 && self.profile.units(phase) == 0 {
+                continue;
+            }
+            parts.push(format!("{} {}.{}%", phase.name(), pm / 10, pm % 10));
+        }
+        format!("  phase profile {:<8}: {}\n", self.cell, parts.join(", "))
+    }
+}
+
 /// The full benchmark report serialized into `BENCH_perf.json`.
 #[derive(Debug, Clone)]
 pub struct PerfBenchReport {
@@ -155,6 +185,9 @@ pub struct PerfBenchReport {
     pub threads: usize,
     /// Sweep cells measured.
     pub cells: usize,
+    /// Deterministic per-phase simulated-time profiles for the
+    /// engine-heavy security cells (see [`measure_profiles`]).
+    pub profiles: Vec<CellPhaseProfile>,
 }
 
 impl PerfBenchReport {
@@ -163,10 +196,19 @@ impl PerfBenchReport {
         self.sweep_serial_seconds / self.sweep_parallel_seconds.max(1e-9)
     }
 
-    /// Serializes the report as a JSON object.
+    /// Serializes the report as a JSON object. The per-phase profile
+    /// fields lead (they are deterministic; everything after them is
+    /// machine-sensitive throughput), then the flat metric fields.
     pub fn to_json(&self) -> String {
+        let mut profile_fields = String::new();
+        for p in &self.profiles {
+            for phase in SimPhase::ALL {
+                let key = format!("profile_{}_{}_ns", p.cell, phase.name().replace('-', "_"));
+                profile_fields.push_str(&format!("  \"{key}\": {},\n", p.profile.ns(phase)));
+            }
+        }
         format!(
-            "{{\n  \
+            "{{\n{profile_fields}  \
              \"uniform_mono_acts_per_sec\": {:.0},\n  \
              \"uniform_boxed_acts_per_sec\": {:.0},\n  \
              \"uniform_legacy_acts_per_sec\": {:.0},\n  \
@@ -336,7 +378,7 @@ impl PerfBenchReport {
 
     /// Human-readable summary printed by `repro --json`.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "Simulator performance\n  \
              uniform 32-bank stream : {:>6.1} M ACTs/s mono, {:>6.1} M boxed, {:>6.1} M seed loop ({:.2}x vs seed)\n  \
              single-row hammer      : {:>6.1} M ACTs/s mono, {:>6.1} M boxed, {:>6.1} M seed loop ({:.2}x vs seed)\n  \
@@ -371,7 +413,14 @@ impl PerfBenchReport {
             self.sweep_speedup(),
             self.threads,
             self.sweep_acts_per_sec / 1e6,
-        )
+        );
+        if !self.profiles.is_empty() {
+            out.push_str("Where simulated time goes (deterministic per-phase attribution)\n");
+            for p in &self.profiles {
+                out.push_str(&p.summary_line());
+            }
+        }
+        out
     }
 }
 
@@ -1089,6 +1138,68 @@ fn measure_fleet() -> FleetPathResult {
     }
 }
 
+/// Attributes simulated time per phase inside the two security cells
+/// the roadmap calls "engine-bound" — Feinting against the ideal SRAM
+/// tracker and Ratchet against MOAT-L1 — by running each through the
+/// traced semi-scripted path with a [`Tracer`] at `Spans` level (no
+/// per-event recording, just phase attribution). Both cells use the
+/// exact constructions of their security experiments, scaled down to
+/// the cheapest figure point, so the profile describes the real cells
+/// rather than a proxy. The numbers are simulated nanoseconds, so the
+/// resulting JSON fields are bit-identical across hosts and runs.
+pub fn measure_profiles() -> Vec<CellPhaseProfile> {
+    // Feinting (Fig. 6 shape): k = 3 tREFI per mitigation, 64 feint
+    // periods, ALERT disabled — time should pool in tracker updates.
+    let feinting = {
+        let (k, periods) = (3u32, 64u32);
+        let mut cfg = SecurityConfig::paper_default();
+        cfg.alerts_enabled = false;
+        cfg.budget = SlotBudget::per_aggressor(5, k);
+        let mut sim = SecuritySim::new(cfg, Box::new(IdealSramTracker::new(65_536)));
+        let mut attacker = FeintingAttacker::new(periods as usize, 40_000);
+        let duration = Nanos::new(u64::from(periods) * u64::from(k) * 3_900 + 1_000_000);
+        let mut tracer = Tracer::new(TelemetryLevel::Spans);
+        sim.run_semi_scripted_traced(
+            &mut attacker,
+            duration,
+            &mut NoFaults,
+            &mut NoGuard,
+            &mut tracer,
+        );
+        *tracer.profile()
+    };
+
+    // Ratchet (Fig. 15 shape): 64 aggressors ratcheting over a 256-row
+    // pool — the ALERT-episode-churn stress case.
+    let ratchet = {
+        let mut sim = SecuritySim::new(
+            SecurityConfig::paper_default(),
+            Box::new(MoatEngine::new(MoatConfig::paper_default())),
+        );
+        let mut attacker = RatchetAttacker::new(64, 256);
+        let mut tracer = Tracer::new(TelemetryLevel::Spans);
+        sim.run_semi_scripted_traced(
+            &mut attacker,
+            Nanos::from_millis(8),
+            &mut NoFaults,
+            &mut NoGuard,
+            &mut tracer,
+        );
+        *tracer.profile()
+    };
+
+    vec![
+        CellPhaseProfile {
+            cell: "feinting",
+            profile: feinting,
+        },
+        CellPhaseProfile {
+            cell: "ratchet",
+            profile: ratchet,
+        },
+    ]
+}
+
 /// Runs the full benchmark at the given scale.
 pub fn bench_perf(scale: Scale) -> PerfBenchReport {
     let uniform_n: u32 = 400_000;
@@ -1133,6 +1244,7 @@ pub fn bench_perf(scale: Scale) -> PerfBenchReport {
         sweep_acts_per_sec: stats.acts_per_sec(),
         threads: stats.threads,
         cells: cells.len(),
+        profiles: measure_profiles(),
     }
 }
 
@@ -1186,6 +1298,48 @@ mod tests {
             sweep_acts_per_sec: 1.6e7,
             threads: 4,
             cells: 21,
+            profiles: sample_profiles(),
+        }
+    }
+
+    fn sample_profiles() -> Vec<CellPhaseProfile> {
+        let mut feinting = PhaseProfile::new();
+        feinting.add(SimPhase::EngineUpdate, 100, 6_000);
+        feinting.add(SimPhase::Refresh, 10, 3_000);
+        feinting.add(SimPhase::Idle, 0, 1_000);
+        let mut ratchet = PhaseProfile::new();
+        ratchet.add(SimPhase::EngineUpdate, 50, 5_000);
+        ratchet.add(SimPhase::EpisodeChurn, 40, 5_000);
+        vec![
+            CellPhaseProfile {
+                cell: "feinting",
+                profile: feinting,
+            },
+            CellPhaseProfile {
+                cell: "ratchet",
+                profile: ratchet,
+            },
+        ]
+    }
+
+    #[test]
+    fn measured_profiles_are_deterministic_and_nonempty() {
+        let a = measure_profiles();
+        let b = measure_profiles();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].cell, "feinting");
+        assert_eq!(a[1].cell, "ratchet");
+        for (x, y) in a.iter().zip(&b) {
+            assert!(x.profile.total_ns() > 0, "{} profile is empty", x.cell);
+            assert!(
+                x.profile.units(SimPhase::EngineUpdate) > 0,
+                "{} attributed no ACTs to the engine",
+                x.cell
+            );
+            for phase in SimPhase::ALL {
+                assert_eq!(x.profile.ns(phase), y.profile.ns(phase), "{}", x.cell);
+                assert_eq!(x.profile.units(phase), y.profile.units(phase), "{}", x.cell);
+            }
         }
     }
 
@@ -1202,8 +1356,16 @@ mod tests {
         assert!(json.contains("\"full_sweep_acts_per_sec\": 40000000"));
         assert!(json.contains("\"fleet_acts_per_sec\": 24000000"));
         assert!(json.contains("\"fleet_shards\": 16"));
-        assert_eq!(json.matches(':').count(), 25);
+        // Per-phase profile fields: 2 cells x 6 phases, simulated ns.
+        assert!(json.contains("\"profile_feinting_engine_update_ns\": 6000"));
+        assert!(json.contains("\"profile_feinting_refresh_ns\": 3000"));
+        assert!(json.contains("\"profile_ratchet_episode_churn_ns\": 5000"));
+        assert!(json.contains("\"profile_ratchet_stream_decode_ns\": 0"));
+        assert_eq!(json.matches(':').count(), 37);
         assert!(report.summary().contains("Simulator performance"));
+        assert!(report.summary().contains("Where simulated time goes"));
+        assert!(report.summary().contains("phase profile feinting"));
+        assert!(report.summary().contains("engine-update 60.0%"));
         assert!(report.summary().contains("security hammer sim"));
         assert!(report.summary().contains("adaptive attack suite"));
         assert!(report.summary().contains("trace store"));

@@ -23,7 +23,11 @@ use moat_guard::{EngineGuard, RecoveryPlan, RecoveryStats};
 use moat_sim::{hammer_attacker, round_robin_attacker, SecurityConfig, SecuritySim};
 use moat_trackers::{PanopticonConfig, PanopticonEngine};
 
-use crate::sweep::{try_run_cells, CellOutcome};
+use moat_fleet::Incident;
+use moat_telemetry::{MetricsRegistry, TelemetryLevel};
+
+use crate::sweep::{cell_metrics, try_run_cells, CellOutcome};
+use crate::telemetry_cli::{effective_config, render_registry, take_telemetry_flag};
 
 /// Virtual time each cell simulates — matched to `repro faults sweep`
 /// so the unguarded rung reproduces its table.
@@ -133,6 +137,16 @@ fn run_cell(cell: RecoverCell) -> ((u64, FaultStats, Option<RecoveryStats>), u64
 /// Renders the recovery table. Bit-identical across runs with equal
 /// base fault plans and full-rung policies (CI diffs two runs).
 pub fn recover_sweep(base: FaultPlan, full: RecoveryPlan) -> String {
+    recover_sweep_traced(base, full).0
+}
+
+/// [`recover_sweep`] plus the sweep's telemetry registry. The table now
+/// ends with an integrity-incident section rendered through the same
+/// [`Incident`] path the fleet report uses (`cell` noun instead of
+/// `shard`), so the two surfaces' taxonomy and detail strings can never
+/// drift. Incident lines contain no `|`, keeping the table's
+/// column-indexed consumers (CI's awk gate) unaffected.
+pub fn recover_sweep_traced(base: FaultPlan, full: RecoveryPlan) -> (String, MetricsRegistry) {
     let mut cells = Vec::new();
     for engine in ENGINES {
         for attack in ATTACKS {
@@ -156,7 +170,9 @@ pub fn recover_sweep(base: FaultPlan, full: RecoveryPlan) -> String {
         }
     }
 
-    let (outcomes, _stats) = try_run_cells(cells.clone(), run_cell);
+    let (outcomes, stats) = try_run_cells(cells.clone(), run_cell);
+    let mut reg = cell_metrics(&outcomes, &stats);
+    let mut incidents: Vec<Incident> = Vec::new();
 
     let mut out = format!(
         "Recovery: guard ladder x SEU ladder x engine x attack ({} ms virtual time/cell)\n\
@@ -165,10 +181,31 @@ pub fn recover_sweep(base: FaultPlan, full: RecoveryPlan) -> String {
          engine      | attack      | seu   | guard      | acts   | unsound | escaped | det   | rep   | fb    | scrubs | resync-ns\n",
         CELL_DURATION.as_u64() / 1_000_000,
     );
-    for (cell, (outcome, _wall)) in cells.iter().zip(outcomes) {
+    for (index, (cell, (outcome, _wall))) in cells.iter().zip(&outcomes).enumerate() {
         match outcome {
             CellOutcome::Ok { result, .. } => {
                 let (total_acts, stats, recovery) = result;
+                if let Some(r) = recovery {
+                    let key = format!(
+                        "recover.{}.{}.{}",
+                        cell.engine, cell.attack, cell.guard_label
+                    );
+                    r.record_metrics(&key, &mut reg);
+                    if r.detected > 0 {
+                        incidents.push(Incident::integrity(
+                            index as u32,
+                            format!(
+                                "{}/{}/{}/{}",
+                                cell.engine, cell.attack, cell.rate_label, cell.guard_label
+                            ),
+                            r.detected,
+                            r.repaired,
+                            r.fallback_mitigations,
+                            r.scrubs,
+                            stats.unsound_horizons,
+                        ));
+                    }
+                }
                 let (det, rep, fb, scrubs, resync) = match recovery {
                     Some(r) => (
                         r.detected.to_string(),
@@ -212,7 +249,15 @@ pub fn recover_sweep(base: FaultPlan, full: RecoveryPlan) -> String {
             }
         }
     }
-    out
+    if incidents.is_empty() {
+        out.push_str("integrity incidents: none\n");
+    } else {
+        out.push_str(&format!("integrity incidents: {}\n", incidents.len()));
+        for i in &incidents {
+            out.push_str(&format!("  {}\n", i.render_as("cell")));
+        }
+    }
+    (out, reg)
 }
 
 /// Dispatches `repro recover <subcommand>`.
@@ -222,10 +267,13 @@ pub fn recover_sweep(base: FaultPlan, full: RecoveryPlan) -> String {
 /// Returns a usage or diagnostic message for the caller to print to
 /// stderr (with a nonzero exit).
 pub fn run_recover_command(args: &[String]) -> Result<String, String> {
-    let usage = "usage: repro recover sweep\n\
+    let usage = "usage: repro recover sweep [--telemetry]\n\
                  (set MOAT_FAULTS=seed=N[,...] to pin the base fault plan and \
-                 MOAT_RECOVERY=scrub=NS[,fallback=on|off] to override the full rung's policy)";
-    match args.first().map(String::as_str) {
+                 MOAT_RECOVERY=scrub=NS[,fallback=on|off] to override the full rung's policy. \
+                 --telemetry, or MOAT_TELEMETRY with a level above off, appends the sweep's \
+                 metrics registry)";
+    let (rest, telemetry_flag) = take_telemetry_flag(args);
+    match rest.first().map(String::as_str) {
         Some("sweep") => {
             let base = FaultPlan::from_env()
                 .map_err(|e| format!("invalid {}: {e}", FaultPlan::ENV_VAR))?
@@ -233,7 +281,13 @@ pub fn run_recover_command(args: &[String]) -> Result<String, String> {
             let full = RecoveryPlan::from_env()
                 .map_err(|e| format!("invalid {}: {e}", RecoveryPlan::ENV_VAR))?
                 .unwrap_or_else(RecoveryPlan::full);
-            Ok(recover_sweep(base, full))
+            let tel = effective_config(telemetry_flag)?;
+            if tel.level == TelemetryLevel::Off {
+                Ok(recover_sweep(base, full))
+            } else {
+                let (table, reg) = recover_sweep_traced(base, full);
+                Ok(format!("{table}\n{}", render_registry(&reg, tel.sink)))
+            }
         }
         _ => Err(usage.to_string()),
     }

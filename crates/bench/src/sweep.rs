@@ -257,6 +257,38 @@ where
     (results, stats)
 }
 
+/// Derives a sweep's telemetry [`MetricsRegistry`](moat_telemetry::MetricsRegistry)
+/// from its crash-isolated outcomes: cell start/retry/finish accounting
+/// plus an attempt histogram. Outcomes arrive in input order, and
+/// wall-clock measurements are deliberately excluded, so the registry —
+/// and its render — is bit-identical across worker thread counts and
+/// retried runs of the same cells.
+pub fn cell_metrics<R>(
+    outcomes: &[(CellOutcome<R>, f64)],
+    stats: &SweepStats,
+) -> moat_telemetry::MetricsRegistry {
+    let mut reg = moat_telemetry::MetricsRegistry::new();
+    reg.add("sweep.cells.started", outcomes.len() as u64);
+    reg.add("sweep.acts", stats.total_acts);
+    for (outcome, _wall) in outcomes {
+        let attempts = match outcome {
+            CellOutcome::Ok { attempts, .. } => {
+                reg.add("sweep.cells.finished", 1);
+                if *attempts > 1 {
+                    reg.add("sweep.cells.retried", 1);
+                }
+                *attempts
+            }
+            CellOutcome::Failed { attempts, .. } => {
+                reg.add("sweep.cells.failed", 1);
+                *attempts
+            }
+        };
+        reg.observe("sweep.cell.attempts", u64::from(attempts));
+    }
+    reg
+}
+
 /// Runs performance-sweep `cells` in parallel against `lab`, returning
 /// outcomes in input order plus aggregate timing.
 ///

@@ -1,0 +1,77 @@
+//! The repro binary's fail-fast contract for observability env vars:
+//! every malformed `MOAT_TELEMETRY` / `MOAT_LOG` form is rejected at
+//! startup with exit code 2 and a `repro:`-prefixed message — never
+//! silently ignored (which would run an *unobserved* experiment while
+//! the operator believes telemetry is recording).
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+#[test]
+fn each_malformed_observability_env_form_exits_2() {
+    let cases: [(&str, &str); 8] = [
+        ("MOAT_TELEMETRY", "level"),           // not key=value
+        ("MOAT_TELEMETRY", "level=verbose"),   // unknown level
+        ("MOAT_TELEMETRY", "sink=flamegraph"), // unknown sink
+        ("MOAT_TELEMETRY", "depth=3"),         // unknown key
+        ("MOAT_TELEMETRY", "level=Full"),      // grammar is lowercase
+        ("MOAT_LOG", "debug"),                 // unknown level
+        ("MOAT_LOG", "WARN"),                  // grammar is lowercase
+        ("MOAT_LOG", "warn,info"),             // one level, not a list
+    ];
+    for (var, bad) in cases {
+        let out = repro()
+            .arg("list")
+            .env(var, bad)
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{var}={bad} must fail the invocation with exit 2"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("repro: "),
+            "{var}={bad} must explain itself on stderr, got: {stderr}"
+        );
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn non_unicode_observability_env_exits_2() {
+    use std::os::unix::ffi::OsStringExt;
+    for var in ["MOAT_TELEMETRY", "MOAT_LOG"] {
+        let bogus = std::ffi::OsString::from_vec(vec![0x66, 0xFF, 0x67]);
+        let out = repro()
+            .arg("list")
+            .env(var, &bogus)
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "non-Unicode {var} must fail the invocation with exit 2"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("not valid Unicode"),
+            "non-Unicode {var} must be named on stderr, got: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn well_formed_observability_env_is_accepted() {
+    let out = repro()
+        .arg("list")
+        .env("MOAT_TELEMETRY", "level=full,sink=json")
+        .env("MOAT_LOG", "info")
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(0), "valid grammar must not fail");
+}

@@ -23,7 +23,10 @@
 //! | `scrub-resync`      | guard detected tracker corruption and recovered it (no horizon broke) |
 //! | `integrity-degraded`| corruption broke mitigation horizons despite the armed guard |
 
+use std::fmt;
 use std::fmt::Write as _;
+
+use moat_telemetry::{MetricsRegistry, TelemetrySink};
 
 use crate::supervisor::{FleetConfig, QuarantineReason, ShardOutcome, ShardState};
 
@@ -38,6 +41,61 @@ pub struct Incident {
     pub shard: String,
     /// Deterministic human-readable detail.
     pub detail: String,
+}
+
+impl Incident {
+    /// Builds the integrity incident for a shard (or sweep cell) whose
+    /// guard saw corruption: `scrub-resync` when every mitigation
+    /// horizon held, `integrity-degraded` when some broke anyway. This
+    /// is the single source of both the taxonomy decision and the
+    /// detail strings — [`FleetReport::merge`] and the recovery sweep
+    /// both call it, so the two surfaces can never drift.
+    pub fn integrity(
+        shard_index: u32,
+        shard: String,
+        detected: u64,
+        repaired: u64,
+        fallback_mitigations: u64,
+        scrubs: u64,
+        unsound_horizons: u64,
+    ) -> Incident {
+        if unsound_horizons == 0 {
+            Incident {
+                kind: "scrub-resync",
+                shard_index,
+                shard,
+                detail: format!(
+                    "{detected} corruptions recovered ({repaired} repaired, \
+                     {fallback_mitigations} fallback mitigations, {scrubs} scrubs)",
+                ),
+            }
+        } else {
+            Incident {
+                kind: "integrity-degraded",
+                shard_index,
+                shard,
+                detail: format!(
+                    "{unsound_horizons} unsound horizons despite {detected} detections"
+                ),
+            }
+        }
+    }
+
+    /// Renders the incident with a caller-chosen noun for the indexed
+    /// unit — `"shard"` in fleet reports, `"cell"` in sweep tables.
+    /// [`Display`](fmt::Display) is the `"shard"` spelling.
+    pub fn render_as(&self, noun: &str) -> String {
+        format!(
+            "[{}] {} {} ({}): {}",
+            self.kind, noun, self.shard_index, self.shard, self.detail
+        )
+    }
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_as("shard"))
+    }
 }
 
 /// The merged, deterministic result of a fleet run.
@@ -208,30 +266,15 @@ impl FleetReport {
             // carrying untrusted state; residual broken horizons under
             // the guard are the real integrity losses.
             if config.recovery.is_some() && r.integrity_detected > 0 {
-                if r.unsound_horizons == 0 {
-                    report.incidents.push(Incident {
-                        kind: "scrub-resync",
-                        shard_index: shard.index,
-                        shard: shard.to_string(),
-                        detail: format!(
-                            "{} corruptions recovered ({} repaired, {} fallback mitigations, {} scrubs)",
-                            r.integrity_detected,
-                            r.integrity_repaired,
-                            r.fallback_mitigations,
-                            r.scrubs,
-                        ),
-                    });
-                } else {
-                    report.incidents.push(Incident {
-                        kind: "integrity-degraded",
-                        shard_index: shard.index,
-                        shard: shard.to_string(),
-                        detail: format!(
-                            "{} unsound horizons despite {} detections",
-                            r.unsound_horizons, r.integrity_detected,
-                        ),
-                    });
-                }
+                report.incidents.push(Incident::integrity(
+                    shard.index,
+                    shard.to_string(),
+                    r.integrity_detected,
+                    r.integrity_repaired,
+                    r.fallback_mitigations,
+                    r.scrubs,
+                    r.unsound_horizons,
+                ));
             }
         }
 
@@ -247,6 +290,60 @@ impl FleetReport {
             report.alerts_per_trefi = trefi_sum / survivors as f64;
         }
         report
+    }
+
+    /// Derives the fleet's telemetry [`MetricsRegistry`] from the
+    /// merged report. Because the report itself is merged in canonical
+    /// shard order, the registry — and therefore its render — is
+    /// bit-identical across shard permutations, worker thread counts,
+    /// and checkpoint-resume splits. Only integer simulation results go
+    /// in; the float-valued fields (slowdown percentiles, alerts/tREFI)
+    /// stay in the report render where their formatting is pinned.
+    pub fn telemetry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.gauge_max("fleet.shards", u64::from(self.shards));
+        reg.gauge_max("fleet.tenants", u64::from(self.tenants));
+        reg.add("fleet.shards.completed", u64::from(self.completed));
+        reg.add("fleet.shards.recovered", u64::from(self.recovered));
+        reg.add("fleet.shards.quarantined", u64::from(self.quarantined));
+        // `replayed` is deliberately absent, for the same reason it is
+        // absent from `render`: it is provenance, not a simulation
+        // result, and the telemetry artifact must stay bit-identical
+        // across resume splits.
+        reg.add("fleet.tenants.poisoned", u64::from(self.poisoned_tenants));
+        reg.add("fleet.perf.acts", self.perf_acts);
+        reg.add("fleet.perf.alerts", self.alerts);
+        reg.add("fleet.security.acts", self.security_acts);
+        reg.add("fleet.security.alerts", self.security_alerts);
+        reg.gauge_max("fleet.security.max_pressure", u64::from(self.max_pressure));
+        reg.add("fleet.faults.unsound_horizons", self.unsound_horizons);
+        reg.add("fleet.faults.escaped_acts", self.escaped_acts);
+        reg.add("fleet.integrity.detected", self.integrity_detected);
+        reg.add("fleet.integrity.repaired", self.integrity_repaired);
+        reg.add(
+            "fleet.integrity.fallback_mitigations",
+            self.fallback_mitigations,
+        );
+        reg.add("fleet.integrity.scrubs", self.scrubs);
+        for i in &self.incidents {
+            reg.add(&format!("fleet.incidents.{}", i.kind), 1);
+        }
+        reg
+    }
+
+    /// Renders [`telemetry`](Self::telemetry) for the requested sink,
+    /// newline-terminated. The chrome sink carries no spans at fleet
+    /// scope, so it degrades to the JSON metrics object.
+    pub fn render_telemetry(&self, sink: TelemetrySink) -> String {
+        let reg = self.telemetry();
+        match sink {
+            TelemetrySink::Text => reg.render(),
+            TelemetrySink::Json | TelemetrySink::Chrome => {
+                let mut s = reg.render_json();
+                s.push('\n');
+                s
+            }
+        }
     }
 
     /// Fraction of shards whose results made it into the merge.
@@ -321,11 +418,7 @@ impl FleetReport {
         } else {
             let _ = writeln!(out, "  incidents           {}", self.incidents.len());
             for i in &self.incidents {
-                let _ = writeln!(
-                    out,
-                    "    [{}] shard {} ({}): {}",
-                    i.kind, i.shard_index, i.shard, i.detail
-                );
+                let _ = writeln!(out, "    {i}");
             }
         }
         out

@@ -6,6 +6,9 @@
 //!    every run — quarantine is a deterministic outcome, not a race.
 //! 3. Resume: replaying recorded shards from a store merges
 //!    byte-identically with computing them live.
+//! 4. Telemetry: the metrics registry derived from the merged report
+//!    (and its text/JSON renders) inherits the same bit-identity across
+//!    shard order, thread count, and resume splits.
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -14,6 +17,7 @@ use std::time::Duration;
 use moat_fleet::{
     FleetConfig, FleetFaultPlan, FleetSupervisor, FleetTopology, RetryPolicy, ShardStore,
 };
+use moat_telemetry::TelemetrySink;
 use proptest::prelude::*;
 
 /// A small fleet that still exercises multi-level topology and several
@@ -51,6 +55,14 @@ proptest! {
         let order = permutation(&keys, 8);
         let (shuffled, _) = sup.run_with(&order, threads, None);
         prop_assert_eq!(reference.render(), shuffled.render());
+        prop_assert_eq!(
+            reference.render_telemetry(TelemetrySink::Text),
+            shuffled.render_telemetry(TelemetrySink::Text)
+        );
+        prop_assert_eq!(
+            reference.render_telemetry(TelemetrySink::Json),
+            shuffled.render_telemetry(TelemetrySink::Json)
+        );
     }
 }
 
@@ -72,6 +84,10 @@ proptest! {
         let order = permutation(&keys, 8);
         let (shuffled, _) = sup.run_with(&order, threads, None);
         prop_assert_eq!(reference.render(), shuffled.render());
+        prop_assert_eq!(
+            reference.render_telemetry(TelemetrySink::Json),
+            shuffled.render_telemetry(TelemetrySink::Json)
+        );
     }
 }
 
@@ -150,4 +166,15 @@ fn interrupted_run_resumes_to_the_same_report() {
         resumed.render(),
         "resume must be invisible in the merged artifact"
     );
+    for sink in [
+        TelemetrySink::Text,
+        TelemetrySink::Json,
+        TelemetrySink::Chrome,
+    ] {
+        assert_eq!(
+            uninterrupted.render_telemetry(sink),
+            resumed.render_telemetry(sink),
+            "resume must be invisible in the telemetry render ({sink:?})"
+        );
+    }
 }

@@ -190,6 +190,33 @@ impl RecoveryStats {
     pub fn mean_resync_ns(&self) -> Option<u64> {
         (self.resync_episodes > 0).then(|| self.resync_ns_total / self.resync_episodes)
     }
+
+    /// Records these stats as counters (and one histogram observation per
+    /// closed resync episode's mean) under `prefix` in a telemetry
+    /// [`MetricsRegistry`]. Purely additive, so registries recorded from
+    /// different shards merge deterministically regardless of order.
+    pub fn record_metrics(&self, prefix: &str, reg: &mut moat_telemetry::MetricsRegistry) {
+        reg.add(&format!("{prefix}.checks"), self.checks);
+        reg.add(&format!("{prefix}.detections"), self.detections);
+        reg.add(&format!("{prefix}.detected"), self.detected);
+        reg.add(&format!("{prefix}.repaired"), self.repaired);
+        reg.add(
+            &format!("{prefix}.fallback_mitigations"),
+            self.fallback_mitigations,
+        );
+        reg.add(&format!("{prefix}.scrubs"), self.scrubs);
+        reg.add(
+            &format!("{prefix}.scrub_corrections"),
+            self.scrub_corrections,
+        );
+        reg.add(&format!("{prefix}.resync_episodes"), self.resync_episodes);
+        if let Some(mean) = self.mean_resync_ns() {
+            reg.observe(&format!("{prefix}.resync_ns"), mean);
+        }
+        if self.open_since.is_some() {
+            reg.add(&format!("{prefix}.open_episodes"), 1);
+        }
+    }
 }
 
 /// The [`GuardHook`] implementation: boundary integrity checks, the

@@ -40,9 +40,13 @@ mod unit;
 
 pub use budget::SlotBudget;
 pub use fault_hook::{FaultHook, NoFaults};
+// The telemetry seam lives in `moat-telemetry` (it needs nothing from
+// the simulators); re-exported here so the hook stack — fault, guard,
+// telemetry — is importable from one place.
 pub use faw::FawTracker;
 pub use frontend::{hammer_address, AddressAccess, AddressStream};
 pub use guard_hook::{GuardHook, NoGuard};
+pub use moat_telemetry::{NoTelemetry, SimEvent, SimPhase, TelemetryHook};
 pub use perf::{PerfConfig, PerfReport, PerfSim, Request, RequestStream, DEFAULT_CHUNK};
 pub use security::{
     hammer_attacker, round_robin_attacker, AttackStep, Attacker, DefenseView, HammerAttacker,

@@ -33,6 +33,8 @@ use moat_dram::{
     AboLevel, AboPhase, AboProtocol, DramConfig, EngineFault, MitigationEngine, Nanos, RowId,
 };
 
+use moat_telemetry::{NoTelemetry, SimEvent, SimPhase, TelemetryHook};
+
 use crate::budget::SlotBudget;
 use crate::fault_hook::{FaultHook, NoFaults};
 use crate::guard_hook::{GuardHook, NoGuard};
@@ -478,6 +480,26 @@ impl<E: MitigationEngine> SecuritySim<E> {
         faults: &mut F,
         guard: &mut G,
     ) -> SecurityReport {
+        self.run_traced(attacker, duration, faults, guard, &mut NoTelemetry)
+    }
+
+    /// [`run_guarded`](Self::run_guarded) with a [`TelemetryHook`]
+    /// threaded through as well — the outermost layer of the hook
+    /// stack, observing each boundary *after* the fault hook has
+    /// injected and the guard has detected/repaired (inject →
+    /// detect/repair → observe). Telemetry is read-only: everything it
+    /// records derives from sim time and ACT counts, and with the
+    /// disarmed [`NoTelemetry`] hook every instrumentation branch
+    /// constant-folds away — this *is*
+    /// [`run_guarded`](Self::run_guarded).
+    pub fn run_traced<F: FaultHook, G: GuardHook, T: TelemetryHook>(
+        &mut self,
+        attacker: &mut dyn Attacker,
+        duration: Nanos,
+        faults: &mut F,
+        guard: &mut G,
+        tel: &mut T,
+    ) -> SecurityReport {
         let end = self.now + duration;
         let t_rc = self.config.dram.timing.t_rc;
         let t_rfc = self.config.dram.timing.t_rfc;
@@ -489,24 +511,35 @@ impl<E: MitigationEngine> SecuritySim<E> {
             if G::ARMED {
                 guard.at_boundary(self.now, &mut self.unit);
             }
+            if T::ARMED {
+                tel.on_boundary(self.now);
+            }
 
             // 1. ABO RFM phase has priority once the activity window closes.
             match self.abo.phase() {
                 AboPhase::ActWindow { stall_at } if self.now >= stall_at => {
+                    let t0 = self.now;
                     let done = self.abo.start_rfm(self.now).expect("rfm after window");
                     if !(F::ARMED && faults.drop_rfm(self.now)) {
                         self.unit.rfm_mitigate();
                     }
                     self.now = done;
+                    if T::ARMED {
+                        tel.on_phase(SimPhase::EpisodeChurn, t0, self.now, 1);
+                    }
                     continue;
                 }
                 AboPhase::Rfm { busy_until, .. } => {
+                    let t0 = self.now;
                     let t = self.now.max(busy_until);
                     let done = self.abo.start_rfm(t).expect("chained rfm");
                     if !(F::ARMED && faults.drop_rfm(self.now)) {
                         self.unit.rfm_mitigate();
                     }
                     self.now = done;
+                    if T::ARMED {
+                        tel.on_phase(SimPhase::EpisodeChurn, t0, self.now, 1);
+                    }
                     continue;
                 }
                 _ => {}
@@ -514,8 +547,13 @@ impl<E: MitigationEngine> SecuritySim<E> {
 
             // 2. REF when due and the sub-channel is not in an ALERT.
             if matches!(self.abo.phase(), AboPhase::Idle) && self.unit.refresh().is_due(self.now) {
+                let t0 = self.now;
                 self.unit.perform_ref(self.now);
                 self.now += t_rfc;
+                if T::ARMED {
+                    tel.on_event(t0, SimEvent::Ref);
+                    tel.on_phase(SimPhase::Refresh, t0, self.now, 1);
+                }
                 continue;
             }
 
@@ -527,6 +565,9 @@ impl<E: MitigationEngine> SecuritySim<E> {
                     self.unit.engine_mut().apply_fault(&EngineFault::LoseAlert);
                 } else {
                     self.abo.assert_alert(self.now).expect("can_assert checked");
+                    if T::ARMED {
+                        tel.on_event(self.now, SimEvent::Alert);
+                    }
                     // Normal operation continues inside the 180 ns window.
                 }
             }
@@ -543,11 +584,17 @@ impl<E: MitigationEngine> SecuritySim<E> {
             match step {
                 AttackStep::Stop => break,
                 AttackStep::Idle => {
+                    if T::ARMED {
+                        tel.on_phase(SimPhase::Idle, self.now, self.now + t_rc, 1);
+                    }
                     self.now += t_rc;
                 }
                 AttackStep::PostponeRef => {
                     if self.unit.refresh_mut().postpone().is_err() {
                         // Budget exhausted: burn the slot instead.
+                        if T::ARMED {
+                            tel.on_phase(SimPhase::Idle, self.now, self.now + t_rc, 1);
+                        }
                         self.now += t_rc;
                     }
                 }
@@ -556,20 +603,30 @@ impl<E: MitigationEngine> SecuritySim<E> {
                     // before the stall point.
                     if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
                         if self.now + t_rc > stall_at {
+                            if T::ARMED {
+                                tel.on_phase(SimPhase::Idle, self.now, stall_at, 0);
+                            }
                             self.now = stall_at;
                             continue;
                         }
                     }
+                    let t0 = self.now;
                     let t = self.now.max(self.unit.bank().next_ready());
                     match self.unit.activate(row, t) {
                         Ok(_) => {
                             self.abo.on_act();
                             self.now = t + t_rc;
+                            if T::ARMED {
+                                tel.on_phase(SimPhase::EngineUpdate, t0, self.now, 1);
+                            }
                         }
                         Err(_) => {
                             // Timing said no; advance to the bank's ready
                             // time and retry next iteration.
                             self.now = self.unit.bank().next_ready();
+                            if T::ARMED {
+                                tel.on_phase(SimPhase::Idle, t0, self.now, 0);
+                            }
                         }
                     }
                 }
@@ -643,6 +700,30 @@ impl<E: MitigationEngine> SecuritySim<E> {
         faults: &mut F,
         guard: &mut G,
     ) -> SecurityReport {
+        self.run_batched_traced(attacker, duration, faults, guard, &mut NoTelemetry)
+    }
+
+    /// [`run_batched_guarded`](Self::run_batched_guarded) with a
+    /// [`TelemetryHook`] threaded through as well — the outermost hook
+    /// layer (inject → detect/repair → observe), recording each
+    /// event-horizon boundary, ALERT episode, REF, and granted run as
+    /// sim-time spans. With the disarmed [`NoTelemetry`] hook every
+    /// instrumentation branch constant-folds away and this *is*
+    /// [`run_batched_guarded`](Self::run_batched_guarded).
+    pub fn run_batched_traced<A, F, G, T>(
+        &mut self,
+        attacker: &mut A,
+        duration: Nanos,
+        faults: &mut F,
+        guard: &mut G,
+        tel: &mut T,
+    ) -> SecurityReport
+    where
+        A: ScriptedAttacker + ?Sized,
+        F: FaultHook,
+        G: GuardHook,
+        T: TelemetryHook,
+    {
         let end = self.now + duration;
         let t_rc = self.config.dram.timing.t_rc;
         let t_rfc = self.config.dram.timing.t_rfc;
@@ -655,7 +736,10 @@ impl<E: MitigationEngine> SecuritySim<E> {
             if G::ARMED {
                 guard.at_boundary(self.now, &mut self.unit);
             }
-            if self.advance_defense(end, t_rfc, faults) {
+            if T::ARMED {
+                tel.on_boundary(self.now);
+            }
+            if self.advance_defense(end, t_rfc, faults, tel) {
                 continue;
             }
 
@@ -669,6 +753,7 @@ impl<E: MitigationEngine> SecuritySim<E> {
                 if n == 0 {
                     break;
                 }
+                let t0 = self.now;
                 if F::ARMED {
                     let promised = self.engine_promise(horizon);
                     self.issue_run_checked(&run[..n], promised, t_rc, faults);
@@ -676,6 +761,9 @@ impl<E: MitigationEngine> SecuritySim<E> {
                     self.unit.activate_run(&run[..n], self.now, t_rc);
                     self.abo.on_acts(n as u64);
                     self.now += t_rc * (n as u64);
+                }
+                if T::ARMED {
+                    tel.on_phase(SimPhase::EngineUpdate, t0, self.now, n as u64);
                 }
             } else {
                 // Per-step fallback: inside an ALERT window, under a
@@ -689,16 +777,23 @@ impl<E: MitigationEngine> SecuritySim<E> {
                 // otherwise dropped, as in the per-step reference.
                 if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
                     if self.now + t_rc > stall_at {
+                        if T::ARMED {
+                            tel.on_phase(SimPhase::Idle, self.now, stall_at, 0);
+                        }
                         self.now = stall_at;
                         continue;
                     }
                 }
+                let t0 = self.now;
                 let t = self.now.max(self.unit.bank().next_ready());
                 self.unit
                     .activate(row, t)
                     .expect("scripted row within the bank");
                 self.abo.on_act();
                 self.now = t + t_rc;
+                if T::ARMED {
+                    tel.on_phase(SimPhase::EngineUpdate, t0, self.now, 1);
+                }
             }
         }
 
@@ -718,12 +813,19 @@ impl<E: MitigationEngine> SecuritySim<E> {
     /// so the episode drains per-RFM to stop at the identical point — a
     /// published run whose horizon lands inside an ALERT episode resumes
     /// through the same per-RFM path on the next call.
-    fn advance_defense<F: FaultHook>(&mut self, end: Nanos, t_rfc: Nanos, faults: &mut F) -> bool {
+    fn advance_defense<F: FaultHook, T: TelemetryHook>(
+        &mut self,
+        end: Nanos,
+        t_rfc: Nanos,
+        faults: &mut F,
+        tel: &mut T,
+    ) -> bool {
         // 1. ABO RFM phase has priority once the activity window closes.
         match self.abo.phase() {
             AboPhase::ActWindow { stall_at } if self.now >= stall_at => {
                 let rfms = u64::from(self.abo.level().as_u8());
                 let last_start = self.now + self.config.dram.timing.t_rfm * (rfms - 1);
+                let t0 = self.now;
                 if last_start < end {
                     let done = self
                         .abo
@@ -735,12 +837,19 @@ impl<E: MitigationEngine> SecuritySim<E> {
                         }
                     }
                     self.now = done;
+                    if T::ARMED {
+                        tel.on_event(t0, SimEvent::Episode { rfms });
+                        tel.on_phase(SimPhase::EpisodeChurn, t0, self.now, rfms);
+                    }
                 } else {
                     let done = self.abo.start_rfm(self.now).expect("rfm after window");
                     if !(F::ARMED && faults.drop_rfm(self.now)) {
                         self.unit.rfm_mitigate();
                     }
                     self.now = done;
+                    if T::ARMED {
+                        tel.on_phase(SimPhase::EpisodeChurn, t0, self.now, 1);
+                    }
                 }
                 return true;
             }
@@ -748,12 +857,16 @@ impl<E: MitigationEngine> SecuritySim<E> {
                 // Only reachable when an earlier run (per-step, or a
                 // batched run whose `end` fell mid-phase) left off inside
                 // an episode; drain it per-RFM.
+                let t0 = self.now;
                 let t = self.now.max(busy_until);
                 let done = self.abo.start_rfm(t).expect("chained rfm");
                 if !(F::ARMED && faults.drop_rfm(self.now)) {
                     self.unit.rfm_mitigate();
                 }
                 self.now = done;
+                if T::ARMED {
+                    tel.on_phase(SimPhase::EpisodeChurn, t0, self.now, 1);
+                }
                 return true;
             }
             _ => {}
@@ -761,8 +874,13 @@ impl<E: MitigationEngine> SecuritySim<E> {
 
         // 2. REF when due and the sub-channel is not in an ALERT.
         if matches!(self.abo.phase(), AboPhase::Idle) && self.unit.refresh().is_due(self.now) {
+            let t0 = self.now;
             self.unit.perform_ref(self.now);
             self.now += t_rfc;
+            if T::ARMED {
+                tel.on_event(t0, SimEvent::Ref);
+                tel.on_phase(SimPhase::Refresh, t0, self.now, 1);
+            }
             return true;
         }
 
@@ -774,6 +892,9 @@ impl<E: MitigationEngine> SecuritySim<E> {
                 self.unit.engine_mut().apply_fault(&EngineFault::LoseAlert);
             } else {
                 self.abo.assert_alert(self.now).expect("can_assert checked");
+                if T::ARMED {
+                    tel.on_event(self.now, SimEvent::Alert);
+                }
             }
         }
         false
@@ -888,6 +1009,29 @@ impl<E: MitigationEngine> SecuritySim<E> {
         F: FaultHook,
         G: GuardHook,
     {
+        self.run_semi_scripted_traced(attacker, duration, faults, guard, &mut NoTelemetry)
+    }
+
+    /// [`run_semi_scripted_guarded`](Self::run_semi_scripted_guarded)
+    /// with a [`TelemetryHook`] threaded through as well — the
+    /// outermost hook layer (inject → detect/repair → observe), with
+    /// the same span vocabulary as
+    /// [`run_batched_traced`](Self::run_batched_traced). With the
+    /// disarmed [`NoTelemetry`] hook this *is* the `_guarded` loop.
+    pub fn run_semi_scripted_traced<A, F, G, T>(
+        &mut self,
+        attacker: &mut A,
+        duration: Nanos,
+        faults: &mut F,
+        guard: &mut G,
+        tel: &mut T,
+    ) -> SecurityReport
+    where
+        A: SemiScriptedAttacker + ?Sized,
+        F: FaultHook,
+        G: GuardHook,
+        T: TelemetryHook,
+    {
         let end = self.now + duration;
         let t_rc = self.config.dram.timing.t_rc;
         let t_rfc = self.config.dram.timing.t_rfc;
@@ -900,7 +1044,10 @@ impl<E: MitigationEngine> SecuritySim<E> {
             if G::ARMED {
                 guard.at_boundary(self.now, &mut self.unit);
             }
-            if self.advance_defense(end, t_rfc, faults) {
+            if T::ARMED {
+                tel.on_boundary(self.now);
+            }
+            if self.advance_defense(end, t_rfc, faults, tel) {
                 continue;
             }
 
@@ -920,11 +1067,17 @@ impl<E: MitigationEngine> SecuritySim<E> {
                 SemiRun::PostponeRef => {
                     if self.unit.refresh_mut().postpone().is_err() {
                         // Budget exhausted: burn the slot instead.
+                        if T::ARMED {
+                            tel.on_phase(SimPhase::Idle, self.now, self.now + t_rc, 1);
+                        }
                         self.now += t_rc;
                     }
                 }
                 SemiRun::Idle(want) => {
                     let n = self.idle_horizon(end, t_rc).min(want.max(1));
+                    if T::ARMED {
+                        tel.on_phase(SimPhase::Idle, self.now, self.now + t_rc * n, n);
+                    }
                     self.now += t_rc * n;
                 }
                 SemiRun::Acts(n) => {
@@ -933,6 +1086,7 @@ impl<E: MitigationEngine> SecuritySim<E> {
                         break;
                     }
                     if grant.max > 1 {
+                        let t0 = self.now;
                         if F::ARMED {
                             let promised = self.engine_promise(grant.alert_safe);
                             self.issue_run_checked(&run[..n], promised, t_rc, faults);
@@ -940,6 +1094,9 @@ impl<E: MitigationEngine> SecuritySim<E> {
                             self.unit.activate_run(&run[..n], self.now, t_rc);
                             self.abo.on_acts(n as u64);
                             self.now += t_rc * (n as u64);
+                        }
+                        if T::ARMED {
+                            tel.on_phase(SimPhase::EngineUpdate, t0, self.now, n as u64);
                         }
                     } else {
                         // Single guarded step: inside an ALERT window,
@@ -950,16 +1107,23 @@ impl<E: MitigationEngine> SecuritySim<E> {
                         let row = run[0];
                         if let AboPhase::ActWindow { stall_at } = self.abo.phase() {
                             if self.now + t_rc > stall_at {
+                                if T::ARMED {
+                                    tel.on_phase(SimPhase::Idle, self.now, stall_at, 0);
+                                }
                                 self.now = stall_at;
                                 continue;
                             }
                         }
+                        let t0 = self.now;
                         let t = self.now.max(self.unit.bank().next_ready());
                         self.unit
                             .activate(row, t)
                             .expect("published row within the bank");
                         self.abo.on_act();
                         self.now = t + t_rc;
+                        if T::ARMED {
+                            tel.on_phase(SimPhase::EngineUpdate, t0, self.now, 1);
+                        }
                     }
                 }
             }

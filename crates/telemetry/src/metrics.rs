@@ -1,0 +1,404 @@
+//! The metrics registry: counters, gauges, and fixed-log2-bucket
+//! histograms over `u64` values.
+//!
+//! Everything is integer arithmetic and every merge is commutative and
+//! associative (counters and histogram buckets add, gauges take the
+//! max), so merging per-shard registries in **any** order — shard
+//! permutations, different thread counts, checkpoint-resume splits —
+//! produces the same registry, and the sorted renders are bit-identical.
+//! This is the same discipline `FleetReport` already follows.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of histogram buckets: bucket 0 holds exactly the value 0;
+/// bucket `k >= 1` holds `[2^(k-1), 2^k)`; bucket 64 therefore holds
+/// `[2^63, u64::MAX]`.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// The fixed bucket index for a value (see [`LOG2_BUCKETS`]).
+pub fn log2_bucket(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` observations.
+///
+/// The bucket layout never depends on the data, so two histograms can
+/// always be merged bucket-wise — the property the registry's
+/// permutation invariance rests on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Histogram {
+    count: u64,
+    sum: u64,
+    buckets: [u64; LOG2_BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; LOG2_BUCKETS],
+        }
+    }
+
+    /// Records one observation. The sum saturates rather than wrapping
+    /// so `u64::MAX` observations stay well-defined.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[log2_bucket(value)] += 1;
+    }
+
+    /// Bucket-wise merge (commutative, associative).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The fixed bucket array.
+    pub fn buckets(&self) -> &[u64; LOG2_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Compact deterministic render of the non-empty buckets, e.g.
+    /// `count=3 sum=12 b0:1 b3:2`.
+    pub fn render(&self) -> String {
+        let mut out = format!("count={} sum={}", self.count, self.sum);
+        for (k, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                let _ = write!(out, " b{k}:{n}");
+            }
+        }
+        out
+    }
+}
+
+/// One named metric in a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Metric {
+    /// Monotone count; merges by addition.
+    Counter(u64),
+    /// High-water mark; merges by max (the only gauge semantics that
+    /// stay deterministic under reordering).
+    Gauge(u64),
+    /// Distribution; merges bucket-wise (boxed: the bucket array
+    /// dwarfs the scalar variants).
+    Histogram(Box<Log2Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "hist",
+        }
+    }
+}
+
+/// A sorted registry of named metrics with order-independent merging.
+///
+/// Names are dot-separated taxonomies (`fleet.shards.quarantined`,
+/// `sweep.faults.retries`); the renders sort by name, so any merge
+/// order produces byte-identical output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero). The
+    /// sum saturates rather than wrapping, like histogram sums, so the
+    /// render stays order-independent even at the `u64` ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already holds a non-counter metric — a metric
+    /// name maps to exactly one kind, by construction.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v = v.saturating_add(delta),
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Raises the gauge `name` to at least `value` (creating it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already holds a non-gauge metric.
+    pub fn gauge_max(&mut self, name: &str, value: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(0))
+        {
+            Metric::Gauge(v) => *v = (*v).max(value),
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Records `value` into the histogram `name` (creating it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` already holds a non-histogram metric.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Box::default()))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Merges `other` into `self`. Commutative and associative: any
+    /// merge tree over the same multiset of registries yields the same
+    /// result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name holds different kinds in the two
+    /// registries.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, metric) in &other.metrics {
+            match metric {
+                Metric::Counter(v) => self.add(name, *v),
+                Metric::Gauge(v) => self.gauge_max(name, *v),
+                Metric::Histogram(h) => match self
+                    .metrics
+                    .entry(name.clone())
+                    .or_insert_with(|| Metric::Histogram(Box::default()))
+                {
+                    Metric::Histogram(mine) => mine.merge(h),
+                    other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+                },
+            }
+        }
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// The counter `name`, or 0 when absent (or a different kind).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The gauge `name`, or 0 when absent (or a different kind).
+    pub fn gauge(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// The histogram `name`, when present with that kind.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        match self.metrics.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Deterministic text render, one sorted line per metric:
+    ///
+    /// ```text
+    /// metrics (2)
+    ///   counter fleet.shards = 16
+    ///   hist    sweep.attempts count=3 sum=4 b1:2 b2:1
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!("metrics ({})\n", self.metrics.len());
+        for (name, metric) in &self.metrics {
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = writeln!(out, "  counter {name} = {v}");
+                }
+                Metric::Gauge(v) => {
+                    let _ = writeln!(out, "  gauge   {name} = {v}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(out, "  hist    {name} {}", h.render());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic JSON render: one object sorted by metric name,
+    /// integer values only.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, metric)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":");
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = write!(out, "{{\"kind\":\"counter\",\"value\":{v}}}");
+                }
+                Metric::Gauge(v) => {
+                    let _ = write!(out, "{{\"kind\":\"gauge\",\"value\":{v}}}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(
+                        out,
+                        "{{\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":{{",
+                        h.count(),
+                        h.sum()
+                    );
+                    let mut first = true;
+                    for (k, &n) in h.buckets().iter().enumerate() {
+                        if n > 0 {
+                            if !first {
+                                out.push(',');
+                            }
+                            first = false;
+                            let _ = write!(out, "\"{k}\":{n}");
+                        }
+                    }
+                    out.push_str("}}");
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_edges() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket((1 << 10) - 1), 10);
+        assert_eq!(log2_bucket(1 << 10), 11);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+        assert_eq!(log2_bucket(1 << 63), 64);
+        assert_eq!(log2_bucket((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn histogram_records_and_saturates() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates, never wraps");
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[64], 2);
+        assert_eq!(h.render(), format!("count=3 sum={} b0:1 b64:2", u64::MAX));
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("a.count", 2);
+        reg.add("a.count", 3);
+        reg.gauge_max("a.peak", 7);
+        reg.gauge_max("a.peak", 4);
+        reg.observe("a.dist", 5);
+        assert_eq!(reg.counter("a.count"), 5);
+        assert_eq!(reg.gauge("a.peak"), 7);
+        assert_eq!(reg.histogram("a.dist").unwrap().count(), 1);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = MetricsRegistry::new();
+        a.add("c", 1);
+        a.gauge_max("g", 9);
+        a.observe("h", 3);
+        let mut b = MetricsRegistry::new();
+        b.add("c", 2);
+        b.gauge_max("g", 4);
+        b.observe("h", 100);
+        b.observe("h2", 0);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.render(), ba.render());
+        assert_eq!(ab.render_json(), ba.render_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_collisions_panic() {
+        let mut reg = MetricsRegistry::new();
+        reg.observe("x", 1);
+        reg.add("x", 1);
+    }
+
+    #[test]
+    fn renders_are_sorted_and_stable() {
+        let mut reg = MetricsRegistry::new();
+        reg.add("z.last", 1);
+        reg.add("a.first", 2);
+        let text = reg.render();
+        assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
+        assert_eq!(
+            reg.render_json(),
+            "{\"a.first\":{\"kind\":\"counter\",\"value\":2},\
+             \"z.last\":{\"kind\":\"counter\",\"value\":1}}"
+        );
+    }
+}

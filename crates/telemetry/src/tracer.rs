@@ -1,0 +1,415 @@
+//! The armed [`TelemetryHook`]: per-phase profiling, a metrics
+//! registry, and a bounded span/event log with chrome://tracing export.
+
+use std::fmt::Write as _;
+
+use moat_dram::Nanos;
+
+use crate::config::{TelemetryLevel, TelemetrySink};
+use crate::hook::{SimEvent, SimPhase, TelemetryHook};
+use crate::metrics::MetricsRegistry;
+
+/// Upper bound on recorded spans and on recorded events (each) at
+/// [`TelemetryLevel::Full`]. Overflow is **not silent**: the render
+/// reports how many were dropped, and aggregates (profile, metrics)
+/// keep counting past the cap.
+pub const MAX_RECORDED: usize = 1 << 16;
+
+/// "Where does the simulated time go": per-phase work units and
+/// virtual nanoseconds. Pure integers; merges add.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    units: [u64; SimPhase::COUNT],
+    ns: [u64; SimPhase::COUNT],
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        PhaseProfile::default()
+    }
+
+    /// Attributes `units` of work and `ns` virtual nanoseconds to
+    /// `phase`.
+    pub fn add(&mut self, phase: SimPhase, units: u64, ns: u64) {
+        self.units[phase.index()] += units;
+        self.ns[phase.index()] = self.ns[phase.index()].saturating_add(ns);
+    }
+
+    /// Element-wise merge.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for i in 0..SimPhase::COUNT {
+            self.units[i] += other.units[i];
+            self.ns[i] = self.ns[i].saturating_add(other.ns[i]);
+        }
+    }
+
+    /// Work units attributed to `phase`.
+    pub fn units(&self, phase: SimPhase) -> u64 {
+        self.units[phase.index()]
+    }
+
+    /// Virtual nanoseconds attributed to `phase`.
+    pub fn ns(&self, phase: SimPhase) -> u64 {
+        self.ns[phase.index()]
+    }
+
+    /// Total attributed virtual nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// `phase`'s share of the total in permille (integer arithmetic, so
+    /// the render is deterministic; 0 when nothing is attributed).
+    pub fn permille(&self, phase: SimPhase) -> u64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0
+        } else {
+            // u128 intermediate: ns * 1000 can overflow u64.
+            ((u128::from(self.ns(phase)) * 1000) / u128::from(total)) as u64
+        }
+    }
+
+    /// Whether anything was attributed.
+    pub fn is_empty(&self) -> bool {
+        self.units.iter().all(|&u| u == 0) && self.ns.iter().all(|&n| n == 0)
+    }
+
+    /// Deterministic text render, one line per phase in fixed order:
+    ///
+    /// ```text
+    /// phase profile (total 4000000 ns)
+    ///   engine-update  62.5%  units 12345  ns 2500000
+    ///   ...
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!("phase profile (total {} ns)\n", self.total_ns());
+        for phase in SimPhase::ALL {
+            let pm = self.permille(phase);
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>3}.{}%  units {:>10}  ns {:>12}",
+                phase.name(),
+                pm / 10,
+                pm % 10,
+                self.units(phase),
+                self.ns(phase),
+            );
+        }
+        out
+    }
+
+    /// Deterministic JSON render: `{"engine-update":{"units":..,"ns":..},...}`
+    /// in fixed phase order.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, phase) in SimPhase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"units\":{},\"ns\":{}}}",
+                phase.name(),
+                self.units(*phase),
+                self.ns(*phase),
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The armed hook: accumulates a [`PhaseProfile`] and a
+/// [`MetricsRegistry`] at every level, plus bounded span/event logs at
+/// [`TelemetryLevel::Full`] for the chrome://tracing timeline.
+///
+/// Everything recorded derives from hook arguments (sim time, ACT
+/// counts), so two runs with equal inputs produce bit-identical
+/// renders on any machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tracer {
+    level: TelemetryLevel,
+    boundaries: u64,
+    profile: PhaseProfile,
+    metrics: MetricsRegistry,
+    spans: Vec<(SimPhase, Nanos, Nanos, u64)>,
+    events: Vec<(Nanos, SimEvent)>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A tracer recording at `level` ([`TelemetryLevel::Off`] records
+    /// nothing but still satisfies `ARMED`; prefer `NoTelemetry` for a
+    /// truly free run).
+    pub fn new(level: TelemetryLevel) -> Self {
+        Tracer {
+            level,
+            boundaries: 0,
+            profile: PhaseProfile::new(),
+            metrics: MetricsRegistry::new(),
+            spans: Vec::new(),
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// A fully armed tracer (`level=full`).
+    pub fn full() -> Self {
+        Tracer::new(TelemetryLevel::Full)
+    }
+
+    /// The recording level.
+    pub fn level(&self) -> TelemetryLevel {
+        self.level
+    }
+
+    /// Event-horizon boundaries observed.
+    pub fn boundaries(&self) -> u64 {
+        self.boundaries
+    }
+
+    /// The accumulated per-phase profile.
+    pub fn profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// The accumulated metrics.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics (for callers folding in derived
+    /// registries, e.g. sweep-cell stats).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Spans and events dropped past [`MAX_RECORDED`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders via `sink`: [`TelemetrySink::Text`] → [`render_text`]
+    /// (profile + metrics + log summary), [`TelemetrySink::Json`] →
+    /// [`render_json`], [`TelemetrySink::Chrome`] → [`render_chrome`].
+    ///
+    /// [`render_text`]: Self::render_text
+    /// [`render_json`]: Self::render_json
+    /// [`render_chrome`]: Self::render_chrome
+    pub fn render(&self, sink: TelemetrySink) -> String {
+        match sink {
+            TelemetrySink::Text => self.render_text(),
+            TelemetrySink::Json => self.render_json(),
+            TelemetrySink::Chrome => self.render_chrome(),
+        }
+    }
+
+    /// Deterministic text render: boundary/record counts, the phase
+    /// profile, and the sorted metrics.
+    pub fn render_text(&self) -> String {
+        let mut out = String::from("telemetry\n");
+        let _ = writeln!(out, "  level      {}", self.level.name());
+        let _ = writeln!(out, "  boundaries {}", self.boundaries);
+        let _ = writeln!(
+            out,
+            "  recorded   {} spans, {} events, {} dropped",
+            self.spans.len(),
+            self.events.len(),
+            self.dropped,
+        );
+        for line in self.profile.render().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+        for line in self.metrics.render().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+        out
+    }
+
+    /// Deterministic JSON render of the aggregates (no span/event log —
+    /// use [`render_chrome`](Self::render_chrome) for the timeline).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"level\":\"{}\",\"boundaries\":{},\"spans\":{},\"events\":{},\"dropped\":{},\
+             \"profile\":{},\"metrics\":{}}}",
+            self.level.name(),
+            self.boundaries,
+            self.spans.len(),
+            self.events.len(),
+            self.dropped,
+            self.profile.render_json(),
+            self.metrics.render_json(),
+        )
+    }
+
+    /// chrome://tracing trace-event JSON. Timestamps are **virtual
+    /// nanoseconds** of simulated time (the trace viewer's unit is
+    /// nominally microseconds; the shape of the timeline is what
+    /// matters, and keeping raw integers keeps the artifact
+    /// bit-deterministic). Spans render as complete (`"X"`) events,
+    /// point events as instants (`"i"`).
+    pub fn render_chrome(&self) -> String {
+        let mut out = String::from("[");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str("\n  ");
+        };
+        for (phase, start, end, units) in &self.spans {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":0,\"args\":{{\"units\":{}}}}}",
+                phase.name(),
+                start.as_u64(),
+                end.as_u64().saturating_sub(start.as_u64()),
+                units,
+            );
+        }
+        for (at, event) in &self.events {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{},\
+                 \"pid\":0,\"tid\":0,\"s\":\"t\"}}",
+                event.name(),
+                at.as_u64(),
+            );
+        }
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"telemetry\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+             \"args\":{{\"boundaries\":{},\"dropped\":{}}}}}",
+            self.boundaries, self.dropped,
+        );
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+impl TelemetryHook for Tracer {
+    const ARMED: bool = true;
+
+    fn on_boundary(&mut self, _now: Nanos) {
+        if self.level == TelemetryLevel::Off {
+            return;
+        }
+        self.boundaries += 1;
+    }
+
+    fn on_event(&mut self, now: Nanos, event: SimEvent) {
+        if self.level == TelemetryLevel::Off {
+            return;
+        }
+        self.metrics.add(&format!("events.{}", event.name()), 1);
+        if let SimEvent::Episode { rfms } = event {
+            self.metrics.observe("episode.rfms", rfms);
+        }
+        if self.level == TelemetryLevel::Full {
+            if self.events.len() < MAX_RECORDED {
+                self.events.push((now, event));
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    fn on_phase(&mut self, phase: SimPhase, start: Nanos, end: Nanos, units: u64) {
+        if self.level == TelemetryLevel::Off {
+            return;
+        }
+        let ns = end.as_u64().saturating_sub(start.as_u64());
+        if units == 0 && ns == 0 {
+            return;
+        }
+        self.profile.add(phase, units, ns);
+        if self.level == TelemetryLevel::Full {
+            if self.spans.len() < MAX_RECORDED {
+                self.spans.push((phase, start, end, units));
+            } else {
+                self.dropped += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_attribution_and_permille() {
+        let mut p = PhaseProfile::new();
+        p.add(SimPhase::EngineUpdate, 10, 750);
+        p.add(SimPhase::Idle, 0, 250);
+        assert_eq!(p.total_ns(), 1000);
+        assert_eq!(p.permille(SimPhase::EngineUpdate), 750);
+        assert_eq!(p.permille(SimPhase::Idle), 250);
+        assert_eq!(p.permille(SimPhase::Refresh), 0);
+        let mut q = p;
+        q.merge(&p);
+        assert_eq!(q.units(SimPhase::EngineUpdate), 20);
+        assert_eq!(
+            q.permille(SimPhase::EngineUpdate),
+            750,
+            "shares survive merge"
+        );
+    }
+
+    #[test]
+    fn tracer_records_by_level() {
+        let mut spans_only = Tracer::new(TelemetryLevel::Spans);
+        let mut full = Tracer::full();
+        for t in [&mut spans_only, &mut full] {
+            t.on_boundary(Nanos::new(1));
+            t.on_event(Nanos::new(2), SimEvent::Alert);
+            t.on_event(Nanos::new(3), SimEvent::Episode { rfms: 4 });
+            t.on_phase(SimPhase::EpisodeChurn, Nanos::new(3), Nanos::new(9), 4);
+        }
+        assert_eq!(spans_only.boundaries(), 1);
+        assert_eq!(spans_only.metrics().counter("events.alert"), 1);
+        assert_eq!(spans_only.events.len(), 0, "spans level keeps no log");
+        assert_eq!(full.events.len(), 2);
+        assert_eq!(full.spans.len(), 1);
+        assert_eq!(full.profile().ns(SimPhase::EpisodeChurn), 6);
+        assert_eq!(full.metrics().histogram("episode.rfms").unwrap().sum(), 4);
+    }
+
+    #[test]
+    fn overflow_is_counted_not_silent() {
+        let mut t = Tracer::full();
+        for i in 0..(MAX_RECORDED as u64 + 5) {
+            t.on_event(Nanos::new(i), SimEvent::Ref);
+        }
+        assert_eq!(t.events.len(), MAX_RECORDED);
+        assert_eq!(t.dropped(), 5);
+        assert!(t.render_text().contains("5 dropped"));
+    }
+
+    #[test]
+    fn renders_are_deterministic_and_well_formed() {
+        let mut t = Tracer::full();
+        t.on_boundary(Nanos::new(0));
+        t.on_phase(SimPhase::EngineUpdate, Nanos::new(0), Nanos::new(100), 7);
+        t.on_event(Nanos::new(50), SimEvent::Alert);
+        assert_eq!(t.render_text(), t.clone().render_text());
+        let chrome = t.render_chrome();
+        assert!(chrome.starts_with('[') && chrome.trim_end().ends_with(']'));
+        assert!(chrome.contains("\"ph\":\"X\""));
+        assert!(chrome.contains("\"ph\":\"i\""));
+        assert_eq!(
+            chrome.matches('{').count(),
+            chrome.matches('}').count(),
+            "balanced braces"
+        );
+        let json = t.render_json();
+        assert!(json.contains("\"profile\":{"));
+        assert!(json.contains("\"metrics\":{"));
+    }
+}

@@ -1,0 +1,90 @@
+//! The metrics registry's determinism contract, pinned by proptest:
+//! the rendered artifact is a pure function of the *set* of recorded
+//! observations — never of the shard order they arrived in, the number
+//! of worker-thread registries they were sharded across, or where a
+//! resume split the run in two.
+
+use moat_telemetry::MetricsRegistry;
+use proptest::prelude::*;
+
+/// One recorded observation: `(metric index, kind, value index)`. A
+/// small name pool forces collisions so merges genuinely combine
+/// metrics, and the value pool pins the histogram edge cases (zero,
+/// bucket boundaries, `u64::MAX`).
+type Op = (u8, u8, u8);
+
+const NAMES: [&str; 5] = [
+    "fleet.acts",
+    "fleet.alerts",
+    "shard.pressure",
+    "cell.attempts",
+    "episode.rfms",
+];
+
+const VALUES: [u64; 7] = [0, 1, 2, 1023, 1024, u64::MAX - 1, u64::MAX];
+
+fn apply(reg: &mut MetricsRegistry, &(name, kind, value): &Op) {
+    let name = NAMES[name as usize % NAMES.len()];
+    let value = VALUES[value as usize % VALUES.len()];
+    match kind % 3 {
+        0 => reg.add(&format!("{name}.count"), value),
+        1 => reg.gauge_max(&format!("{name}.max"), value),
+        _ => reg.observe(&format!("{name}.hist"), value),
+    }
+}
+
+/// Records `ops` into one registry sequentially: the reference artifact.
+fn sequential(ops: &[Op]) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    for op in ops {
+        apply(&mut reg, op);
+    }
+    reg
+}
+
+/// Shards `ops` round-robin across `shards` registries (a stand-in for
+/// per-worker-thread or per-resume-segment registries), then merges the
+/// shards back in the order given by `merge_keys`.
+fn sharded(ops: &[Op], shards: usize, merge_keys: &[u64]) -> MetricsRegistry {
+    let mut parts: Vec<MetricsRegistry> = (0..shards).map(|_| MetricsRegistry::new()).collect();
+    for (i, op) in ops.iter().enumerate() {
+        apply(&mut parts[i % shards], op);
+    }
+    let mut order: Vec<usize> = (0..shards).collect();
+    order.sort_by_key(|&i| merge_keys.get(i).copied().unwrap_or(i as u64));
+    let mut merged = MetricsRegistry::new();
+    for i in order {
+        merged.merge(&parts[i]);
+    }
+    merged
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sharding across N worker registries and merging in any
+    /// permutation renders byte-identically to the sequential run —
+    /// including the histogram edge values 0 and `u64::MAX`.
+    #[test]
+    fn renders_are_bit_identical_across_sharding_and_merge_order(
+        ops in prop::collection::vec((0u8..8, 0u8..3, 0u8..7), 1..64),
+        shards in 1usize..6,
+        merge_keys in prop::collection::vec(0u64..u64::MAX, 6),
+        split in 0usize..64,
+    ) {
+        let reference = sequential(&ops);
+        let merged = sharded(&ops, shards, &merge_keys);
+        prop_assert_eq!(reference.render(), merged.render());
+        prop_assert_eq!(reference.render_json(), merged.render_json());
+
+        // A resume split: the first `split` ops were replayed from a
+        // checkpoint into one registry, the rest computed live into
+        // another. Counters and histograms are order-insensitive sums
+        // and gauges merge by max, so the seam must be invisible.
+        let mut replayed = ops.clone();
+        let live = replayed.split_off(split.min(replayed.len()));
+        let mut resumed = sequential(&replayed);
+        resumed.merge(&sequential(&live));
+        prop_assert_eq!(reference.render(), resumed.render());
+    }
+}

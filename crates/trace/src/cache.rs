@@ -89,7 +89,10 @@ impl TraceCache {
             // the repro binary validates eagerly at startup and turns
             // the same error into a clean exit.
             Err(e) => {
-                eprintln!("moat-trace: {e}; using the default cache directory");
+                moat_telemetry::log::warn(
+                    "moat-trace",
+                    format_args!("{e}; using the default cache directory"),
+                );
                 Path::new(".trace-cache").join(Self::FORMAT_TAG)
             }
         }

@@ -149,7 +149,10 @@ fn init_from_env() {
     ENV_INIT.call_once(|| match IoFaultConfig::from_env() {
         Ok(Some(config)) => arm(config),
         Ok(None) => {}
-        Err(e) => eprintln!("moat-trace: malformed {ENV_VAR} ignored (failpoints disarmed): {e}"),
+        Err(e) => moat_telemetry::log::warn(
+            "moat-trace",
+            format_args!("malformed {ENV_VAR} ignored (failpoints disarmed): {e}"),
+        ),
     });
 }
 
