@@ -264,6 +264,41 @@ fn ratchet_run_boundary_slicing_matches_per_step() {
     }
 }
 
+/// The engine-aware self-models must degrade conservatively when their
+/// downcast misses: Jailbreak probes the engine for Panopticon's queue
+/// and Ratchet for MOAT's ledger, and against any other engine they
+/// fall back to conservative grant caps. Against every engine in the
+/// registry zoo, both attackers must complete without panicking, make
+/// progress, and stay bit-identical between the semi-scripted and
+/// per-step paths — i.e. the fallback never silently assumes the
+/// MOAT/Panopticon internals it couldn't find.
+#[test]
+fn engine_aware_attackers_degrade_conservatively_across_the_zoo() {
+    let cfg = SecurityConfig::paper_default();
+    let horizon = Nanos::from_millis(1);
+    for spec in moat_trackers::registry::ENGINES {
+        let mk_sim = || SecuritySim::new(cfg, spec.build());
+
+        let expect = mk_sim().run(&mut JailbreakAttacker::new(20_000), horizon);
+        let got = mk_sim().run_semi_scripted(&mut JailbreakAttacker::new(20_000), horizon);
+        assert_eq!(got, expect, "{}: jailbreak semi ≡ per-step", spec.name);
+        assert!(
+            got.total_acts > 0,
+            "{}: jailbreak must make progress",
+            spec.name
+        );
+
+        let expect = mk_sim().run(&mut RatchetAttacker::new(64, 32), horizon);
+        let got = mk_sim().run_semi_scripted(&mut RatchetAttacker::new(64, 32), horizon);
+        assert_eq!(got, expect, "{}: ratchet semi ≡ per-step", spec.name);
+        assert!(
+            got.total_acts > 0,
+            "{}: ratchet must make progress",
+            spec.name
+        );
+    }
+}
+
 /// Fig. 5 anchor: the deterministic Jailbreak result (1152 ACTs on the
 /// attack row, no ALERTs) is reproduced bit-identically by the
 /// semi-scripted path.

@@ -18,6 +18,16 @@
 //!                               MOAT_RECOVERY=scrub=NS[,fallback=on|off]
 //!                               to override the full rung's policy; see
 //!                               `moat-guard`)
+//!   repro arena [--engines a,b,...] [--threads T] [--resume]
+//!                               cross-mitigation arena: every selected
+//!                               engine variant x the attack battery +
+//!                               a perf workload, one comparison table
+//!                               (escaped ACTs, ALERT rate, slowdown,
+//!                               SRAM). Selection defaults to the whole
+//!                               registry; MOAT_ARENA_ENGINES overrides
+//!                               it when --engines is absent. The table
+//!                               is bit-identical across thread counts
+//!                               and --resume splits
 //!   repro fleet [--shards N] [--tenants M] [--acts N] [--threads T] [--resume]
 //!                               fleet-scale sharded serving under the
 //!                               self-healing shard supervisor; set
@@ -66,8 +76,9 @@
 //! run) replays the mmap'd bytes.
 
 use moat_bench::{
-    bench_perf, effective_config, render_registry, run_experiment, run_faults_command,
-    run_fleet_command, run_recover_command, run_trace_command, Checkpoint, Scale, ALL_EXPERIMENTS,
+    bench_perf, effective_config, render_registry, run_arena_command, run_experiment,
+    run_faults_command, run_fleet_command, run_recover_command, run_trace_command, Checkpoint,
+    Scale, ALL_EXPERIMENTS,
 };
 use moat_telemetry::{log, MetricsRegistry, TelemetryLevel};
 
@@ -94,7 +105,8 @@ fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
 /// Validates every environment variable the harness consumes, before
 /// any work starts: a malformed `MOAT_FAULTS`, `MOAT_FLEET_FAULTS`,
 /// `MOAT_RECOVERY`, `MOAT_IO_FAULTS`, `MOAT_TRACE_DIR`,
-/// `MOAT_TELEMETRY`, or `MOAT_LOG` fails the invocation with a clear
+/// `MOAT_ARENA_ENGINES`, `MOAT_TELEMETRY`, or `MOAT_LOG` fails the
+/// invocation with a clear
 /// message instead of being silently ignored (which would run an
 /// *unfaulted* experiment while the operator believes chaos is armed,
 /// or an *unobserved* one while they believe telemetry is recording)
@@ -106,6 +118,7 @@ fn validate_env() {
         moat_guard::RecoveryPlan::from_env().map(|_| ()),
         moat_trace::failpoint::IoFaultConfig::from_env().map(|_| ()),
         moat_trace::TraceCache::env_dir().map(|_| ()),
+        moat_trackers::registry::selection_from_env().map(|_| ()),
         moat_telemetry::TelemetryConfig::from_env().map(|_| ()),
         moat_telemetry::log::LogLevel::from_env().map(|_| ()),
     ];
@@ -140,7 +153,7 @@ fn main() {
     args.retain(|a| a != "--full" && a != "--json" && a != "--resume");
     let scale = if full { Scale::full() } else { Scale::scaled() };
 
-    let usage = "usage: repro <list|all [--resume]|bench|trace ...|faults ...|recover ...|fleet ... [--resume]|experiment...> [--full] [--json] [--telemetry] [--baseline <file>]";
+    let usage = "usage: repro <list|all [--resume]|bench|trace ...|faults ...|recover ...|arena ... [--resume]|fleet ... [--resume]|experiment...> [--full] [--json] [--telemetry] [--baseline <file>]";
     if args.is_empty() && !json && baseline.is_none() {
         eprintln!("{usage}");
         std::process::exit(2);
@@ -153,7 +166,7 @@ fn main() {
         for name in ALL_EXPERIMENTS {
             println!("{name}");
         }
-        println!("fig13\nstorage\nbench\ntrace\nfleet\nrecover");
+        println!("fig13\nstorage\nbench\ntrace\nfleet\nrecover\narena");
         return;
     }
     if args.first().is_some_and(|a| a == "trace") {
@@ -178,6 +191,20 @@ fn main() {
     }
     if args.first().is_some_and(|a| a == "recover") {
         match run_recover_command(&args[1..]) {
+            Ok(out) => print!("{out}"),
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+    if args.first().is_some_and(|a| a == "arena") {
+        let mut arena_args: Vec<String> = args[1..].to_vec();
+        if resume {
+            arena_args.push("--resume".to_string());
+        }
+        match run_arena_command(&arena_args) {
             Ok(out) => print!("{out}"),
             Err(msg) => {
                 eprintln!("{msg}");

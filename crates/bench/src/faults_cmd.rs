@@ -17,11 +17,10 @@
 //! once and, if it fails again, reported as a `FAILED` row while every
 //! sibling cell still prints.
 
-use moat_core::{MoatConfig, MoatEngine};
 use moat_dram::{MitigationEngine, Nanos};
 use moat_faults::{FaultInjector, FaultPlan, FaultStats};
 use moat_sim::{hammer_attacker, round_robin_attacker, SecurityConfig, SecuritySim};
-use moat_trackers::{PanopticonConfig, PanopticonEngine};
+use moat_trackers::registry;
 
 use moat_telemetry::{MetricsRegistry, TelemetryLevel};
 
@@ -67,12 +66,12 @@ fn cell_seed(base: u64, engine: &str, attack: &str, rate_label: &str) -> u64 {
     h
 }
 
+/// Resolves the sweep's engine names through the central registry
+/// (default configurations) instead of a local `match` — the sweep's
+/// `ENGINES` grid stays at the MOAT/Panopticon contrast to bound
+/// runtime; the full zoo runs through `repro arena`.
 fn boxed_engine(name: &str) -> Box<dyn MitigationEngine> {
-    match name {
-        "moat" => Box::new(MoatEngine::new(MoatConfig::paper_default())),
-        "panopticon" => Box::new(PanopticonEngine::new(PanopticonConfig::paper_default())),
-        other => unreachable!("unknown engine {other}"),
-    }
+    registry::build(name).unwrap_or_else(|| unreachable!("unknown engine {name}"))
 }
 
 /// Runs one cell: a batched security simulation with the cell's fault

@@ -23,6 +23,7 @@ use std::path::Path;
 use moat_fleet::{FleetConfig, FleetFaultPlan, FleetSupervisor, FleetTopology, ShardStore};
 use moat_guard::RecoveryPlan;
 use moat_telemetry::{log, TelemetryLevel};
+use moat_trackers::registry;
 
 use crate::checkpoint::Checkpoint;
 use crate::telemetry_cli::{effective_config, take_telemetry_flag};
@@ -48,13 +49,17 @@ fn fnv(s: &str) -> u64 {
 }
 
 /// The parsed `repro fleet` invocation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct FleetArgs {
     shards: u32,
     tenants: u32,
     acts_per_tenant: u32,
     threads: usize,
     resume: bool,
+    /// Engine mix striped across shards (registry names, validated
+    /// eagerly at parse time). `None` keeps the homogeneous MOAT
+    /// default.
+    engines: Option<Vec<&'static str>>,
 }
 
 fn parse_args(args: &[String]) -> Result<FleetArgs, String> {
@@ -64,6 +69,7 @@ fn parse_args(args: &[String]) -> Result<FleetArgs, String> {
         acts_per_tenant: DEFAULT_ACTS_PER_TENANT,
         threads: rayon::current_num_threads(),
         resume: false,
+        engines: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -97,10 +103,18 @@ fn parse_args(args: &[String]) -> Result<FleetArgs, String> {
                 }
             }
             "--resume" => parsed.resume = true,
+            "--engines" => {
+                // Validated against the registry here — before any shard
+                // runs — and mapped to the specs' 'static names so the
+                // Copy `FleetConfig` can carry the mix.
+                let selection = registry::parse_selection(value_of("--engines")?)?;
+                parsed.engines = Some(selection.into_iter().map(|s| s.name).collect());
+            }
             other => {
                 return Err(format!(
                     "unknown fleet argument `{other}` \
-                     (usage: repro fleet [--shards N] [--tenants M] [--acts N] [--threads T] [--resume] [--telemetry])"
+                     (usage: repro fleet [--shards N] [--tenants M] [--acts N] [--threads T] \
+                     [--engines a,b,...] [--resume] [--telemetry])"
                 ))
             }
         }
@@ -156,13 +170,19 @@ pub fn run_fleet_command(args: &[String]) -> Result<String, String> {
     if let Some(plan) = recovery {
         config = config.with_recovery(plan);
     }
+    if let Some(engines) = &parsed.engines {
+        // `FleetConfig` is `Copy`, so the mix rides as a 'static slice;
+        // one leak per invocation of an explicitly heterogeneous run.
+        config = config.with_engines(Box::leak(engines.clone().into_boxed_slice()));
+    }
 
     // Key the store by everything that shapes a shard's record, so
     // `--resume` can only ever replay this exact configuration. An
     // armed recovery policy extends the key (guarded shard records are
-    // not interchangeable with unguarded ones).
+    // not interchangeable with unguarded ones), as does a non-default
+    // engine mix (a comet shard's record must never resume a moat run).
     let key = format!(
-        "fleet-{}s-{}t-{}a-{:016x}-{:08x}{}",
+        "fleet-{}s-{}t-{}a-{:016x}-{:08x}{}{}",
         parsed.shards,
         parsed.tenants,
         parsed.acts_per_tenant,
@@ -171,6 +191,11 @@ pub fn run_fleet_command(args: &[String]) -> Result<String, String> {
         match config.recovery {
             Some(plan) => format!("-r{:08x}", fnv(&plan.to_string()) as u32),
             None => String::new(),
+        },
+        if config.engines == ["moat"] {
+            String::new()
+        } else {
+            format!("-e{:08x}", fnv(&config.engines.join("+")) as u32)
         },
     );
     let root = Path::new(".");
@@ -246,6 +271,23 @@ mod tests {
         assert_eq!(a.acts_per_tenant, 64);
         assert_eq!(a.threads, 2);
         assert!(a.resume);
+    }
+
+    #[test]
+    fn parse_resolves_engine_mix_through_the_registry() {
+        let a = parse_args(&strings(&["--engines", "moat,panopticon,comet"])).unwrap();
+        assert_eq!(
+            a.engines.as_deref(),
+            Some(&["moat", "panopticon", "comet"][..])
+        );
+        assert!(
+            parse_args(&strings(&["--engines", "tortuga"])).is_err(),
+            "unknown engine must fail before any shard runs"
+        );
+        assert!(
+            parse_args(&strings(&["--engines", "moat,,comet"])).is_err(),
+            "empty item"
+        );
     }
 
     #[test]

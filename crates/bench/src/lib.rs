@@ -11,6 +11,7 @@
 #![warn(missing_debug_implementations)]
 
 mod ablation_experiments;
+mod arena_cmd;
 mod checkpoint;
 mod faults_cmd;
 mod fleet_cmd;
@@ -24,6 +25,7 @@ mod telemetry_cli;
 mod trace_cmd;
 
 pub use ablation_experiments::{ablation_refresh_order, ablation_tracker_class, energy};
+pub use arena_cmd::run_arena_command;
 pub use checkpoint::{Checkpoint, CHECKPOINT_DIR};
 pub use faults_cmd::{faults_sweep, faults_sweep_traced, run_faults_command};
 pub use fleet_cmd::run_fleet_command;

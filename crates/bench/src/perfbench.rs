@@ -15,6 +15,7 @@ use moat_sim::{
 };
 use moat_telemetry::{PhaseProfile, SimPhase, TelemetryLevel, Tracer};
 use moat_trace::{Fingerprint, TraceCache, TraceKey};
+use moat_trackers::registry::{self, EngineSpec};
 use moat_trackers::{IdealSramTracker, PanopticonConfig, PanopticonEngine};
 use moat_workloads::{WorkloadProfile, PROFILES};
 
@@ -128,6 +129,18 @@ pub struct FleetPathResult {
     pub tenants: u32,
 }
 
+/// Throughput of the cross-mitigation arena: a small engine slice of
+/// the registry zoo run through the full cell grid (perf + four
+/// attacks per variant) on the arena's chunked worker queue.
+#[derive(Debug, Clone, Copy)]
+pub struct ArenaPathResult {
+    /// Aggregate simulated ACTs per host second across the probe's
+    /// cells over the arena's wall time.
+    pub acts_per_sec: f64,
+    /// Cells in the measured arena probe.
+    pub cells: usize,
+}
+
 /// Per-phase simulated-time attribution for one named security cell,
 /// produced by running the cell through the traced event-horizon path
 /// with a [`Tracer`]. Attribution is keyed to simulated nanoseconds,
@@ -175,6 +188,8 @@ pub struct PerfBenchReport {
     pub trace: TraceStoreResult,
     /// The fleet supervisor on a small clean sharded topology.
     pub fleet: FleetPathResult,
+    /// The cross-mitigation arena on a small zoo slice.
+    pub arena: ArenaPathResult,
     /// Wall seconds for the (profile × ATH) sweep run serially.
     pub sweep_serial_seconds: f64,
     /// Wall seconds for the same sweep through the parallel runner.
@@ -228,6 +243,8 @@ impl PerfBenchReport {
              \"full_sweep_acts_per_sec\": {:.0},\n  \
              \"fleet_shards\": {},\n  \
              \"fleet_acts_per_sec\": {:.0},\n  \
+             \"arena_cells\": {},\n  \
+             \"arena_acts_per_sec\": {:.0},\n  \
              \"sweep_cells\": {},\n  \
              \"sweep_serial_seconds\": {:.3},\n  \
              \"sweep_parallel_seconds\": {:.3},\n  \
@@ -253,6 +270,8 @@ impl PerfBenchReport {
             self.trace.full_sweep_acts_per_sec,
             self.fleet.shards,
             self.fleet.acts_per_sec,
+            self.arena.cells,
+            self.arena.acts_per_sec,
             self.cells,
             self.sweep_serial_seconds,
             self.sweep_parallel_seconds,
@@ -267,19 +286,20 @@ impl PerfBenchReport {
     /// dropped by more than `max_regression` (e.g. `0.20` for the CI
     /// gate's 20%), `Ok` with a per-metric summary otherwise.
     ///
-    /// Six metrics are gated: `uniform_mono_acts_per_sec` (the
+    /// Seven metrics are gated: `uniform_mono_acts_per_sec` (the
     /// steady-state hot path every experiment rides on — required in the
     /// baseline), plus `sweep_acts_per_sec`,
     /// `security_batched_acts_per_sec`, `adaptive_batched_acts_per_sec`,
-    /// `full_sweep_acts_per_sec`, and `fleet_acts_per_sec` (the sweep
-    /// harness, the batched and semi-scripted security paths, the
-    /// trace-backed paper-scale sweep, and the fleet supervisor; skipped
+    /// `full_sweep_acts_per_sec`, `fleet_acts_per_sec`, and
+    /// `arena_acts_per_sec` (the sweep harness, the batched and
+    /// semi-scripted security paths, the trace-backed paper-scale sweep,
+    /// the fleet supervisor, and the cross-mitigation arena; skipped
     /// with a note when an older baseline lacks them).
     /// The remaining fields are informational and machine-sensitive.
     ///
-    /// `sweep_acts_per_sec`, `full_sweep_acts_per_sec`, and
-    /// `fleet_acts_per_sec` scale with the worker-thread count, so they
-    /// are only comparable when this run
+    /// `sweep_acts_per_sec`, `full_sweep_acts_per_sec`,
+    /// `fleet_acts_per_sec`, and `arena_acts_per_sec` scale with the
+    /// worker-thread count, so they are only comparable when this run
     /// used as many threads as the baseline run (`threads` in the JSON).
     /// On a mismatch — a single-core CI runner against a multi-core
     /// baseline, or vice versa — those gates are skipped with an
@@ -291,7 +311,7 @@ impl PerfBenchReport {
         max_regression: f64,
     ) -> Result<String, String> {
         // (key, current value, required in baseline, thread-scaled)
-        let gated: [(&str, f64, bool, bool); 6] = [
+        let gated: [(&str, f64, bool, bool); 7] = [
             (
                 "uniform_mono_acts_per_sec",
                 self.uniform.mono_acts_per_sec,
@@ -318,6 +338,7 @@ impl PerfBenchReport {
                 true,
             ),
             ("fleet_acts_per_sec", self.fleet.acts_per_sec, false, true),
+            ("arena_acts_per_sec", self.arena.acts_per_sec, false, true),
         ];
         let baseline_threads = json_number(baseline_json, "threads");
         let mut lines = Vec::new();
@@ -386,6 +407,7 @@ impl PerfBenchReport {
              adaptive attack suite  : {:>6.1} M ACTs/s semi-scripted, {:>6.1} M per-step ({:.2}x)\n  \
              trace store            : {:>6.1} M req/s raw mmap replay, {:.1} M ACTs/s paper-scale sweep ({} cells)\n  \
              fleet supervisor       : {:>6.1} M ACTs/s across {} shards x {} tenants\n  \
+             arena probe            : {:>6.1} M ACTs/s across {} cells\n  \
              sweep ({} cells)       : serial {:.2}s, parallel {:.2}s ({:.2}x on {} threads), {:.1} M ACTs/s\n",
             self.uniform.mono_acts_per_sec / 1e6,
             self.uniform.boxed_acts_per_sec / 1e6,
@@ -407,6 +429,8 @@ impl PerfBenchReport {
             self.fleet.acts_per_sec / 1e6,
             self.fleet.shards,
             self.fleet.tenants,
+            self.arena.acts_per_sec / 1e6,
+            self.arena.cells,
             self.cells,
             self.sweep_serial_seconds,
             self.sweep_parallel_seconds,
@@ -1138,6 +1162,32 @@ fn measure_fleet() -> FleetPathResult {
     }
 }
 
+/// Measures the cross-mitigation arena on a two-engine zoo slice (MOAT
+/// and CoMeT — one counter-table engine, one sketch engine) through the
+/// real cell pipeline: the full perf + attack grid per variant on the
+/// chunked worker queue. Small enough to stay in the benchmark's time
+/// budget, real enough that a regression in any shared arena layer
+/// (grid assembly, cell supervision, the boxed engine seam) moves it.
+fn measure_arena() -> ArenaPathResult {
+    let selection: Vec<&'static EngineSpec> = ["moat", "comet"]
+        .iter()
+        .map(|name| registry::spec(name).expect("registry engine"))
+        .collect();
+    let threads = rayon::current_num_threads();
+    let mut best = 0.0f64;
+    let mut cells = 0;
+    for _ in 0..2 {
+        let start = Instant::now();
+        let (acts, n) = crate::arena_cmd::bench_cells(&selection, threads);
+        cells = n;
+        best = best.max(acts as f64 / start.elapsed().as_secs_f64().max(1e-9));
+    }
+    ArenaPathResult {
+        acts_per_sec: best,
+        cells,
+    }
+}
+
 /// Attributes simulated time per phase inside the two security cells
 /// the roadmap calls "engine-bound" — Feinting against the ideal SRAM
 /// tracker and Ratchet against MOAT-L1 — by running each through the
@@ -1210,6 +1260,7 @@ pub fn bench_perf(scale: Scale) -> PerfBenchReport {
     let adaptive = measure_adaptive();
     let trace = measure_trace_store();
     let fleet = measure_fleet();
+    let arena = measure_arena();
 
     // Sweep scaling: one ATH-64 cell per workload profile.
     let cells: Vec<SweepCell> = PROFILES
@@ -1239,6 +1290,7 @@ pub fn bench_perf(scale: Scale) -> PerfBenchReport {
         adaptive,
         trace,
         fleet,
+        arena,
         sweep_serial_seconds,
         sweep_parallel_seconds,
         sweep_acts_per_sec: stats.acts_per_sec(),
@@ -1292,6 +1344,10 @@ mod tests {
                 acts_per_sec: 2.4e7,
                 shards: 16,
                 tenants: 128,
+            },
+            arena: ArenaPathResult {
+                acts_per_sec: 1.8e7,
+                cells: 20,
             },
             sweep_serial_seconds: 2.0,
             sweep_parallel_seconds: 0.5,
@@ -1356,12 +1412,14 @@ mod tests {
         assert!(json.contains("\"full_sweep_acts_per_sec\": 40000000"));
         assert!(json.contains("\"fleet_acts_per_sec\": 24000000"));
         assert!(json.contains("\"fleet_shards\": 16"));
+        assert!(json.contains("\"arena_acts_per_sec\": 18000000"));
+        assert!(json.contains("\"arena_cells\": 20"));
         // Per-phase profile fields: 2 cells x 6 phases, simulated ns.
         assert!(json.contains("\"profile_feinting_engine_update_ns\": 6000"));
         assert!(json.contains("\"profile_feinting_refresh_ns\": 3000"));
         assert!(json.contains("\"profile_ratchet_episode_churn_ns\": 5000"));
         assert!(json.contains("\"profile_ratchet_stream_decode_ns\": 0"));
-        assert_eq!(json.matches(':').count(), 37);
+        assert_eq!(json.matches(':').count(), 39);
         assert!(report.summary().contains("Simulator performance"));
         assert!(report.summary().contains("Where simulated time goes"));
         assert!(report.summary().contains("phase profile feinting"));
@@ -1370,6 +1428,7 @@ mod tests {
         assert!(report.summary().contains("adaptive attack suite"));
         assert!(report.summary().contains("trace store"));
         assert!(report.summary().contains("fleet supervisor"));
+        assert!(report.summary().contains("arena probe"));
 
         // The perf-smoke gate reads its own serialization back.
         assert_eq!(json_number(&json, "uniform_mono_acts_per_sec"), Some(2.0e7));
@@ -1430,6 +1489,13 @@ mod tests {
         );
         let err = report.check_regression(&fleet_fast, 0.20).unwrap_err();
         assert!(err.contains("fleet_acts_per_sec"), "{err}");
+        // The cross-mitigation arena path is gated too.
+        let arena_fast = json.replace(
+            "\"arena_acts_per_sec\": 18000000",
+            "\"arena_acts_per_sec\": 36000000",
+        );
+        let err = report.check_regression(&arena_fast, 0.20).unwrap_err();
+        assert!(err.contains("arena_acts_per_sec"), "{err}");
         // A zero current value means "not measured this run" (trace
         // cache unavailable): skipped, not a spurious regression.
         let mut unmeasured = report.clone();
@@ -1471,6 +1537,10 @@ mod tests {
             .replace(
                 "\"fleet_acts_per_sec\": 24000000",
                 "\"fleet_acts_per_sec\": 240000000",
+            )
+            .replace(
+                "\"arena_acts_per_sec\": 18000000",
+                "\"arena_acts_per_sec\": 180000000",
             );
         let ok = report
             .check_regression(&eight_thread_baseline, 0.20)
@@ -1478,7 +1548,8 @@ mod tests {
         assert!(
             ok.contains("sweep_acts_per_sec skipped")
                 && ok.contains("full_sweep_acts_per_sec skipped")
-                && ok.contains("fleet_acts_per_sec skipped"),
+                && ok.contains("fleet_acts_per_sec skipped")
+                && ok.contains("arena_acts_per_sec skipped"),
             "{ok}"
         );
         assert!(ok.contains("4 thread(s) vs the baseline's 8"), "{ok}");

@@ -66,6 +66,82 @@ fn non_unicode_observability_env_exits_2() {
 }
 
 #[test]
+fn each_malformed_arena_engines_env_form_exits_2() {
+    // Same fail-fast discipline as the observability vars: a typo'd
+    // engine selection must never silently run the default arena.
+    let cases: [&str; 6] = [
+        "",           // empty selection
+        "tortuga",    // unknown engine
+        "moat,",      // trailing empty item
+        ",moat",      // leading empty item
+        "moat,,dsac", // interior empty item
+        "moat,moat",  // duplicate
+    ];
+    for bad in cases {
+        let out = repro()
+            .arg("list")
+            .env("MOAT_ARENA_ENGINES", bad)
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "MOAT_ARENA_ENGINES={bad:?} must fail the invocation with exit 2"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("repro: ") && stderr.contains("MOAT_ARENA_ENGINES"),
+            "MOAT_ARENA_ENGINES={bad:?} must explain itself on stderr, got: {stderr}"
+        );
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn non_unicode_arena_engines_env_exits_2() {
+    use std::os::unix::ffi::OsStringExt;
+    let bogus = std::ffi::OsString::from_vec(vec![0x66, 0xFF, 0x67]);
+    let out = repro()
+        .arg("list")
+        .env("MOAT_ARENA_ENGINES", &bogus)
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("MOAT_ARENA_ENGINES") && stderr.contains("unicode"),
+        "non-Unicode MOAT_ARENA_ENGINES must be named on stderr, got: {stderr}"
+    );
+}
+
+#[test]
+fn well_formed_arena_engines_env_is_accepted() {
+    let out = repro()
+        .arg("list")
+        .env("MOAT_ARENA_ENGINES", "moat,abacus,comet,dsac,cnc-prac")
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(0), "valid selection must not fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("arena"), "arena is a listed command");
+}
+
+#[test]
+fn malformed_arena_engines_flag_exits_2() {
+    for bad in ["tortuga", "moat,,dsac", "moat,moat"] {
+        let out = repro()
+            .args(["arena", "--engines", bad])
+            .output()
+            .expect("repro binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "arena --engines {bad:?} must exit 2 before running any cell"
+        );
+    }
+}
+
+#[test]
 fn well_formed_observability_env_is_accepted() {
     let out = repro()
         .arg("list")

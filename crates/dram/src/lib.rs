@@ -42,6 +42,7 @@ mod ledger;
 mod mapping;
 mod mitigation;
 mod refresh;
+pub mod testing;
 mod timing;
 mod types;
 

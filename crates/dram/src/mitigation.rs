@@ -123,6 +123,52 @@ impl IntegrityReport {
 /// 4. When the REF-time mitigation budget allows starting a new aggressor
 ///    mitigation, [`select_ref_mitigation`](Self::select_ref_mitigation) is
 ///    called; its completion is signalled via `on_mitigation_complete`.
+///
+/// # Minimal contract for new engines
+///
+/// The trait splits into a small **required core** and a set of
+/// **defaulted capability surfaces**. A third-party engine implements
+/// exactly five methods plus the `as_any` downcasting hook:
+///
+/// * [`name`](Self::name) — a cached, allocation-free label;
+/// * [`on_precharge_update`](Self::on_precharge_update) — observe one
+///   ACT (this is the only place `alert_pending` may flip to true);
+/// * [`alert_pending`](Self::alert_pending) — the ALERT request flag;
+/// * [`select_ref_mitigation`](Self::select_ref_mitigation) — the next
+///   aggressor worth mitigating (also the default ALERT-time choice);
+/// * [`sram_bytes_per_bank`](Self::sram_bytes_per_bank) — the §6.5
+///   storage cost the comparison tables report;
+/// * [`as_any`](Self::as_any) — return `self` (one line; it cannot be
+///   defaulted because `Any` needs the concrete type).
+///
+/// Everything else defaults to a conservative, always-sound behavior
+/// and is opted into per capability:
+///
+/// * **Horizon hint** — [`min_acts_to_alert`](Self::min_acts_to_alert)
+///   defaults to one ACT of guarantee while idle. Override it with a
+///   design-specific sound bound to unlock batched simulation speed;
+///   every override must satisfy the horizon invariant spelled out on
+///   the method.
+/// * **Mitigation plumbing** —
+///   [`select_alert_mitigation`](Self::select_alert_mitigation)
+///   delegates to `select_ref_mitigation`, and
+///   [`on_mitigation_complete`](Self::on_mitigation_complete) /
+///   [`on_refresh_group`](Self::on_refresh_group) are no-ops. Engines
+///   whose bookkeeping must observe completions or REF boundaries
+///   (queue pops, §4.3 snapshots) override them.
+/// * **Substrate policy** — `resets_counters_on_refresh`,
+///   `resets_counter_on_mitigation`, `ops_per_mitigation`,
+///   `ref_mitigation_mode`, `effective_counter`.
+/// * **Fault & guard surface** — [`apply_fault`](Self::apply_fault),
+///   [`guard_arm`](Self::guard_arm),
+///   [`integrity_check`](Self::integrity_check),
+///   [`scrub_resync`](Self::scrub_resync) default to "no faultable
+///   state / unguarded"; implement them to participate in the
+///   `repro faults` and `repro recover` sweeps.
+///
+/// The registry in `moat-trackers` (`registry` module) is the single
+/// place a new engine is wired into the sweeps, the arena, and the
+/// fleet; see its docs for the name → constructor × config-grid shape.
 pub trait MitigationEngine: fmt::Debug {
     /// A short human-readable name (e.g. `"moat-L1-ath64-eth32"`).
     ///
@@ -173,18 +219,31 @@ pub trait MitigationEngine: fmt::Debug {
 
     /// Selects the aggressor row to mitigate in one RFM of an ALERT
     /// episode, or `None` if the engine has nothing to mitigate (the RFM is
-    /// then spent idle).
-    fn select_alert_mitigation(&mut self) -> Option<RowId>;
+    /// then spent idle). Defaults to the engine's REF-time choice — for
+    /// most trackers the hottest row is the right pick under either
+    /// trigger, and only designs that distinguish the two (MOAT's
+    /// ALERT-threshold episodes) need to override.
+    fn select_alert_mitigation(&mut self) -> Option<RowId> {
+        self.select_ref_mitigation()
+    }
 
     /// Mitigation of `row` (victim refreshes, plus counter reset when
     /// [`resets_counter_on_mitigation`](Self::resets_counter_on_mitigation))
-    /// has completed.
-    fn on_mitigation_complete(&mut self, row: RowId);
+    /// has completed. Defaults to a no-op; engines whose bookkeeping must
+    /// observe completions (clearing a queue entry, resetting a tracked
+    /// count) override it.
+    fn on_mitigation_complete(&mut self, _row: RowId) {}
 
     /// A REF is refreshing `rows`. Called before any counter reset, with
     /// `counter_of` providing the current in-array counter of any row in
     /// the bank (safe-reset designs snapshot the trailing rows, §4.3).
-    fn on_refresh_group(&mut self, rows: Range<u32>, counter_of: &mut dyn FnMut(RowId) -> ActCount);
+    /// Defaults to a no-op for engines indifferent to REF boundaries.
+    fn on_refresh_group(
+        &mut self,
+        _rows: Range<u32>,
+        _counter_of: &mut dyn FnMut(RowId) -> ActCount,
+    ) {
+    }
 
     /// Whether the bank should reset the PRAC counters of refreshed rows
     /// (reset-on-refresh, §4.3). Panopticon's counters are free-running.
@@ -298,190 +357,115 @@ pub trait MitigationEngine: fmt::Debug {
     }
 }
 
-/// Forwarding implementation so a boxed concrete engine `Box<E>` is
-/// itself a [`MitigationEngine`].
+/// Expands to a full [`MitigationEngine`] impl that forwards every
+/// method to the pointee.
 ///
-/// Together with the `Box<dyn MitigationEngine>` impl below, this is what
-/// lets the simulators be generic over `E: MitigationEngine` —
-/// monomorphizing and inlining a concrete engine into the per-ACT hot
-/// path — while heterogeneous-engine experiments keep passing boxed trait
-/// objects exactly as before. The impls are split (sized vs. erased)
-/// rather than a single `E: ?Sized` blanket so each can unwrap to the
-/// innermost trait object in [`MitigationEngine::as_dyn`].
-impl<E: MitigationEngine> MitigationEngine for Box<E> {
-    fn name(&self) -> &str {
-        (**self).name()
-    }
-
-    fn on_precharge_update(&mut self, row: RowId, counter: ActCount) {
-        (**self).on_precharge_update(row, counter);
-    }
-
-    fn alert_pending(&self) -> bool {
-        (**self).alert_pending()
-    }
-
-    fn min_acts_to_alert(&self) -> u64 {
-        (**self).min_acts_to_alert()
-    }
-
-    fn select_ref_mitigation(&mut self) -> Option<RowId> {
-        (**self).select_ref_mitigation()
-    }
-
-    fn select_alert_mitigation(&mut self) -> Option<RowId> {
-        (**self).select_alert_mitigation()
-    }
-
-    fn on_mitigation_complete(&mut self, row: RowId) {
-        (**self).on_mitigation_complete(row);
-    }
-
-    fn on_refresh_group(
-        &mut self,
-        rows: Range<u32>,
-        counter_of: &mut dyn FnMut(RowId) -> ActCount,
-    ) {
-        (**self).on_refresh_group(rows, counter_of);
-    }
-
-    fn resets_counters_on_refresh(&self) -> bool {
-        (**self).resets_counters_on_refresh()
-    }
-
-    fn resets_counter_on_mitigation(&self) -> bool {
-        (**self).resets_counter_on_mitigation()
-    }
-
-    fn ops_per_mitigation(&self) -> u32 {
-        (**self).ops_per_mitigation()
-    }
-
-    fn ref_mitigation_mode(&self) -> RefMitigationMode {
-        (**self).ref_mitigation_mode()
-    }
-
-    fn sram_bytes_per_bank(&self) -> usize {
-        (**self).sram_bytes_per_bank()
-    }
-
-    fn effective_counter(&self, row: RowId, in_array: ActCount) -> ActCount {
-        (**self).effective_counter(row, in_array)
-    }
-
-    fn apply_fault(&mut self, fault: &EngineFault) -> bool {
-        (**self).apply_fault(fault)
-    }
-
-    fn guard_arm(&mut self) -> bool {
-        (**self).guard_arm()
-    }
-
-    fn integrity_check(&mut self) -> IntegrityReport {
-        (**self).integrity_check()
-    }
-
-    fn scrub_resync(&mut self, counter_of: &mut dyn FnMut(RowId) -> ActCount) -> u32 {
-        (**self).scrub_resync(counter_of)
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        (**self).as_any()
-    }
-
-    fn as_dyn(&self) -> &dyn MitigationEngine {
-        (**self).as_dyn()
-    }
+/// The two box impls below used to be ~90 hand-written forwarding
+/// methods each, kept in lockstep by review alone; the macro makes the
+/// forwarding mechanical so adding a trait method is a one-line change
+/// here instead of two copy-paste edits. Only the
+/// [`as_dyn`](MitigationEngine::as_dyn) body is caller-supplied — it is
+/// the one method whose unwrapping differs between the sized and the
+/// erased box.
+macro_rules! forward_engine_to_pointee {
+    (
+        $(#[$attr:meta])*
+        impl ($($gens:tt)+) MitigationEngine for $ty:ty;
+        as_dyn: |$slf:ident| $as_dyn:expr
+    ) => {
+        $(#[$attr])*
+        impl<$($gens)+> MitigationEngine for $ty {
+            fn name(&self) -> &str {
+                (**self).name()
+            }
+            fn on_precharge_update(&mut self, row: RowId, counter: ActCount) {
+                (**self).on_precharge_update(row, counter);
+            }
+            fn alert_pending(&self) -> bool {
+                (**self).alert_pending()
+            }
+            fn min_acts_to_alert(&self) -> u64 {
+                (**self).min_acts_to_alert()
+            }
+            fn select_ref_mitigation(&mut self) -> Option<RowId> {
+                (**self).select_ref_mitigation()
+            }
+            fn select_alert_mitigation(&mut self) -> Option<RowId> {
+                (**self).select_alert_mitigation()
+            }
+            fn on_mitigation_complete(&mut self, row: RowId) {
+                (**self).on_mitigation_complete(row);
+            }
+            fn on_refresh_group(
+                &mut self,
+                rows: Range<u32>,
+                counter_of: &mut dyn FnMut(RowId) -> ActCount,
+            ) {
+                (**self).on_refresh_group(rows, counter_of);
+            }
+            fn resets_counters_on_refresh(&self) -> bool {
+                (**self).resets_counters_on_refresh()
+            }
+            fn resets_counter_on_mitigation(&self) -> bool {
+                (**self).resets_counter_on_mitigation()
+            }
+            fn ops_per_mitigation(&self) -> u32 {
+                (**self).ops_per_mitigation()
+            }
+            fn ref_mitigation_mode(&self) -> RefMitigationMode {
+                (**self).ref_mitigation_mode()
+            }
+            fn sram_bytes_per_bank(&self) -> usize {
+                (**self).sram_bytes_per_bank()
+            }
+            fn effective_counter(&self, row: RowId, in_array: ActCount) -> ActCount {
+                (**self).effective_counter(row, in_array)
+            }
+            fn apply_fault(&mut self, fault: &EngineFault) -> bool {
+                (**self).apply_fault(fault)
+            }
+            fn guard_arm(&mut self) -> bool {
+                (**self).guard_arm()
+            }
+            fn integrity_check(&mut self) -> IntegrityReport {
+                (**self).integrity_check()
+            }
+            fn scrub_resync(&mut self, counter_of: &mut dyn FnMut(RowId) -> ActCount) -> u32 {
+                (**self).scrub_resync(counter_of)
+            }
+            fn as_any(&self) -> &dyn Any {
+                (**self).as_any()
+            }
+            fn as_dyn(&self) -> &dyn MitigationEngine {
+                let $slf = self;
+                $as_dyn
+            }
+        }
+    };
 }
 
-/// Forwarding implementation for the fully erased `Box<dyn
-/// MitigationEngine>` — the boxed-path engine type the simulators default
-/// to. [`MitigationEngine::as_dyn`] returns the *inner* trait object, so
-/// type-erased views dispatch through one vtable, not two.
-impl<'e> MitigationEngine for Box<dyn MitigationEngine + 'e> {
-    fn name(&self) -> &str {
-        (**self).name()
-    }
+forward_engine_to_pointee! {
+    /// Forwarding implementation so a boxed concrete engine `Box<E>` is
+    /// itself a [`MitigationEngine`].
+    ///
+    /// Together with the `Box<dyn MitigationEngine>` impl below, this is
+    /// what lets the simulators be generic over `E: MitigationEngine` —
+    /// monomorphizing and inlining a concrete engine into the per-ACT hot
+    /// path — while heterogeneous-engine experiments keep passing boxed
+    /// trait objects exactly as before. The impls are split (sized vs.
+    /// erased) rather than a single `E: ?Sized` blanket so each can unwrap
+    /// to the innermost trait object in [`MitigationEngine::as_dyn`].
+    impl (E: MitigationEngine) MitigationEngine for Box<E>;
+    as_dyn: |this| (**this).as_dyn()
+}
 
-    fn on_precharge_update(&mut self, row: RowId, counter: ActCount) {
-        (**self).on_precharge_update(row, counter);
-    }
-
-    fn alert_pending(&self) -> bool {
-        (**self).alert_pending()
-    }
-
-    fn min_acts_to_alert(&self) -> u64 {
-        (**self).min_acts_to_alert()
-    }
-
-    fn select_ref_mitigation(&mut self) -> Option<RowId> {
-        (**self).select_ref_mitigation()
-    }
-
-    fn select_alert_mitigation(&mut self) -> Option<RowId> {
-        (**self).select_alert_mitigation()
-    }
-
-    fn on_mitigation_complete(&mut self, row: RowId) {
-        (**self).on_mitigation_complete(row);
-    }
-
-    fn on_refresh_group(
-        &mut self,
-        rows: Range<u32>,
-        counter_of: &mut dyn FnMut(RowId) -> ActCount,
-    ) {
-        (**self).on_refresh_group(rows, counter_of);
-    }
-
-    fn resets_counters_on_refresh(&self) -> bool {
-        (**self).resets_counters_on_refresh()
-    }
-
-    fn resets_counter_on_mitigation(&self) -> bool {
-        (**self).resets_counter_on_mitigation()
-    }
-
-    fn ops_per_mitigation(&self) -> u32 {
-        (**self).ops_per_mitigation()
-    }
-
-    fn ref_mitigation_mode(&self) -> RefMitigationMode {
-        (**self).ref_mitigation_mode()
-    }
-
-    fn sram_bytes_per_bank(&self) -> usize {
-        (**self).sram_bytes_per_bank()
-    }
-
-    fn effective_counter(&self, row: RowId, in_array: ActCount) -> ActCount {
-        (**self).effective_counter(row, in_array)
-    }
-
-    fn apply_fault(&mut self, fault: &EngineFault) -> bool {
-        (**self).apply_fault(fault)
-    }
-
-    fn guard_arm(&mut self) -> bool {
-        (**self).guard_arm()
-    }
-
-    fn integrity_check(&mut self) -> IntegrityReport {
-        (**self).integrity_check()
-    }
-
-    fn scrub_resync(&mut self, counter_of: &mut dyn FnMut(RowId) -> ActCount) -> u32 {
-        (**self).scrub_resync(counter_of)
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        (**self).as_any()
-    }
-
-    fn as_dyn(&self) -> &dyn MitigationEngine {
-        &**self
-    }
+forward_engine_to_pointee! {
+    /// Forwarding implementation for the fully erased `Box<dyn
+    /// MitigationEngine>` — the boxed-path engine type the simulators
+    /// default to. [`MitigationEngine::as_dyn`] returns the *inner* trait
+    /// object, so type-erased views dispatch through one vtable, not two.
+    impl ('e) MitigationEngine for Box<dyn MitigationEngine + 'e>;
+    as_dyn: |this| &**this
 }
 
 /// A baseline engine that performs no mitigation at all.
@@ -498,6 +482,9 @@ impl NullEngine {
     }
 }
 
+/// `NullEngine` is the minimal-contract engine: the five required
+/// methods, `as_any`, and a single capability override (the unbounded
+/// horizon of a design that never alerts).
 impl MitigationEngine for NullEngine {
     fn name(&self) -> &str {
         "none"
@@ -515,19 +502,6 @@ impl MitigationEngine for NullEngine {
 
     fn select_ref_mitigation(&mut self) -> Option<RowId> {
         None
-    }
-
-    fn select_alert_mitigation(&mut self) -> Option<RowId> {
-        None
-    }
-
-    fn on_mitigation_complete(&mut self, _row: RowId) {}
-
-    fn on_refresh_group(
-        &mut self,
-        _rows: Range<u32>,
-        _counter_of: &mut dyn FnMut(RowId) -> ActCount,
-    ) {
     }
 
     fn sram_bytes_per_bank(&self) -> usize {
@@ -566,40 +540,34 @@ mod tests {
         assert_eq!(e.ref_mitigation_mode(), RefMitigationMode::Gradual);
     }
 
+    /// The minimal contract from the trait docs: a test double
+    /// implementing only the required core compiles and inherits sound
+    /// defaults for everything else.
+    #[derive(Debug)]
+    struct Flag(bool);
+    impl MitigationEngine for Flag {
+        fn name(&self) -> &str {
+            "flag"
+        }
+        fn on_precharge_update(&mut self, _row: RowId, _counter: ActCount) {}
+        fn alert_pending(&self) -> bool {
+            self.0
+        }
+        fn select_ref_mitigation(&mut self) -> Option<RowId> {
+            Some(RowId::new(7))
+        }
+        fn sram_bytes_per_bank(&self) -> usize {
+            0
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
     #[test]
     fn default_horizon_hint_is_one_act() {
         // A bare impl inherits the always-sound default: one ACT of
         // horizon while idle, none once an ALERT is pending.
-        #[derive(Debug)]
-        struct Flag(bool);
-        impl MitigationEngine for Flag {
-            fn name(&self) -> &str {
-                "flag"
-            }
-            fn on_precharge_update(&mut self, _row: RowId, _counter: ActCount) {}
-            fn alert_pending(&self) -> bool {
-                self.0
-            }
-            fn select_ref_mitigation(&mut self) -> Option<RowId> {
-                None
-            }
-            fn select_alert_mitigation(&mut self) -> Option<RowId> {
-                None
-            }
-            fn on_mitigation_complete(&mut self, _row: RowId) {}
-            fn on_refresh_group(
-                &mut self,
-                _rows: Range<u32>,
-                _counter_of: &mut dyn FnMut(RowId) -> ActCount,
-            ) {
-            }
-            fn sram_bytes_per_bank(&self) -> usize {
-                0
-            }
-            fn as_any(&self) -> &dyn Any {
-                self
-            }
-        }
         assert_eq!(Flag(false).min_acts_to_alert(), 1);
         assert_eq!(Flag(true).min_acts_to_alert(), 0);
         // The hint forwards through both boxed impls.
@@ -651,6 +619,17 @@ mod tests {
 
         assert!(IntegrityReport::clean().guarded);
         assert!(!IntegrityReport::clean().corrupt());
+    }
+
+    #[test]
+    fn defaulted_mitigation_plumbing_delegates_and_noops() {
+        // select_alert_mitigation defaults to the REF-time choice;
+        // completion and refresh notifications default to no-ops.
+        let mut e = Flag(true);
+        assert_eq!(e.select_alert_mitigation(), Some(RowId::new(7)));
+        e.on_mitigation_complete(RowId::new(7));
+        e.on_refresh_group(0..8, &mut |_| ActCount::new(0));
+        assert!(e.alert_pending(), "defaults must not touch engine state");
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Test harnesses for [`MitigationEngine`] implementors.
+//!
+//! Every engine promises the horizon invariant documented on
+//! [`MitigationEngine::min_acts_to_alert`]; this module provides one
+//! generic, engine-agnostic replay that checks it, so each engine's
+//! proptest is a few lines of sequence generation plus a call to
+//! [`assert_horizon_sound`] instead of a bespoke replay loop.
+
+use crate::mitigation::MitigationEngine;
+use crate::types::{ActCount, RowId};
+
+/// How often (in ACTs) the replay interleaves a REF group and a
+/// REF-time mitigation opportunity. Prime-ish spacings so the
+/// substrate events drift across any periodic structure in the
+/// generated ACT sequence.
+const REF_EVERY: u64 = 61;
+const MITIGATE_EVERY: u64 = 17;
+
+/// Rows refreshed per interleaved REF group.
+const REF_GROUP: u32 = 8;
+
+/// Replays `acts` through `engine` exactly as a bank would — per-row
+/// counter increments, interleaved REF groups, REF-time and ALERT-time
+/// mitigations with the engine's own reset policy — and asserts the
+/// horizon invariant at every step: whenever the engine promises `n`
+/// via [`MitigationEngine::min_acts_to_alert`], `alert_pending` must
+/// stay false until at least `n` further ACTs have completed.
+///
+/// The promise is sampled before *every* ACT and all outstanding
+/// promises are checked simultaneously (an alert after `s` total ACTs
+/// must satisfy `s >= t + n_t` for every earlier sample point `t`), so
+/// a bound that is sound one step at a time but overpromises across
+/// multiple steps still fails. Row indices in `acts` are taken modulo
+/// `rows_per_bank`.
+///
+/// # Panics
+///
+/// If the engine alerts earlier than any outstanding promise allowed.
+pub fn assert_horizon_sound<E: MitigationEngine>(
+    engine: &mut E,
+    acts: &[RowId],
+    rows_per_bank: u32,
+) {
+    assert!(rows_per_bank > 0, "need at least one row");
+    let mut counters = vec![0u32; rows_per_bank as usize];
+    // The earliest total-ACT count at which an alert would not violate
+    // any promise sampled so far.
+    let mut earliest_alert: u64 = 0;
+    let mut completed: u64 = 0;
+    let mut next_ref_row: u32 = 0;
+
+    for &act in acts {
+        let row = RowId::new(act.index() % rows_per_bank);
+
+        // Sample the promise this engine makes right now.
+        let promise = engine.min_acts_to_alert();
+        earliest_alert = earliest_alert.max(completed.saturating_add(promise));
+
+        counters[row.as_usize()] = counters[row.as_usize()].saturating_add(1);
+        engine.on_precharge_update(row, ActCount::new(counters[row.as_usize()]));
+        completed += 1;
+
+        if engine.alert_pending() {
+            assert!(
+                completed >= earliest_alert,
+                "{}: alert after {completed} ACTs violates a horizon promise \
+                 (no alert was possible before {earliest_alert} ACTs)",
+                engine.name(),
+            );
+            drain_alert(engine, &mut counters);
+            earliest_alert = 0;
+        }
+
+        if completed.is_multiple_of(MITIGATE_EVERY) {
+            mitigate_one(engine, &mut counters, |e| e.select_ref_mitigation());
+        }
+
+        if completed.is_multiple_of(REF_EVERY) {
+            let lo = next_ref_row.min(rows_per_bank - 1);
+            let hi = (lo + REF_GROUP).min(rows_per_bank);
+            engine.on_refresh_group(lo..hi, &mut |r: RowId| {
+                ActCount::new(counters[r.as_usize()])
+            });
+            if engine.resets_counters_on_refresh() {
+                for c in &mut counters[lo as usize..hi as usize] {
+                    *c = 0;
+                }
+            }
+            next_ref_row = if hi >= rows_per_bank { 0 } else { hi };
+        }
+    }
+}
+
+/// Services a pending ALERT the way the simulator's episode loop does:
+/// repeated ALERT-time mitigations until the engine stops requesting
+/// them (bounded, so a buggy engine cannot hang the test).
+fn drain_alert<E: MitigationEngine>(engine: &mut E, counters: &mut [u32]) {
+    for _ in 0..4096 {
+        if !engine.alert_pending() {
+            return;
+        }
+        if !mitigate_one(engine, counters, |e| e.select_alert_mitigation()) {
+            return;
+        }
+    }
+}
+
+/// Performs one mitigation round-trip (select → counter reset per the
+/// engine's policy → completion), returning whether a row was selected.
+fn mitigate_one<E: MitigationEngine>(
+    engine: &mut E,
+    counters: &mut [u32],
+    select: impl FnOnce(&mut E) -> Option<RowId>,
+) -> bool {
+    match select(engine) {
+        Some(victim) => {
+            if engine.resets_counter_on_mitigation() {
+                if let Some(c) = counters.get_mut(victim.as_usize()) {
+                    *c = 0;
+                }
+            }
+            engine.on_mitigation_complete(victim);
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mitigation::NullEngine;
+
+    #[test]
+    fn null_engine_passes_the_replay() {
+        let acts: Vec<RowId> = (0..500u32).map(|i| RowId::new(i % 13)).collect();
+        assert_horizon_sound(&mut NullEngine::new(), &acts, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "violates a horizon promise")]
+    fn overpromising_engine_is_caught() {
+        /// Promises a 10-ACT horizon but alerts after 3 ACTs.
+        #[derive(Debug)]
+        struct Liar(u32);
+        impl MitigationEngine for Liar {
+            fn name(&self) -> &str {
+                "liar"
+            }
+            fn on_precharge_update(&mut self, _row: RowId, _counter: ActCount) {
+                self.0 += 1;
+            }
+            fn alert_pending(&self) -> bool {
+                self.0 >= 3
+            }
+            fn min_acts_to_alert(&self) -> u64 {
+                10
+            }
+            fn select_ref_mitigation(&mut self) -> Option<RowId> {
+                None
+            }
+            fn sram_bytes_per_bank(&self) -> usize {
+                0
+            }
+            fn as_any(&self) -> &dyn core::any::Any {
+                self
+            }
+        }
+        let acts: Vec<RowId> = (0..16u32).map(RowId::new).collect();
+        assert_horizon_sound(&mut Liar(0), &acts, 64);
+    }
+}

@@ -109,6 +109,9 @@ pub struct FleetReport {
     pub seed: u64,
     /// Topology summary, pre-rendered (`16ch x 2d x 2r x 8 banks`).
     pub topology: String,
+    /// The engine mix striped across shards, pre-rendered
+    /// (`moat` or `moat+panopticon+comet`).
+    pub engines: String,
     /// Shards whose first attempt succeeded.
     pub completed: u32,
     /// Shards that succeeded only after retry.
@@ -165,6 +168,7 @@ impl FleetReport {
                 "{}ch x {}d x {}r x {} banks",
                 t.channels, t.dimms_per_channel, t.ranks_per_dimm, t.banks_per_rank
             ),
+            engines: config.engines.join("+"),
             completed: 0,
             recovered: 0,
             quarantined: 0,
@@ -366,6 +370,7 @@ impl FleetReport {
         let mut out = String::new();
         let _ = writeln!(out, "fleet report");
         let _ = writeln!(out, "  topology            {}", self.topology);
+        let _ = writeln!(out, "  engines             {}", self.engines);
         let _ = writeln!(out, "  shards              {}", self.shards);
         let _ = writeln!(out, "  tenants             {}", self.tenants);
         let _ = writeln!(out, "  seed                {:#x}", self.seed);

@@ -17,12 +17,13 @@
 //! still merge bit-identical fleet reports.
 
 use moat_core::{MoatConfig, MoatEngine};
-use moat_dram::BankId;
+use moat_dram::{BankId, MitigationEngine};
 use moat_faults::FaultInjector;
 use moat_guard::EngineGuard;
 use moat_sim::{
     hammer_attacker, PerfConfig, PerfSim, Request, RequestStream, SecurityConfig, SecuritySim,
 };
+use moat_trackers::registry;
 use moat_workloads::{GeneratorConfig, WorkloadStream, PROFILES};
 
 use crate::faults::{shard_seed, ShardFault};
@@ -267,6 +268,42 @@ pub fn run_shard(
     let banks = config.topology.banks_per_rank;
     let merged = multiplex(&tenant_requests, banks);
 
+    // Engine dispatch: the default `"moat"` mix stays on the concrete
+    // monomorphized path (the per-ACT hooks inline into the sim loops);
+    // every other registry name runs the boxed dynamic-dispatch form.
+    // Both forms produce bit-identical reports for the same engine.
+    match config.engine_of(shard.index) {
+        "moat" => measure_shard(config, shard, fault, &tenants, poisoned, &merged, || {
+            MoatEngine::new(MoatConfig::paper_default())
+        }),
+        name => {
+            let spec = registry::spec(name).unwrap_or_else(|| {
+                panic!("unknown fleet engine {name:?} (validate names eagerly)")
+            });
+            measure_shard(config, shard, fault, &tenants, poisoned, &merged, || {
+                spec.build()
+            })
+        }
+    }
+}
+
+/// The measurement half of [`run_shard`], generic over the mitigation
+/// engine: the multiplexed perf pair (ALERTs on vs. off) and the
+/// security run under the shard's derived fault plan.
+fn measure_shard<E, F>(
+    config: &FleetConfig,
+    shard: ShardId,
+    fault: &ShardFault,
+    tenants: &[u32],
+    poisoned: Vec<u32>,
+    merged: &[Request],
+    engine: F,
+) -> ShardReport
+where
+    E: MitigationEngine,
+    F: Fn() -> E,
+{
+    let banks = config.topology.banks_per_rank;
     // Perf: the same multiplexed stream with ALERTs honoured and
     // ignored; the ratio is the shard's tenant-visible slowdown.
     let (perf, slowdown) = if merged.is_empty() {
@@ -274,7 +311,7 @@ pub fn run_shard(
     } else {
         let run = |alerts: bool| {
             let cfg = PerfConfig::paper_default().banks(banks).alerts(alerts);
-            let mut sim = PerfSim::new(cfg, || MoatEngine::new(MoatConfig::paper_default()));
+            let mut sim = PerfSim::new(cfg, &engine);
             sim.run(merged.iter().copied())
         };
         let enabled = run(true);
@@ -290,10 +327,7 @@ pub fn run_shard(
         config.faults.engine_plan(shard.index),
         SecurityConfig::paper_default().dram.rows_per_bank,
     );
-    let mut security_sim = SecuritySim::new(
-        SecurityConfig::paper_default(),
-        MoatEngine::new(MoatConfig::paper_default()),
-    );
+    let mut security_sim = SecuritySim::new(SecurityConfig::paper_default(), engine());
     let mut attacker = hammer_attacker(5 + shard.index % 32);
     let (security, recovery) = match config.recovery {
         None => (
@@ -450,6 +484,24 @@ mod tests {
             .collect::<Vec<_>>()
             .join(" ");
         assert_eq!(ShardReport::parse(&legacy), None);
+    }
+
+    #[test]
+    fn heterogeneous_engine_mix_stripes_and_stays_deterministic() {
+        let config = tiny_config().with_engines(&["moat", "panopticon", "comet"]);
+        assert_eq!(config.engine_of(0), "moat");
+        assert_eq!(config.engine_of(1), "panopticon");
+        assert_eq!(config.engine_of(2), "comet");
+        assert_eq!(config.engine_of(3), "moat");
+
+        // A registry-dispatched (boxed) shard is as deterministic as the
+        // monomorphized MOAT path.
+        let shard = config.topology.shard(2);
+        let a = run_shard(&config, shard, &ShardFault::none(), 1);
+        let b = run_shard(&config, shard, &ShardFault::none(), 1);
+        assert_eq!(a, b);
+        assert!(a.perf_acts > 0);
+        assert!(a.security_acts > 0);
     }
 
     #[test]

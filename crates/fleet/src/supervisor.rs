@@ -69,6 +69,14 @@ pub struct FleetConfig {
     /// so transient tracker corruption is detected and recovered
     /// in-shard instead of surfacing as lost coverage.
     pub recovery: Option<RecoveryPlan>,
+    /// Mitigation-engine mix, as `moat_trackers::registry` names. Shard
+    /// `i` runs `engines[i % engines.len()]` — one name gives a
+    /// homogeneous fleet, several stripe a heterogeneous one across the
+    /// shards. `"moat"` keeps the monomorphized fast path; every other
+    /// name is built through the registry (callers validate names
+    /// eagerly; an unknown name panics inside the shard worker and
+    /// quarantines that shard).
+    pub engines: &'static [&'static str],
 }
 
 impl FleetConfig {
@@ -88,6 +96,7 @@ impl FleetConfig {
             retry: RetryPolicy::fleet_default(),
             faults: FleetFaultPlan::none(seed),
             recovery: None,
+            engines: &["moat"],
         }
     }
 
@@ -104,6 +113,24 @@ impl FleetConfig {
     pub fn with_recovery(mut self, recovery: RecoveryPlan) -> Self {
         self.recovery = Some(recovery);
         self
+    }
+
+    /// Sets the engine mix striped across shards (registry names; see
+    /// [`FleetConfig::engines`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` is empty.
+    #[must_use]
+    pub fn with_engines(mut self, engines: &'static [&'static str]) -> Self {
+        assert!(!engines.is_empty(), "engine mix must not be empty");
+        self.engines = engines;
+        self
+    }
+
+    /// The engine name shard `index` runs.
+    pub fn engine_of(&self, index: u32) -> &'static str {
+        self.engines[index as usize % self.engines.len()]
     }
 }
 

@@ -266,4 +266,41 @@ proptest! {
         let got = batched.run_batched(&mut script.clone(), duration);
         prop_assert_eq!(got, expect);
     }
+
+    /// Batched ≡ per-step for *every* engine in the registry zoo. The
+    /// batched path trusts each engine's `min_acts_to_alert` horizon to
+    /// skip per-ACT polling; any unsound bound (ABACuS's shared RACs,
+    /// CoMeT's stale sketch maxima, DSAC's stochastic counters,
+    /// CnC-PRAC's coalesced queue) would surface here as report drift
+    /// on clustered random scripts.
+    #[test]
+    fn batched_matches_per_step_for_the_zoo(
+        base in 100u32..60_000,
+        spacings in prop::collection::vec(1u32..12, 1..6),
+        total in 500u64..4_000,
+        level_idx in 0usize..3,
+        micros in 100u64..900,
+    ) {
+        let mut cfg = SecurityConfig::paper_default();
+        cfg.abo_level = AboLevel::ALL[level_idx];
+
+        let mut rows = Vec::new();
+        let mut row = base;
+        for s in &spacings {
+            rows.push(RowId::new(row));
+            row += s;
+        }
+        let script = PatternScript { rows, pos: 0, remaining: total };
+        let duration = Nanos::from_micros(micros);
+
+        for spec in moat_trackers::registry::ENGINES {
+            for variant in spec.variants {
+                let mut per_step = SecuritySim::new(cfg, (variant.build)());
+                let expect = per_step.run(&mut Scripted::new(script.clone()), duration);
+                let mut batched = SecuritySim::new(cfg, (variant.build)());
+                let got = batched.run_batched(&mut script.clone(), duration);
+                prop_assert_eq!(got, expect, "{}/{}", spec.name, variant.label);
+            }
+        }
+    }
 }

@@ -1,0 +1,360 @@
+//! The ABACuS shared-counter tracker (PAPERS.md: "ABACuS: All-Bank
+//! Activation Counters for Scalable and Low Overhead RowHammer
+//! Mitigation", arXiv 2310.09977).
+//!
+//! ABACuS's observation is that real workloads activate the *same row
+//! address* across banks nearly simultaneously, so one shared Row
+//! Activation Counter (RAC) per row-ID group can stand in for sixteen
+//! per-bank counters — the SRAM cost amortizes across every bank that
+//! shares the table. We model the per-bank slice of that design: rows
+//! hash (modulo) into a RAC table, each RAC tracks the maximum
+//! activation pressure of its group and remembers the most recent
+//! aggressor, and crossing the alert threshold raises ALERT. Sharing
+//! counters *within* a bank is the same aliasing trade-off as sharing
+//! across banks: a group's counter over-approximates every member row,
+//! so the bound is conservative (never misses an aggressor) while the
+//! table stays tiny.
+
+use core::any::Any;
+use core::ops::Range;
+
+use moat_dram::{ActCount, EngineFault, MitigationEngine, RowId};
+
+/// Configuration of an ABACuS bank tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AbacusConfig {
+    /// Shared row-activation counters per table (paper: one per row ID,
+    /// shared across banks; here the per-bank table size).
+    pub counters: usize,
+    /// Alert threshold: a RAC reaching this count raises ALERT.
+    pub ath: u32,
+    /// RACs at or above this count are worth a REF-time mitigation slot.
+    pub mitigation_floor: u32,
+    /// Banks amortizing the table cost (the all-bank sharing factor the
+    /// SRAM accounting divides by).
+    pub shared_banks: usize,
+}
+
+impl AbacusConfig {
+    /// A default comparable to MOAT's ATH=64 operating point: 512 RACs
+    /// shared across 16 banks.
+    pub const fn paper_default() -> Self {
+        AbacusConfig {
+            counters: 512,
+            ath: 64,
+            mitigation_floor: 32,
+            shared_banks: 16,
+        }
+    }
+
+    /// A small-table variant stressing the aliasing trade-off.
+    pub const fn small_table() -> Self {
+        AbacusConfig {
+            counters: 128,
+            ath: 64,
+            mitigation_floor: 32,
+            shared_banks: 16,
+        }
+    }
+}
+
+impl Default for AbacusConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One shared row-activation counter: the group's pressure count and
+/// the most recent aggressor row charged to it (the row a mitigation
+/// targets).
+#[derive(Debug, Clone, Copy, Default)]
+struct Rac {
+    count: u32,
+    last_row: RowId,
+}
+
+/// The ABACuS engine for one bank.
+///
+/// # Examples
+///
+/// ```
+/// use moat_dram::{ActCount, MitigationEngine, RowId};
+/// use moat_trackers::{AbacusConfig, AbacusEngine};
+///
+/// let mut a = AbacusEngine::new(AbacusConfig::paper_default());
+/// for _ in 0..64 {
+///     a.on_precharge_update(RowId::new(9), ActCount::ZERO);
+/// }
+/// assert!(a.alert_pending());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AbacusEngine {
+    config: AbacusConfig,
+    /// Cached display name (`name()` is allocation-free).
+    name: String,
+    racs: Vec<Rac>,
+    /// Incrementally maintained maximum RAC count (exact after every
+    /// update: increments only grow it, resets recompute it).
+    max_count: u32,
+    alert_pending: bool,
+}
+
+impl AbacusEngine {
+    /// Creates an ABACuS engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters`, `ath`, or `shared_banks` is zero.
+    pub fn new(config: AbacusConfig) -> Self {
+        assert!(config.counters > 0, "table must have counters");
+        assert!(config.ath > 0, "alert threshold must be non-zero");
+        assert!(config.shared_banks > 0, "sharing factor must be non-zero");
+        AbacusEngine {
+            config,
+            name: format!("abacus-{}c-ath{}", config.counters, config.ath),
+            racs: vec![Rac::default(); config.counters],
+            max_count: 0,
+            alert_pending: false,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &AbacusConfig {
+        &self.config
+    }
+
+    /// The RAC count currently charged to `row`'s group.
+    pub fn group_count(&self, row: RowId) -> u32 {
+        self.racs[self.slot_of(row)].count
+    }
+
+    #[inline]
+    fn slot_of(&self, row: RowId) -> usize {
+        row.as_usize() % self.config.counters
+    }
+
+    /// Recomputes the cached maximum and the alert flag from the table
+    /// (used after resets; the per-ACT path maintains both incrementally).
+    fn recompute(&mut self) {
+        self.max_count = self.racs.iter().map(|r| r.count).max().unwrap_or(0);
+        self.alert_pending = self.max_count >= self.config.ath;
+    }
+}
+
+impl MitigationEngine for AbacusEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_precharge_update(&mut self, row: RowId, _counter: ActCount) {
+        let slot = self.slot_of(row);
+        let rac = &mut self.racs[slot];
+        rac.count = rac.count.saturating_add(1);
+        rac.last_row = row;
+        if rac.count > self.max_count {
+            self.max_count = rac.count;
+        }
+        if rac.count >= self.config.ath {
+            self.alert_pending = true;
+        }
+    }
+
+    fn alert_pending(&self) -> bool {
+        self.alert_pending
+    }
+
+    /// Each ACT increments exactly one RAC by one, and ALERT requires
+    /// some RAC to reach `ath`, so with the maximum count at `m` no
+    /// alert is possible for the next `ath - m` activations. Resets
+    /// (mitigation, the tREFW window reset) only lower counts, which
+    /// widens the bound — never narrows it.
+    fn min_acts_to_alert(&self) -> u64 {
+        if self.alert_pending {
+            return 0;
+        }
+        u64::from(self.config.ath.saturating_sub(self.max_count)).max(1)
+    }
+
+    fn select_ref_mitigation(&mut self) -> Option<RowId> {
+        let rac = self
+            .racs
+            .iter()
+            .filter(|r| r.count >= self.config.mitigation_floor)
+            .max_by_key(|r| r.count)?;
+        Some(rac.last_row)
+    }
+
+    fn on_mitigation_complete(&mut self, row: RowId) {
+        let slot = self.slot_of(row);
+        self.racs[slot].count = 0;
+        self.recompute();
+    }
+
+    fn on_refresh_group(
+        &mut self,
+        rows: Range<u32>,
+        _counter_of: &mut dyn FnMut(RowId) -> ActCount,
+    ) {
+        // The spatially contiguous refresh engine wraps to row 0 at each
+        // new tREFW window; ABACuS clears its RACs every window.
+        if rows.start == 0 {
+            for rac in &mut self.racs {
+                rac.count = 0;
+            }
+            self.recompute();
+        }
+    }
+
+    fn resets_counter_on_mitigation(&self) -> bool {
+        false // the RAC, not the in-array PRAC counter, is the tracker.
+    }
+
+    fn sram_bytes_per_bank(&self) -> usize {
+        // Count (2 B) + sibling row tag (2 B) per RAC, amortized over
+        // the banks sharing the table — the design's headline saving.
+        self.config.counters * 4 / self.config.shared_banks
+    }
+
+    /// The RAC table is SRAM like any other tracker: `FlipCounterBit`
+    /// flips a count bit (modulo the 16-bit field), `StuckEntry` clears
+    /// the slot, `LoseAlert` drops the pending request. Cached state is
+    /// re-derived so only the *horizon promise* (deliberately) breaks.
+    fn apply_fault(&mut self, fault: &EngineFault) -> bool {
+        let changed = match *fault {
+            EngineFault::FlipCounterBit { slot, bit } => {
+                let slot = slot % self.racs.len();
+                self.racs[slot].count ^= 1 << (bit % 16);
+                true
+            }
+            EngineFault::LoseAlert => {
+                let was = self.alert_pending;
+                self.alert_pending = false;
+                // Keep the flag down until a fresh crossing: recompute
+                // below would re-raise it instantly, so mask by clamping
+                // the offending counts one below the threshold.
+                for rac in &mut self.racs {
+                    rac.count = rac.count.min(self.config.ath - 1);
+                }
+                was
+            }
+            EngineFault::StuckEntry { slot } => {
+                let slot = slot % self.racs.len();
+                let changed = self.racs[slot].count != 0;
+                self.racs[slot] = Rac::default();
+                changed
+            }
+        };
+        let alert_was = self.alert_pending;
+        self.max_count = self.racs.iter().map(|r| r.count).max().unwrap_or(0);
+        self.alert_pending = alert_was || self.max_count >= self.config.ath;
+        changed
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_dram::testing::assert_horizon_sound;
+
+    fn engine() -> AbacusEngine {
+        AbacusEngine::new(AbacusConfig::paper_default())
+    }
+
+    #[test]
+    fn shared_counter_aggregates_the_group() {
+        let mut a = engine();
+        // Rows 3 and 3+512 share a RAC under the paper-default table.
+        a.on_precharge_update(RowId::new(3), ActCount::ZERO);
+        a.on_precharge_update(RowId::new(3 + 512), ActCount::ZERO);
+        assert_eq!(a.group_count(RowId::new(3)), 2);
+        assert_eq!(a.group_count(RowId::new(3 + 512)), 2);
+    }
+
+    #[test]
+    fn alert_at_threshold_and_reset_on_mitigation() {
+        let mut a = engine();
+        for i in 0..64u32 {
+            assert!(!a.alert_pending(), "early alert at {i}");
+            a.on_precharge_update(RowId::new(7), ActCount::ZERO);
+        }
+        assert!(a.alert_pending());
+        let row = a.select_alert_mitigation().expect("hot row selected");
+        assert_eq!(row, RowId::new(7), "most recent aggressor of the group");
+        a.on_mitigation_complete(row);
+        assert!(!a.alert_pending());
+        assert_eq!(a.group_count(RowId::new(7)), 0);
+    }
+
+    #[test]
+    fn floor_gates_proactive_mitigation() {
+        let mut a = engine();
+        for _ in 0..31 {
+            a.on_precharge_update(RowId::new(5), ActCount::ZERO);
+        }
+        assert_eq!(a.select_ref_mitigation(), None);
+        a.on_precharge_update(RowId::new(5), ActCount::ZERO);
+        assert_eq!(a.select_ref_mitigation(), Some(RowId::new(5)));
+    }
+
+    #[test]
+    fn window_wrap_resets_the_table() {
+        let mut a = engine();
+        for _ in 0..40 {
+            a.on_precharge_update(RowId::new(9), ActCount::ZERO);
+        }
+        a.on_refresh_group(512..520, &mut |_| ActCount::ZERO);
+        assert_eq!(a.group_count(RowId::new(9)), 40, "mid-window REF is inert");
+        a.on_refresh_group(0..8, &mut |_| ActCount::ZERO);
+        assert_eq!(a.group_count(RowId::new(9)), 0, "window wrap clears RACs");
+    }
+
+    #[test]
+    fn horizon_counts_down_with_the_max() {
+        let mut a = engine();
+        assert_eq!(a.min_acts_to_alert(), 64);
+        for i in 0..10 {
+            a.on_precharge_update(RowId::new(1), ActCount::ZERO);
+            assert_eq!(a.min_acts_to_alert(), 64 - i - 1);
+        }
+    }
+
+    #[test]
+    fn horizon_is_sound_under_replay() {
+        // Aliased rows (stride = table size) concentrate pressure on few
+        // RACs — the worst case for a shared-counter bound.
+        let acts: Vec<RowId> = (0..4000u32)
+            .map(|i| RowId::new((i % 7) * 512 + (i % 3)))
+            .collect();
+        assert_horizon_sound(&mut engine(), &acts, 4096);
+        let small = AbacusEngine::new(AbacusConfig::small_table());
+        assert_horizon_sound(&mut { small }, &acts, 4096);
+    }
+
+    #[test]
+    fn sram_cost_amortizes_across_banks() {
+        // 512 RACs × 4 B / 16 banks = 128 B per bank.
+        assert_eq!(engine().sram_bytes_per_bank(), 128);
+    }
+
+    #[test]
+    fn faults_change_state_and_rederive_invariants() {
+        let mut a = engine();
+        for _ in 0..20 {
+            a.on_precharge_update(RowId::new(2), ActCount::ZERO);
+        }
+        assert!(a.apply_fault(&EngineFault::FlipCounterBit { slot: 2, bit: 6 }));
+        assert_eq!(a.group_count(RowId::new(2)), 20 ^ 64);
+        assert!(a.apply_fault(&EngineFault::StuckEntry { slot: 2 }));
+        assert_eq!(a.group_count(RowId::new(2)), 0);
+        for _ in 0..64 {
+            a.on_precharge_update(RowId::new(2), ActCount::ZERO);
+        }
+        assert!(a.alert_pending());
+        assert!(a.apply_fault(&EngineFault::LoseAlert));
+        assert!(!a.alert_pending(), "alert dropped and masked");
+    }
+}

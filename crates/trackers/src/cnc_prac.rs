@@ -1,0 +1,348 @@
+//! The CnC-PRAC coalescing queue (PAPERS.md: "Chronus / Counter-and-
+//! Coalesce PRAC", arXiv 2506.11970): a PRAC-based design that fixes
+//! Panopticon's queue-pressure problem by *coalescing* repeat
+//! enqueues.
+//!
+//! Like Panopticon, a row whose PRAC counter crosses a multiple of the
+//! queueing threshold enters a small per-bank service queue, and ALERT
+//! is asserted on overflow. Unlike Panopticon, a crossing by a row
+//! that is *already enqueued* merges into its existing entry (a
+//! per-entry crossing count), consuming no slot — so a single hot row
+//! can never fill the queue by itself, and one mitigation services all
+//! of a row's accumulated crossings at once. Mitigation also resets
+//! the row's PRAC counter, restarting its threshold climb from zero.
+
+use core::any::Any;
+
+use moat_dram::{ActCount, EngineFault, IntegrityReport, MitigationEngine, RowId};
+
+/// Configuration of a CnC-PRAC bank tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CncPracConfig {
+    /// Service-queue entries per bank.
+    pub queue_entries: usize,
+    /// Queueing threshold: a row enters (or coalesces into) the queue
+    /// each time its counter crosses a multiple of this value.
+    pub queue_threshold: u32,
+}
+
+impl CncPracConfig {
+    /// Panopticon-comparable default: 8 entries, threshold 128.
+    pub const fn paper_default() -> Self {
+        CncPracConfig {
+            queue_entries: 8,
+            queue_threshold: 128,
+        }
+    }
+
+    /// A twitchier low-threshold variant (earlier service, more queue
+    /// pressure from distinct rows).
+    pub const fn low_threshold() -> Self {
+        CncPracConfig {
+            queue_entries: 8,
+            queue_threshold: 64,
+        }
+    }
+}
+
+impl Default for CncPracConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// One queue entry: the aggressor row and how many threshold crossings
+/// have coalesced into it since it was enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueueEntry {
+    row: RowId,
+    crossings: u32,
+}
+
+/// The CnC-PRAC engine for one bank.
+///
+/// # Examples
+///
+/// ```
+/// use moat_dram::{ActCount, MitigationEngine, RowId};
+/// use moat_trackers::{CncPracConfig, CncPracEngine};
+///
+/// let mut e = CncPracEngine::new(CncPracConfig::paper_default());
+/// e.on_precharge_update(RowId::new(3), ActCount::new(128));
+/// e.on_precharge_update(RowId::new(3), ActCount::new(256));
+/// // Both crossings coalesced into one slot:
+/// assert_eq!(e.queue_len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CncPracEngine {
+    config: CncPracConfig,
+    /// Cached display name (`name()` is allocation-free).
+    name: String,
+    queue: Vec<QueueEntry>,
+    alert_pending: bool,
+    /// Crossings that found the queue full with no entry to coalesce
+    /// into (each raises ALERT).
+    overflow_drops: u64,
+    /// Crossings absorbed into existing entries.
+    coalesced: u64,
+}
+
+impl CncPracEngine {
+    /// Creates a CnC-PRAC engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_entries` or `queue_threshold` is zero.
+    pub fn new(config: CncPracConfig) -> Self {
+        assert!(config.queue_entries > 0, "queue must have entries");
+        assert!(config.queue_threshold > 0, "threshold must be non-zero");
+        CncPracEngine {
+            config,
+            name: format!(
+                "cnc-prac-{}e-t{}",
+                config.queue_entries, config.queue_threshold
+            ),
+            queue: Vec::with_capacity(config.queue_entries),
+            alert_pending: false,
+            overflow_drops: 0,
+            coalesced: 0,
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &CncPracConfig {
+        &self.config
+    }
+
+    /// Number of occupied queue slots (distinct rows).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Crossings absorbed by coalescing so far.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Crossings dropped on overflow so far.
+    pub fn overflow_drops(&self) -> u64 {
+        self.overflow_drops
+    }
+
+    /// Pops the entry with the most coalesced crossings (ties to the
+    /// oldest), relieving overflow pressure.
+    fn pop_hottest(&mut self) -> Option<RowId> {
+        let (idx, _) = self
+            .queue
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, e)| (e.crossings, usize::MAX - i))?;
+        let entry = self.queue.remove(idx);
+        self.alert_pending = false;
+        Some(entry.row)
+    }
+}
+
+impl MitigationEngine for CncPracEngine {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_precharge_update(&mut self, row: RowId, counter: ActCount) {
+        let c = counter.get();
+        if c == 0 || !c.is_multiple_of(self.config.queue_threshold) {
+            return;
+        }
+        if let Some(entry) = self.queue.iter_mut().find(|e| e.row == row) {
+            // The coalescing step: no slot consumed, pressure recorded.
+            entry.crossings += 1;
+            self.coalesced += 1;
+        } else if self.queue.len() < self.config.queue_entries {
+            self.queue.push(QueueEntry { row, crossings: 1 });
+        } else {
+            self.overflow_drops += 1;
+            self.alert_pending = true;
+        }
+    }
+
+    fn alert_pending(&self) -> bool {
+        self.alert_pending
+    }
+
+    /// Same structure as Panopticon's bound — an ALERT needs a
+    /// crossing to find the queue full *and* un-coalesceable, one ACT
+    /// causes at most one crossing, and new-row crossings fill free
+    /// slots before any can overflow — so with `f` free slots the
+    /// earliest ALERT is `f + 1` ACTs out. Coalesced crossings consume
+    /// no slot, so in practice the horizon shrinks far slower than
+    /// Panopticon's under a concentrated attack.
+    fn min_acts_to_alert(&self) -> u64 {
+        if self.alert_pending {
+            return 0;
+        }
+        (self.config.queue_entries - self.queue.len()) as u64 + 1
+    }
+
+    fn select_ref_mitigation(&mut self) -> Option<RowId> {
+        self.pop_hottest()
+    }
+
+    // select_alert_mitigation: the trait default (same hottest-entry
+    // pop) is exactly right here.
+
+    fn resets_counter_on_mitigation(&self) -> bool {
+        true // PRAC-based: service restarts the row's threshold climb.
+    }
+
+    fn sram_bytes_per_bank(&self) -> usize {
+        // 2-byte row tag + 1-byte crossing count per entry.
+        self.config.queue_entries * 3
+    }
+
+    /// Queue slots are SRAM: `FlipCounterBit` flips a bit of the row
+    /// tag at `slot` (the mitigation then services the wrong row),
+    /// `StuckEntry` repeats slot 0's entry into `slot` (breaking the
+    /// coalescing invariant of one slot per row), `LoseAlert` drops
+    /// the pending request.
+    fn apply_fault(&mut self, fault: &EngineFault) -> bool {
+        match *fault {
+            EngineFault::FlipCounterBit { slot, bit } => {
+                if self.queue.is_empty() {
+                    return false;
+                }
+                let slot = slot % self.queue.len();
+                let tag = self.queue[slot].row.index() ^ (1 << (bit % 16));
+                self.queue[slot].row = RowId::new(tag);
+                true
+            }
+            EngineFault::LoseAlert => {
+                let was = self.alert_pending;
+                self.alert_pending = false;
+                was
+            }
+            EngineFault::StuckEntry { slot } => {
+                if self.queue.is_empty() {
+                    return false;
+                }
+                let slot = slot % self.queue.len();
+                let front = self.queue[0];
+                let changed = self.queue[slot] != front;
+                self.queue[slot] = front;
+                changed
+            }
+        }
+    }
+
+    /// The queue is small exact state like Panopticon's, so the same
+    /// detect-and-restore guard story applies; wiring an exact shadow
+    /// is future work, and until then the engine reports unguarded.
+    fn integrity_check(&mut self) -> IntegrityReport {
+        IntegrityReport::unguarded()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moat_dram::testing::assert_horizon_sound;
+
+    fn engine() -> CncPracEngine {
+        CncPracEngine::new(CncPracConfig::paper_default())
+    }
+
+    #[test]
+    fn repeat_crossings_coalesce_into_one_slot() {
+        let mut e = engine();
+        for mult in 1..=5u32 {
+            e.on_precharge_update(RowId::new(3), ActCount::new(128 * mult));
+        }
+        assert_eq!(e.queue_len(), 1);
+        assert_eq!(e.coalesced(), 4);
+        assert!(!e.alert_pending());
+    }
+
+    #[test]
+    fn hottest_entry_is_serviced_first() {
+        let mut e = engine();
+        e.on_precharge_update(RowId::new(1), ActCount::new(128));
+        for mult in 1..=3u32 {
+            e.on_precharge_update(RowId::new(2), ActCount::new(128 * mult));
+        }
+        e.on_precharge_update(RowId::new(3), ActCount::new(128));
+        assert_eq!(e.select_ref_mitigation(), Some(RowId::new(2)));
+        // Ties resolve to the oldest entry (FIFO among equals).
+        assert_eq!(e.select_ref_mitigation(), Some(RowId::new(1)));
+    }
+
+    #[test]
+    fn overflow_needs_distinct_rows_and_alerts() {
+        let mut e = engine();
+        for r in 0..8u32 {
+            e.on_precharge_update(RowId::new(r), ActCount::new(128));
+        }
+        assert_eq!(e.queue_len(), 8);
+        // A repeat crossing still coalesces — full queue, no alert.
+        e.on_precharge_update(RowId::new(0), ActCount::new(256));
+        assert!(!e.alert_pending());
+        // A ninth distinct row overflows.
+        e.on_precharge_update(RowId::new(9), ActCount::new(128));
+        assert!(e.alert_pending());
+        assert_eq!(e.overflow_drops(), 1);
+        assert!(e.select_alert_mitigation().is_some());
+        assert!(!e.alert_pending());
+    }
+
+    #[test]
+    fn horizon_is_free_slots_plus_one() {
+        let mut e = engine();
+        assert_eq!(e.min_acts_to_alert(), 9);
+        for r in 0..5u32 {
+            e.on_precharge_update(RowId::new(r), ActCount::new(128));
+        }
+        assert_eq!(e.min_acts_to_alert(), 4);
+        // A coalesced crossing does not shrink the horizon.
+        e.on_precharge_update(RowId::new(0), ActCount::new(256));
+        assert_eq!(e.min_acts_to_alert(), 4);
+        assert!(e.select_ref_mitigation().is_some());
+        assert_eq!(e.min_acts_to_alert(), 5);
+    }
+
+    #[test]
+    fn horizon_is_sound_under_replay() {
+        // Counters in the replay are real PRAC counts, so crossings
+        // happen whenever a hot row's count passes a multiple of the
+        // threshold; a spray of distinct rows stresses the slot bound.
+        let acts: Vec<RowId> = (0..30_000u32).map(|i| RowId::new(i % 40)).collect();
+        assert_horizon_sound(&mut engine(), &acts, 4096);
+        let low = CncPracEngine::new(CncPracConfig::low_threshold());
+        assert_horizon_sound(&mut { low }, &acts, 4096);
+    }
+
+    #[test]
+    fn prac_reset_on_service() {
+        let e = engine();
+        assert!(e.resets_counter_on_mitigation());
+        assert_eq!(e.ops_per_mitigation(), 5);
+        assert!(!e.resets_counters_on_refresh());
+    }
+
+    #[test]
+    fn sram_budget() {
+        assert_eq!(engine().sram_bytes_per_bank(), 24);
+    }
+
+    #[test]
+    fn faults_perturb_the_queue() {
+        let mut e = engine();
+        for r in 0..3u32 {
+            e.on_precharge_update(RowId::new(r), ActCount::new(128));
+        }
+        assert!(e.apply_fault(&EngineFault::FlipCounterBit { slot: 1, bit: 2 }));
+        assert!(e.apply_fault(&EngineFault::StuckEntry { slot: 2 }));
+        assert!(!e.apply_fault(&EngineFault::LoseAlert), "no alert to lose");
+    }
+}

@@ -1,16 +1,28 @@
-//! # moat-trackers — baseline Rowhammer trackers
+//! # moat-trackers — the engine zoo
 //!
-//! The mitigation designs the paper compares MOAT against, all implementing
+//! The mitigation designs the repo compares MOAT against, all implementing
 //! [`moat_dram::MitigationEngine`]:
 //!
 //! * [`PanopticonEngine`] — the 8-entry FIFO queue design that inspired
 //!   PRAC+ABO (§3), in both the gradual-mitigation form the paper attacks
 //!   with Jailbreak and the Appendix-B drain-on-REF variant; plus
 //!   [`randomize_counters`] for the randomized-initialization defense.
+//! * [`AbacusEngine`] — ABACuS-style shared row-activation counters,
+//!   amortizing the table across banks (arXiv 2310.09977).
+//! * [`CometEngine`] — CoMeT's count-min-sketch row tracking with
+//!   counter reset (arXiv 2402.18769).
+//! * [`DsacEngine`] — DSAC's stochastic-replacement approximate
+//!   counting, bit-reproducible from its seed (arXiv 2302.03591).
+//! * [`CncPracEngine`] — a CnC-PRAC coalescing service queue over PRAC
+//!   counters (arXiv 2506.11970).
 //! * [`IdealSramTracker`] — a ProTRR TRR-Ideal-style per-row SRAM tracker,
 //!   the "SRAM-optimal" class of Fig. 1(a), bounded by feinting (Table 2).
 //! * [`MisraGriesTracker`] — a Graphene-style frequent-items tracker, the
 //!   "low-cost SRAM tracker" class of Fig. 1(a).
+//!
+//! The [`registry`] module is the single place engines are wired into
+//! the sweeps, the cross-mitigation arena, and the fleet: name →
+//! constructor × config grid.
 //!
 //! ```
 //! use moat_dram::{ActCount, MitigationEngine, RowId};
@@ -24,10 +36,19 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod abacus;
+mod cnc_prac;
+mod comet;
+mod dsac;
 mod ideal;
 mod misra_gries;
 mod panopticon;
+pub mod registry;
 
+pub use abacus::{AbacusConfig, AbacusEngine};
+pub use cnc_prac::{CncPracConfig, CncPracEngine};
+pub use comet::{CometConfig, CometEngine};
+pub use dsac::{DsacConfig, DsacEngine};
 pub use ideal::IdealSramTracker;
 pub use misra_gries::MisraGriesTracker;
 pub use panopticon::{randomize_counters, PanopticonConfig, PanopticonEngine};

@@ -99,11 +99,9 @@ impl MitigationEngine for MisraGriesTracker {
         Some(self.entries.swap_remove(idx).0)
     }
 
-    fn select_alert_mitigation(&mut self) -> Option<RowId> {
-        None
-    }
-
-    fn on_mitigation_complete(&mut self, _row: RowId) {}
+    // select_alert_mitigation / on_mitigation_complete: trait defaults.
+    // The tracker never alerts, so ALERT-time selection is unreachable,
+    // and entries are already removed at selection time.
 
     fn on_refresh_group(
         &mut self,

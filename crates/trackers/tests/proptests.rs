@@ -1,10 +1,58 @@
-//! Property-based tests for the baseline trackers.
+//! Property-based tests for the engine zoo.
 
+use moat_dram::testing::assert_horizon_sound;
 use moat_dram::{ActCount, MitigationEngine, RowId};
-use moat_trackers::{IdealSramTracker, MisraGriesTracker, PanopticonConfig, PanopticonEngine};
+use moat_trackers::{
+    registry, IdealSramTracker, MisraGriesTracker, PanopticonConfig, PanopticonEngine,
+};
 use proptest::prelude::*;
 
 proptest! {
+    /// The horizon invariant holds for every engine in the registry —
+    /// every config-grid variant — under the same generated adversarial
+    /// replay (hot rows aliased across tracking structures plus spray).
+    /// One generic harness (`moat_dram::testing::assert_horizon_sound`)
+    /// covers MOAT, Panopticon, ABACuS, CoMeT, DSAC, and CnC-PRAC; a
+    /// violated promise in any of them panics with the engine's name.
+    #[test]
+    fn every_registry_engine_horizon_is_sound(
+        rows in prop::collection::vec(0u32..2048, 200..1200),
+        hot in 0u32..64,
+    ) {
+        // Bias the stream: every third ACT hammers the hot row so
+        // thresholds are actually crossed within the replay.
+        let acts: Vec<RowId> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| RowId::new(if i % 3 == 0 { hot } else { r }))
+            .collect();
+        for spec in registry::ENGINES {
+            for variant in spec.variants {
+                let mut engine = (variant.build)();
+                assert_horizon_sound(&mut engine, &acts, 2048);
+            }
+        }
+    }
+
+    /// DSAC's stochastic path is a pure function of its construction
+    /// seed: identical replays of registry-built engines stay in
+    /// lockstep on every observable surface.
+    #[test]
+    fn dsac_replay_is_deterministic_from_seed(
+        rows in prop::collection::vec(0u32..64, 100..600)
+    ) {
+        let mut a = registry::build("dsac").unwrap();
+        let mut b = registry::build("dsac").unwrap();
+        for (i, &r) in rows.iter().enumerate() {
+            a.on_precharge_update(RowId::new(r), ActCount::new(i as u32 + 1));
+            b.on_precharge_update(RowId::new(r), ActCount::new(i as u32 + 1));
+            prop_assert_eq!(a.alert_pending(), b.alert_pending());
+            prop_assert_eq!(a.min_acts_to_alert(), b.min_acts_to_alert());
+        }
+        let (sa, sb) = (a.select_ref_mitigation(), b.select_ref_mitigation());
+        prop_assert_eq!(sa, sb);
+    }
+
     /// Panopticon's queue never exceeds its capacity, and an ALERT is
     /// requested only after an overflow drop.
     #[test]
@@ -102,4 +150,8 @@ fn trackers_are_send() {
     assert_send::<PanopticonEngine>();
     assert_send::<IdealSramTracker>();
     assert_send::<MisraGriesTracker>();
+    assert_send::<moat_trackers::AbacusEngine>();
+    assert_send::<moat_trackers::CometEngine>();
+    assert_send::<moat_trackers::DsacEngine>();
+    assert_send::<moat_trackers::CncPracEngine>();
 }
